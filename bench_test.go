@@ -1,0 +1,574 @@
+// The benchmark harness: one benchmark per table, figure and quantitative
+// claim of the paper (see the experiment index in DESIGN.md and the
+// measured results in EXPERIMENTS.md).
+//
+// Run with: go test -bench=. -benchmem
+package coherdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"coherdb/internal/check"
+	"coherdb/internal/constraint"
+	"coherdb/internal/core"
+	"coherdb/internal/deadlock"
+	"coherdb/internal/hwmap"
+	"coherdb/internal/modelcheck"
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+	"coherdb/internal/sim"
+	"coherdb/internal/sqlmini"
+)
+
+// Shared generated state, built once per benchmark binary run.
+var (
+	setupOnce sync.Once
+	setupPipe *core.Pipeline
+	setupErr  error
+)
+
+func pipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	setupOnce.Do(func() {
+		p := core.New()
+		if err := p.Generate(); err != nil {
+			setupErr = err
+			return
+		}
+		setupPipe = p
+	})
+	if setupErr != nil {
+		b.Fatal(setupErr)
+	}
+	return setupPipe
+}
+
+func simTables(b *testing.B) sim.Tables {
+	p := pipeline(b)
+	return sim.Tables{
+		D: p.DB.MustTable(protocol.DirectoryTable),
+		M: p.DB.MustTable(protocol.MemoryTable),
+		C: p.DB.MustTable(protocol.CacheTable),
+		N: p.DB.MustTable(protocol.NodeTable),
+	}
+}
+
+// --- C1: incremental vs monolithic table generation (§3) -----------------
+// The paper: incremental generation finishes "within a few minutes" while
+// solving the full conjunction takes "around 6 hours". The sweep widens the
+// Fig. 3 fragment one output column at a time: monolithic cost multiplies
+// by the domain size per column while incremental cost stays proportional
+// to the (constant-sized) result.
+
+func BenchmarkGenerateIncremental(b *testing.B) {
+	for _, scale := range []int{1, 2, 3, 4} {
+		spec, err := protocol.Figure3FragmentSpec(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("cols=%d/space=%d", len(spec.ColumnNames()), spec.SpaceSize()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := constraint.Solve(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGenerateMonolithic(b *testing.B) {
+	for _, scale := range []int{1, 2, 3, 4} {
+		spec, err := protocol.Figure3FragmentSpec(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("cols=%d/space=%d", len(spec.ColumnNames()), spec.SpaceSize()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := constraint.MonolithicOpts(spec, constraint.Options{MonolithicLimit: 1 << 30}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C2: generating the full directory table D (30 cols, ~500 rows) ------
+
+func BenchmarkGenerateDirectoryD(b *testing.B) {
+	spec, err := protocol.BuildDirectorySpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, _, err := constraint.Solve(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab.NumCols() != 30 {
+			b.Fatal("wrong shape")
+		}
+	}
+}
+
+// --- C6: generating all eight controller tables --------------------------
+
+func BenchmarkGenerateAllControllers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := sqlmini.NewDB()
+		if _, err := protocol.GenerateAll(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C3: the ~50-invariant static suite (§4.3) ---------------------------
+// The paper: "All of the protocol invariants (around 50) are checked on a
+// SUN Sparc 10 within 5 minutes."
+
+func BenchmarkInvariantSuite(b *testing.B) {
+	p := pipeline(b)
+	suite := check.ProtocolSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := suite.Run(p.DB, check.Options{})
+		if check.Summarize(results).Failed != 0 {
+			b.Fatal("invariants failed")
+		}
+	}
+}
+
+func BenchmarkInvariantSuiteSerial(b *testing.B) {
+	p := pipeline(b)
+	suite := check.ProtocolSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suite.Run(p.DB, check.Options{Workers: 1})
+	}
+}
+
+// --- C4/F4: VCG construction and cycle detection (§4.1-4.2) --------------
+
+func BenchmarkVCGConstruction(b *testing.B) {
+	p := pipeline(b)
+	tables, err := p.ControllerTables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range protocol.AssignmentNames() {
+		v, err := protocol.BuildAssignment(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := deadlock.Analyze(tables, v, deadlock.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A1: pairwise composition vs the abandoned transitive closure --------
+
+func BenchmarkPairwiseVsClosure(b *testing.B) {
+	p := pipeline(b)
+	tables, err := p.ControllerTables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := protocol.BuildAssignment(protocol.AssignVC4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deadlock.Analyze(tables, v, deadlock.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("closure", func(b *testing.B) {
+		opts := deadlock.DefaultOptions()
+		opts.Closure = true
+		for i := 0; i < b.N; i++ {
+			if _, err := deadlock.Analyze(tables, v, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- A2: quad placements on/off ------------------------------------------
+
+func BenchmarkPlacementAblation(b *testing.B) {
+	p := pipeline(b)
+	tables, err := p.ControllerTables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := protocol.BuildAssignment(protocol.AssignVC4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-placements", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := deadlock.Analyze(tables, v, deadlock.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-placements", func(b *testing.B) {
+		opts := deadlock.DefaultOptions()
+		opts.NoPlacements = true
+		for i := 0; i < b.N; i++ {
+			if _, err := deadlock.Analyze(tables, v, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C5/F5: hardware mapping and reconstruction (§5) ----------------------
+
+func BenchmarkMapAndReconstruct(b *testing.B) {
+	p := pipeline(b)
+	d := p.DB.MustTable(protocol.DirectoryTable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := sqlmini.NewDB()
+		m, err := hwmap.Partition(db, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A3: explicit-state model checking vs SQL static analysis ------------
+// The paper (§4.2): model checkers can find such deadlocks but hit state
+// explosion. The same Fig. 4 configuration is checked both ways; the SQL
+// analysis cost is independent of the workload while BFS states multiply.
+
+func BenchmarkModelCheckVsSQL(b *testing.B) {
+	p := pipeline(b)
+	tables, err := p.ControllerTables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := simTables(b)
+	v4table, err := protocol.BuildAssignment(protocol.AssignVC4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sql-vcg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := deadlock.Analyze(tables, v4table, deadlock.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Deadlocked() {
+				b.Fatal("deadlock missed")
+			}
+		}
+	})
+	// Finding the known deadlock: BFS stops at the first counter-example.
+	b.Run("modelcheck/find-deadlock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := figure4ModelSystem(st, v4table)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := modelcheck.Explore(sys, modelcheck.Options{MaxStates: 2000000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Deadlocked() {
+				b.Fatal("deadlock missed")
+			}
+			b.ReportMetric(float64(rep.States), "states")
+		}
+	})
+	// Verifying deadlock freedom: the state space must be exhausted, and
+	// it multiplies with every added operation — the state explosion the
+	// paper's SQL method sidesteps (its cost is workload independent).
+	fixedTable, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, extraOps := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("modelcheck/verify/extra-ops=%d", extraOps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := figure4ModelSystem(st, fixedTable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < extraOps; k++ {
+					sys.Node(k % 2).Script(sim.Op{Kind: "prread", Addr: sim.Addr(0x100 + k)})
+				}
+				rep, err := modelcheck.Explore(sys, modelcheck.Options{MaxStates: 5000000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Violation != nil {
+					b.Fatal("unexpected violation")
+				}
+				b.ReportMetric(float64(rep.States), "states")
+			}
+		})
+	}
+}
+
+// figure4ModelSystem builds the Fig. 4 initial state for model checking
+// (no choreography: all interleavings are explored).
+func figure4ModelSystem(st sim.Tables, v *rel.Table) (*sim.System, error) {
+	sys, err := sim.NewSystem(sim.Config{
+		Nodes: 2, ChannelCap: 1,
+		ChannelCaps: map[string]int{"VC0": 2},
+		Tables:      st.Map(),
+		Assignment:  v,
+		MaxSteps:    100000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Node(0).SetCache(0xB, protocol.CacheM)
+	sys.Dir().SetOwner(0xB, sim.NodeID(0))
+	sys.Node(1).SetCache(0xA, protocol.CacheM)
+	sys.Dir().SetOwner(0xA, sim.NodeID(1))
+	sys.Node(0).Script(
+		sim.Op{Kind: "previct", Addr: 0xB},
+		sim.Op{Kind: "prwrite", Addr: 0xA},
+	)
+	sys.Node(1).Script(sim.Op{Kind: "previct", Addr: 0xA})
+	return sys, nil
+}
+
+// --- A4: static checking vs random simulation on a seeded bug ------------
+
+func BenchmarkRandomVsStatic(b *testing.B) {
+	p := pipeline(b)
+	d := p.DB.MustTable(protocol.DirectoryTable)
+	bad := d.Clone()
+	for i := 0; i < bad.NumRows(); i++ {
+		if bad.Get(i, "locmsg").Equal(rel.S("upgack")) {
+			if err := bad.Set(i, "nxtdirpv", rel.S(protocol.PVInc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("static-suite", func(b *testing.B) {
+		db := sqlmini.NewDB()
+		protocol.RegisterFuncs(db.Register)
+		for _, name := range p.DB.Names() {
+			db.PutTable(p.DB.MustTable(name))
+		}
+		db.PutTable(bad)
+		suite := check.ProtocolSuite()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := suite.Run(db, check.Options{})
+			if check.Summarize(results).Failed == 0 {
+				b.Fatal("seeded bug missed")
+			}
+		}
+	})
+	b.Run("random-trial", func(b *testing.B) {
+		tabs := simTables(b)
+		v, err := protocol.BuildAssignment(protocol.AssignFixed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sys, err := sim.RandomSystem(tabs, v, sim.RandomConfig{
+				Nodes: 3, Addrs: 2, OpsPerNode: 10, Seed: int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- F2: simulator throughput on the readex flow --------------------------
+
+func BenchmarkSimulatorReadEx(b *testing.B) {
+	st := simTables(b)
+	v, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.ReadExSystem(st, v, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != sim.Completed {
+			b.Fatal("readex flow failed")
+		}
+	}
+}
+
+// --- F4: the Fig. 4 scenario, frozen and fixed -----------------------------
+
+func BenchmarkFigure4Replay(b *testing.B) {
+	st := simTables(b)
+	for _, cfg := range []struct {
+		name    string
+		assign  string
+		outcome sim.Outcome
+	}{
+		{"vc4-deadlocks", protocol.AssignVC4, sim.Deadlocked},
+		{"fixed-completes", protocol.AssignFixed, sim.Completed},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunFigure4(st, cfg.assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome != cfg.outcome {
+					b.Fatalf("outcome = %v", res.Outcome)
+				}
+			}
+		})
+	}
+}
+
+// --- A5: ablation — the dontcare (NULL) representation (§3) ---------------
+// "The NULL value allows a controller table entry to be specified only
+// using the relevant values and helps in optimal mapping."
+
+func BenchmarkExpandDontcares(b *testing.B) {
+	p := pipeline(b)
+	d := p.DB.MustTable(protocol.DirectoryTable)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp, err := hwmap.ExpandDontcares(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(exp.NumRows())/float64(d.NumRows()), "blowup")
+	}
+}
+
+// --- C5 dynamic: spec engine vs the Figure 5 implementation engine --------
+
+func BenchmarkSpecVsImplEngine(b *testing.B) {
+	p := pipeline(b)
+	if p.Report.Mapping == nil {
+		if err := p.MapToHardware(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := simTables(b)
+	v, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mapping bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{
+				Nodes: 3, ChannelCap: 16, Tables: st.Map(),
+				Assignment: v, MaxSteps: 200000,
+			}
+			if mapping {
+				cfg.Mapping = p.Report.Mapping
+			}
+			sys, err := sim.NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seedSys, err := sim.RandomSystem(st, v, sim.RandomConfig{
+				Nodes: 3, Addrs: 3, OpsPerNode: 20, Seed: int64(i + 1), DirectOps: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.CopyScripts(seedSys, sys)
+			res, err := sys.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Outcome != sim.Completed {
+				b.Fatal("workload did not complete")
+			}
+		}
+	}
+	b.Run("spec-table", func(b *testing.B) { run(b, false) })
+	b.Run("fig5-implementation", func(b *testing.B) { run(b, true) })
+}
+
+// --- simulator scaling: throughput vs node count ---------------------------
+
+func BenchmarkSimulatorScaling(b *testing.B) {
+	st := simTables(b)
+	v, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nodes := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			totalOps := 0
+			for i := 0; i < b.N; i++ {
+				sys, err := sim.RandomSystem(st, v, sim.RandomConfig{
+					Nodes: nodes, Addrs: 4, OpsPerNode: 20, Seed: int64(i + 1), DirectOps: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome != sim.Completed {
+					b.Fatal("workload did not complete")
+				}
+				totalOps += res.Stats.OpsCompleted
+				b.ReportMetric(res.Stats.AvgOpLatency(), "steps/op")
+			}
+			b.ReportMetric(float64(totalOps)/float64(b.N), "ops/run")
+		})
+	}
+}
+
+// --- substrate microbenchmarks --------------------------------------------
+
+func BenchmarkSQLSelectWhere(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.DB.Query(`SELECT inmsg, bdirst FROM D WHERE locmsg = 'retry'`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLJoin(b *testing.B) {
+	p := pipeline(b)
+	v, err := protocol.BuildAssignment(protocol.AssignVC4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.DB.DropTable("V")
+	p.DB.PutTable(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.DB.Query(`SELECT D.inmsg, V.v FROM D JOIN V ON D.inmsg = V.m`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

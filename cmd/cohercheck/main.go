@@ -1,0 +1,176 @@
+// Command cohercheck runs the paper's static analyses: the §4.3 invariant
+// suite and the §4.1 virtual-channel deadlock analysis.
+//
+// Usage:
+//
+//	cohercheck                       # everything: invariants + deadlock story
+//	cohercheck -invariants           # only the ~50-invariant suite
+//	cohercheck -deadlock -assign vc4 # analyze one channel assignment
+//	cohercheck -messages             # print the Figure 1 message catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coherdb/internal/check"
+	"coherdb/internal/core"
+	"coherdb/internal/deadlock"
+	"coherdb/internal/modelcheck"
+	"coherdb/internal/protocol"
+	"coherdb/internal/sim"
+)
+
+func main() {
+	invariants := flag.Bool("invariants", false, "run only the invariant suite")
+	deadlocks := flag.Bool("deadlock", false, "run only the deadlock analysis")
+	assign := flag.String("assign", "", "analyze a single assignment (initial4, vc4, fixed)")
+	messages := flag.Bool("messages", false, "print the message catalog (Figure 1)")
+	repair := flag.Bool("repair", false, "with -assign: iteratively repair the assignment until cycle free")
+	mc := flag.Bool("modelcheck", false, "explore the Fig. 4 configuration with the explicit-state model checker (baseline)")
+	verbose := flag.Bool("v", false, "print per-invariant results and VCG details")
+	flag.Parse()
+
+	if *messages {
+		fmt.Print(protocol.Figure1Table().String())
+		return
+	}
+
+	p := core.New()
+	if err := p.Generate(); err != nil {
+		fail(err)
+	}
+	if *mc {
+		if err := runModelCheck(p, *assign); err != nil {
+			fail(err)
+		}
+		return
+	}
+	runAll := !*invariants && !*deadlocks
+
+	if *invariants || runAll {
+		results := check.ProtocolSuite().Run(p.DB, check.Options{})
+		sum := check.Summarize(results)
+		fmt.Println(sum)
+		for _, r := range results {
+			if *verbose || !r.Passed() {
+				status := "ok"
+				if r.Err != nil {
+					status = "ERROR: " + r.Err.Error()
+				} else if !r.Passed() {
+					status = fmt.Sprintf("VIOLATED (%d rows)", r.Violations.NumRows())
+				}
+				fmt.Printf("  %-28s %-9s %s\n", r.Invariant.Name, r.Invariant.Ref, status)
+			}
+		}
+		if sum.Failed > 0 || sum.Errors > 0 {
+			os.Exit(1)
+		}
+	}
+
+	if *deadlocks || runAll {
+		tables, err := p.ControllerTables()
+		if err != nil {
+			fail(err)
+		}
+		order := protocol.AssignmentNames()
+		if *assign != "" {
+			order = []string{*assign}
+		}
+		for _, name := range order {
+			v, err := protocol.BuildAssignment(name)
+			if err != nil {
+				fail(err)
+			}
+			if *repair {
+				res, err := deadlock.Repair(tables, v, deadlock.DefaultOptions(), 64)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("== repairing %s: converged=%v after %d action(s)\n",
+					name, res.Converged, len(res.Actions))
+				for _, a := range res.Actions {
+					fmt.Printf("   %s\n", a)
+				}
+				continue
+			}
+			rep, err := deadlock.Analyze(tables, v, deadlock.DefaultOptions())
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("== %s: %d dependency rows, %d edges, %d cycle(s) (%v)\n",
+				name, rep.Stats.ProtocolRows, len(rep.Graph.Edges()), len(rep.Cycles),
+				rep.Stats.Elapsed.Round(1000))
+			for _, c := range rep.Cycles {
+				fmt.Printf("   cycle %s\n", c)
+				if *verbose {
+					for _, ev := range rep.Graph.CycleEvidence(c) {
+						fmt.Printf("     via %s\n", ev)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runModelCheck explores the Fig. 4 configuration exhaustively under the
+// given assignment (default: both vc4 and fixed) — the baseline the paper
+// contrasts the SQL analysis with.
+func runModelCheck(p *core.Pipeline, assign string) error {
+	tables := sim.Tables{
+		D: p.DB.MustTable(protocol.DirectoryTable),
+		M: p.DB.MustTable(protocol.MemoryTable),
+		C: p.DB.MustTable(protocol.CacheTable),
+		N: p.DB.MustTable(protocol.NodeTable),
+	}
+	names := []string{protocol.AssignVC4, protocol.AssignFixed}
+	if assign != "" {
+		names = []string{assign}
+	}
+	for _, name := range names {
+		v, err := protocol.BuildAssignment(name)
+		if err != nil {
+			return err
+		}
+		sys, err := sim.NewSystem(sim.Config{
+			Nodes: 2, ChannelCap: 1,
+			ChannelCaps: map[string]int{"VC0": 2},
+			Tables:      tables.Map(),
+			Assignment:  v,
+			MaxSteps:    100000,
+		})
+		if err != nil {
+			return err
+		}
+		sys.Node(0).SetCache(0xB, protocol.CacheM)
+		sys.Dir().SetOwner(0xB, sim.NodeID(0))
+		sys.Node(1).SetCache(0xA, protocol.CacheM)
+		sys.Dir().SetOwner(0xA, sim.NodeID(1))
+		sys.Node(0).Script(
+			sim.Op{Kind: "previct", Addr: 0xB},
+			sim.Op{Kind: "prwrite", Addr: 0xA},
+		)
+		sys.Node(1).Script(sim.Op{Kind: "previct", Addr: 0xA})
+		rep, err := modelcheck.Explore(sys, modelcheck.Options{MaxStates: 2000000, CheckCoherence: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== model checking %s: %d states, %d edges, depth %d (%v)\n",
+			name, rep.States, rep.Edges, rep.Depth, rep.Elapsed.Round(1000))
+		if rep.Violation != nil {
+			fmt.Printf("   %s found; counter-example (%d actions):\n", rep.Violation.Kind, len(rep.Violation.Trace))
+			for _, a := range rep.Violation.Trace {
+				fmt.Printf("     %s\n", a)
+			}
+		} else {
+			fmt.Println("   no violation: deadlock free and coherent in every reachable state")
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cohercheck:", err)
+	os.Exit(1)
+}

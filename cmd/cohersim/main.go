@@ -1,0 +1,146 @@
+// Command cohersim executes the generated controller tables in the
+// discrete-event simulator: scenario replays (including the Fig. 4
+// deadlock) and random workload fuzzing.
+//
+// Usage:
+//
+//	cohersim -scenario fig4 -assign vc4     # replay the published deadlock
+//	cohersim -scenario fig4 -assign fixed   # verify the fix dynamically
+//	cohersim -random -seed 7 -nodes 4       # fuzz with a random workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coherdb/internal/core"
+	"coherdb/internal/hwmap"
+	"coherdb/internal/protocol"
+	"coherdb/internal/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "scenario to replay: readex or fig4")
+	assign := flag.String("assign", protocol.AssignFixed, "channel assignment: initial4, vc4, fixed")
+	random := flag.Bool("random", false, "run a random workload")
+	seed := flag.Int64("seed", 1, "random workload seed")
+	nodes := flag.Int("nodes", 4, "random workload node count")
+	ops := flag.Int("ops", 25, "random workload ops per node")
+	impl := flag.Bool("impl", false, "run the directory as the Figure 5 implementation (nine tables + queues + feedback)")
+	trace := flag.Bool("trace", false, "print the event trace")
+	chart := flag.Bool("chart", false, "print the message sequence chart of the scenario's line (Fig. 2 style)")
+	flag.Parse()
+
+	p := core.New()
+	if err := p.Generate(); err != nil {
+		fail(err)
+	}
+	var mapping *hwmap.Mapping
+	if *impl {
+		if err := p.MapToHardware(); err != nil {
+			fail(err)
+		}
+		mapping = p.Report.Mapping
+	}
+	tables := sim.Tables{
+		D: p.DB.MustTable(protocol.DirectoryTable),
+		M: p.DB.MustTable(protocol.MemoryTable),
+		C: p.DB.MustTable(protocol.CacheTable),
+		N: p.DB.MustTable(protocol.NodeTable),
+	}
+
+	var res *sim.Result
+	var sys *sim.System
+	var err error
+	switch {
+	case *random:
+		v, err2 := protocol.BuildAssignment(*assign)
+		if err2 != nil {
+			fail(err2)
+		}
+		if mapping != nil {
+			sys, err = sim.NewSystem(sim.Config{
+				Nodes: *nodes, ChannelCap: 16, Tables: tables.Map(),
+				Assignment: v, Mapping: mapping, MaxSteps: 400000,
+			})
+			if err != nil {
+				fail(err)
+			}
+			seedSys, err2 := sim.RandomSystem(tables, v, sim.RandomConfig{
+				Nodes: *nodes, OpsPerNode: *ops, Seed: *seed, DirectOps: true,
+			})
+			if err2 != nil {
+				fail(err2)
+			}
+			sim.CopyScripts(seedSys, sys)
+		} else {
+			sys, err = sim.RandomSystem(tables, v, sim.RandomConfig{
+				Nodes: *nodes, OpsPerNode: *ops, Seed: *seed, DirectOps: true,
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+		res, err = sys.Run()
+	case *scenario != "":
+		v, err2 := protocol.BuildAssignment(*assign)
+		if err2 != nil {
+			fail(err2)
+		}
+		switch *scenario {
+		case "readex":
+			sys, err = sim.ReadExSystem(tables, v, 3)
+		case "fig4":
+			sys, err = sim.Figure4System(tables, v)
+		default:
+			fail(fmt.Errorf("unknown scenario %q (have %v)", *scenario, sim.ScenarioNames()))
+		}
+		if err != nil {
+			fail(err)
+		}
+		res, err = sys.Run()
+	default:
+		fmt.Fprintf(os.Stderr, "pick -scenario (%v) or -random\n", sim.ScenarioNames())
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("outcome: %s after %d steps (%d messages delivered, %d ops completed, %d retries)\n",
+		res.Outcome, res.Stats.Steps, res.Stats.Delivered, res.Stats.OpsCompleted, res.Stats.Retries)
+	if res.Stats.OpsCompleted > 0 {
+		fmt.Printf("latency: avg %.1f steps, max %d steps per remote transaction\n",
+			res.Stats.AvgOpLatency(), res.Stats.OpLatencyMax)
+	}
+	if res.Outcome == sim.Deadlocked {
+		fmt.Printf("blocked channels:\n%s", res.Blockage)
+	}
+	if sys != nil && res.Outcome == sim.Completed {
+		if v := sys.CheckCoherence(); len(v) > 0 {
+			fmt.Printf("COHERENCE VIOLATIONS: %v\n", v)
+			os.Exit(1)
+		}
+		fmt.Println("final state coherent")
+	}
+	if *trace {
+		for _, line := range res.Trace {
+			fmt.Println(line)
+		}
+	}
+	if *chart && sys != nil {
+		addr := sim.Addr(0x100) // readex scenario line
+		if *scenario == "fig4" {
+			addr = 0xA
+		}
+		fmt.Print(sys.SequenceChart(addr))
+	}
+	if res.Outcome == sim.Deadlocked {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cohersim:", err)
+	os.Exit(1)
+}

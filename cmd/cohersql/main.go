@@ -1,0 +1,93 @@
+// Command cohersql is an interactive SQL shell over the protocol database:
+// the eight generated controller tables plus anything created during the
+// session. It is the ad-hoc interface the paper's architects used to query
+// and check the tables.
+//
+// Usage:
+//
+//	cohersql                                       # REPL on stdin
+//	cohersql -q "SELECT COUNT(*) FROM D"           # one-shot query
+//	echo "SELECT DISTINCT inmsg FROM D" | cohersql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coherdb/internal/core"
+)
+
+func main() {
+	query := flag.String("q", "", "execute one statement and exit")
+	strict := flag.Bool("strict-nulls", true, "use ANSI NULL semantics (off = constraint dialect)")
+	flag.Parse()
+
+	p := core.New()
+	fmt.Fprintln(os.Stderr, "generating controller tables...")
+	if err := p.Generate(); err != nil {
+		fail(err)
+	}
+	p.DB.SetStrictNulls(*strict)
+	fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(p.DB.Names(), ", "))
+
+	exec := func(stmt string) {
+		res, err := p.DB.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		if res.Table != nil {
+			fmt.Print(res.Table.String())
+		} else {
+			fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		}
+	}
+
+	if *query != "" {
+		exec(*query)
+		return
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(os.Stderr, "coherdb> ")
+		} else {
+			fmt.Fprint(os.Stderr, "    ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "quit" || trimmed == "exit" || trimmed == `\q`) {
+			return
+		}
+		if buf.Len() == 0 && trimmed == "tables" {
+			fmt.Println(strings.Join(p.DB.Names(), "\n"))
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			exec(buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	// Execute a trailing statement without a semicolon.
+	if strings.TrimSpace(buf.String()) != "" {
+		exec(buf.String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cohersql:", err)
+	os.Exit(1)
+}

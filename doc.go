@@ -1,0 +1,13 @@
+// Package coherdb reproduces "Early Error Detection in Industrial Strength
+// Cache Coherence Protocols Using SQL" (Subramaniam, IPPS 2003): a
+// table-driven methodology in which cache coherence protocol controllers
+// are relational tables generated from SQL column constraints, statically
+// checked with SQL for invariants and channel deadlocks, and mapped onto
+// hardware implementation tables with SQL while preserving the debugged
+// behaviour.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// this root package carries the benchmark harness that regenerates every
+// quantitative artefact of the paper (bench_test.go) and the repository
+// documentation.
+package coherdb

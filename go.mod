@@ -1,0 +1,3 @@
+module coherdb
+
+go 1.22

@@ -1,0 +1,60 @@
+package check
+
+// ImplementationSuite builds the static checks for the extended table ED
+// (§5): the implementation-detail rows added by the hardware mapping must
+// themselves satisfy the queue/feedback discipline of the Figure 5
+// micro-architecture. Run it on a database holding ED (e.g. after
+// hwmap.Partition).
+func ImplementationSuite() *Suite {
+	s := NewSuite()
+	s.Add(Invariant{
+		Name: "full-queues-retry",
+		Desc: "a request finding the output queues full is retried and does nothing else",
+		Ref:  "§5",
+		SQL: `SELECT inmsg, locmsg FROM ED WHERE isrequest(inmsg) AND Qstatus = 'Full'
+			AND NOT inmsg = 'Dfdback'
+			AND (NOT locmsg = 'retry' OR remmsg IS NOT NULL OR memmsg IS NOT NULL
+			     OR nxtbdirst IS NOT NULL OR nxtdirst IS NOT NULL)`,
+	})
+	s.Add(Invariant{
+		Name: "notfull-never-spurious-retry",
+		Desc: "with queues available, a retry is only ever caused by a busy conflict",
+		Ref:  "§5",
+		SQL: `SELECT inmsg, bdirhit, locmsg FROM ED WHERE Qstatus = 'NotFull'
+			AND locmsg = 'retry' AND NOT bdirhit = 'hit'`,
+	})
+	s.Add(Invariant{
+		Name: "full-updq-defers-update",
+		Desc: "a full update queue defers the directory write over the feedback path",
+		Ref:  "§5",
+		SQL: `SELECT inmsg, Dqstatus, Fdback FROM ED WHERE isresponse(inmsg)
+			AND Dqstatus = 'Full' AND dirupd IS NOT NULL`,
+	})
+	s.Add(Invariant{
+		Name: "feedback-only-when-full",
+		Desc: "the feedback path is used only under a full update queue (or to requeue itself)",
+		Ref:  "§5",
+		SQL: `SELECT inmsg, Qstatus, Dqstatus, Fdback FROM ED WHERE Fdback IS NOT NULL
+			AND NOT Dqstatus = 'Full' AND NOT (inmsg = 'Dfdback' AND Qstatus = 'Full')`,
+	})
+	s.Add(Invariant{
+		Name: "dfdback-replays-update",
+		Desc: "a serviced Dfdback performs the deferred directory write",
+		Ref:  "§5",
+		SQL: `SELECT inmsg, Qstatus, dirupd FROM ED WHERE inmsg = 'Dfdback'
+			AND Qstatus = 'NotFull' AND dirupd IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "dqstatus-responses-only",
+		Desc: "the update-queue status is consulted only for responses (§5: 'Dqstatus is not consulted for requests')",
+		Ref:  "§5",
+		SQL:  `SELECT inmsg, Dqstatus FROM ED WHERE isrequest(inmsg) AND Dqstatus IS NOT NULL`,
+	})
+	s.Add(Invariant{
+		Name: "qstatus-requests-only",
+		Desc: "the output-queue status gates requests, not responses",
+		Ref:  "§5",
+		SQL:  `SELECT inmsg, Qstatus FROM ED WHERE isresponse(inmsg) AND Qstatus IS NOT NULL`,
+	})
+	return s
+}

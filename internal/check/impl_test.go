@@ -1,0 +1,65 @@
+package check
+
+import (
+	"testing"
+
+	"coherdb/internal/hwmap"
+	"coherdb/internal/rel"
+)
+
+func TestImplementationSuitePasses(t *testing.T) {
+	db := protocolDB(t)
+	d, _ := db.Table("D")
+	if _, err := hwmap.Partition(db, d); err != nil {
+		t.Fatal(err)
+	}
+	results := ImplementationSuite().Run(db, Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Invariant.Name, r.Err)
+			continue
+		}
+		if !r.Passed() {
+			t.Errorf("%s violated (%d rows):\n%s",
+				r.Invariant.Name, r.Violations.NumRows(), r.Violations)
+		}
+	}
+}
+
+func TestImplementationSuiteDetectsBrokenED(t *testing.T) {
+	db := protocolDB(t)
+	d, _ := db.Table("D")
+	m, err := hwmap.Partition(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt ED: a Qstatus=Full request row "optimizes away" its retry.
+	ed := m.Extended
+	defer db.PutTable(ed)
+	bad := ed.Clone()
+	seeded := false
+	for i := 0; i < bad.NumRows() && !seeded; i++ {
+		if bad.Get(i, hwmap.ColQstatus).Equal(rel.S(hwmap.Full)) &&
+			bad.Get(i, "locmsg").Equal(rel.S("retry")) &&
+			!bad.Get(i, "inmsg").Equal(rel.S("Dfdback")) {
+			if err := bad.Set(i, "remmsg", rel.S("sinv")); err != nil {
+				t.Fatal(err)
+			}
+			seeded = true
+		}
+	}
+	if !seeded {
+		t.Fatal("no row to corrupt")
+	}
+	db.PutTable(bad)
+	results := ImplementationSuite().Run(db, Options{})
+	found := false
+	for _, r := range results {
+		if r.Invariant.Name == "full-queues-retry" && !r.Passed() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("corrupted ED not detected")
+	}
+}

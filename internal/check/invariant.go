@@ -1,0 +1,163 @@
+// Package check implements the paper's §4.3 static protocol checking: each
+// invariant is a SQL SELECT whose result must be empty ("[Select ... from D
+// where <violation>] = empty"). The suite contains the paper's published
+// invariants plus the rest of a ~50-invariant family in the same style,
+// covering directory consistency, request serialization, busy-directory
+// life cycle, message-column discipline and the per-controller tables.
+//
+// Invariant queries are evaluated under ANSI NULL semantics (a comparison
+// with a dontcare/noop NULL is unknown, so such rows never count as
+// violations), matching the behaviour of the relational system the paper
+// deployed.
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// Invariant is one statically checkable protocol property.
+type Invariant struct {
+	// Name is a short unique identifier, e.g. "dir-mesi-one".
+	Name string
+	// Desc says what property the invariant establishes.
+	Desc string
+	// Ref cites the paper section the invariant comes from, or "family"
+	// for the systematic completions.
+	Ref string
+	// SQL is a SELECT over the controller tables returning the violating
+	// rows; the invariant holds iff the result is empty.
+	SQL string
+}
+
+// Result is the outcome of checking one invariant.
+type Result struct {
+	Invariant  Invariant
+	Violations *rel.Table
+	Elapsed    time.Duration
+	Err        error
+}
+
+// Passed reports whether the invariant held.
+func (r Result) Passed() bool { return r.Err == nil && r.Violations != nil && r.Violations.Empty() }
+
+// Suite is an ordered collection of invariants.
+type Suite struct {
+	invs []Invariant
+}
+
+// NewSuite builds an empty suite.
+func NewSuite() *Suite { return &Suite{} }
+
+// SuiteFrom builds a suite from already-parsed invariants, e.g. the static
+// checks embedded in a spec file.
+func SuiteFrom(invs []Invariant) *Suite {
+	s := NewSuite()
+	for _, inv := range invs {
+		s.Add(inv)
+	}
+	return s
+}
+
+// Add appends an invariant. Duplicate names panic: suites are static.
+func (s *Suite) Add(inv Invariant) *Suite {
+	for _, have := range s.invs {
+		if have.Name == inv.Name {
+			panic(fmt.Sprintf("check: duplicate invariant %q", inv.Name))
+		}
+	}
+	s.invs = append(s.invs, inv)
+	return s
+}
+
+// Len returns the number of invariants.
+func (s *Suite) Len() int { return len(s.invs) }
+
+// Invariants returns the invariants in order.
+func (s *Suite) Invariants() []Invariant { return append([]Invariant(nil), s.invs...) }
+
+// Options tunes suite execution.
+type Options struct {
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run checks every invariant against db, in parallel, and returns results
+// in suite order. The db is switched to strict ANSI NULL semantics for the
+// duration of the run and restored afterwards.
+func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.invs) {
+		workers = len(s.invs)
+	}
+	db.SetStrictNulls(true)
+	defer db.SetStrictNulls(false)
+
+	results := make([]Result, len(s.invs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(s.invs) {
+					return
+				}
+				inv := s.invs[i]
+				start := time.Now()
+				tab, err := db.Query(inv.SQL)
+				results[i] = Result{
+					Invariant:  inv,
+					Violations: tab,
+					Elapsed:    time.Since(start),
+					Err:        err,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Total, Passed, Failed, Errors int
+	Elapsed                       time.Duration
+}
+
+// Summarize folds results into a summary.
+func Summarize(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Total++
+		s.Elapsed += r.Elapsed
+		switch {
+		case r.Err != nil:
+			s.Errors++
+		case r.Passed():
+			s.Passed++
+		default:
+			s.Failed++
+		}
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d invariants: %d passed, %d failed, %d errors (%.1fms total query time)",
+		s.Total, s.Passed, s.Failed, s.Errors, float64(s.Elapsed.Microseconds())/1000)
+}

@@ -1,0 +1,391 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"coherdb/internal/protocol"
+)
+
+// quoteList renders values for an IN list.
+func quoteList(vals []string) string {
+	quoted := make([]string, len(vals))
+	for i, v := range vals {
+		quoted[i] = "'" + v + "'"
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// ProtocolSuite builds the full static checking suite over the eight
+// controller tables (the paper reports "all of the protocol invariants
+// (around 50)").
+func ProtocolSuite() *Suite {
+	s := NewSuite()
+	addPaperInvariants(s)
+	addDirectoryFamily(s)
+	addBusyFamilyInvariants(s)
+	addDeterminism(s)
+	addMessageDiscipline(s)
+	addControllerInvariants(s)
+	return s
+}
+
+// addPaperInvariants adds the invariants published verbatim in §4.3
+// (modulo the paper's typographical conjunction/disjunction garbling, which
+// is restored to the evident intent).
+func addPaperInvariants(s *Suite) {
+	// Invariant 1: the directory state and presence vector are consistent
+	// — exactly one owner under MESI, one or more sharers under SI, none
+	// under I.
+	s.Add(Invariant{
+		Name: "dir-pv-consistent",
+		Desc: "directory state and presence vector agree",
+		Ref:  "§4.3 (1)",
+		SQL: `SELECT dirst, dirpv FROM D WHERE
+			(dirst = 'MESI' AND NOT dirpv = 'one') OR
+			(dirst = 'SI' AND NOT dirpv = 'gone') OR
+			(dirst = 'I' AND NOT dirpv = 'zero')`,
+	})
+	// Invariant 2: mutual exclusion between the busy directory and the
+	// directory: a line is in one structure or the other, never both.
+	s.Add(Invariant{
+		Name: "dir-bdir-exclusive",
+		Desc: "a line is never simultaneously in the directory and the busy directory",
+		Ref:  "§4.3 (2)",
+		SQL:  `SELECT dirst, bdirst FROM D WHERE NOT dirst = 'I' AND NOT bdirst = 'I'`,
+	})
+	// Invariant 3a: D serializes requests to the same address — a request
+	// that finds the line busy is always answered with a retry.
+	s.Add(Invariant{
+		Name: "busy-request-retried",
+		Desc: "requests to a busy line are retried",
+		Ref:  "§4.3 (3)",
+		SQL: `SELECT inmsg, bdirst, locmsg FROM D WHERE
+			isrequest(inmsg) AND bdirhit = 'hit' AND
+			(locmsg IS NULL OR NOT locmsg = 'retry')`,
+	})
+	// Invariant 3b: a busy directory entry is de-allocated only when the
+	// transaction completes — D receives a compl response, or it sends
+	// one (a completion response) to the requestor.
+	s.Add(Invariant{
+		Name: "dealloc-only-on-compl",
+		Desc: "busy entries are freed only at transaction completion",
+		Ref:  "§4.3 (3)",
+		SQL: `SELECT inmsg, bdirst, nxtbdirst, locmsg FROM D WHERE
+			bdiralloc = 'dealloc' AND NOT inmsg = 'compl' AND NOT locmsg = 'compl'`,
+	})
+}
+
+// addDirectoryFamily completes the directory table family: structural
+// discipline the paper checks "similarly" for the remaining properties.
+func addDirectoryFamily(s *Suite) {
+	// Retries are issued only under conflict.
+	s.Add(Invariant{
+		Name: "retry-only-when-busy",
+		Desc: "a retry is only issued to a request that hit the busy directory",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, bdirhit FROM D WHERE locmsg = 'retry' AND NOT bdirhit = 'hit'`,
+	})
+	// Requests arrive on the request queue, responses on the response
+	// queue.
+	s.Add(Invariant{
+		Name: "request-on-reqq",
+		Desc: "requests are consumed from the request queue",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, inmsgrsrc FROM D WHERE isrequest(inmsg) AND NOT inmsgrsrc = 'reqq'`,
+	})
+	s.Add(Invariant{
+		Name: "response-on-respq",
+		Desc: "responses are consumed from the response queue",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, inmsgrsrc FROM D WHERE isresponse(inmsg) AND NOT inmsgrsrc = 'respq'`,
+	})
+	// Responses are only processed against an existing busy entry.
+	s.Add(Invariant{
+		Name: "response-needs-busy",
+		Desc: "a response always finds a busy entry",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, bdirhit FROM D WHERE isresponse(inmsg) AND NOT bdirhit = 'hit'`,
+	})
+	// Allocation starts from a free entry; de-allocation from a busy one.
+	s.Add(Invariant{
+		Name: "alloc-from-free",
+		Desc: "busy entries are allocated only when none exists",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, bdirst FROM D WHERE bdiralloc = 'alloc' AND NOT bdirst = 'I'`,
+	})
+	s.Add(Invariant{
+		Name: "dealloc-from-busy",
+		Desc: "busy entries are freed only while one exists",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, bdirst FROM D WHERE bdiralloc = 'dealloc' AND NOT isbusy(bdirst)`,
+	})
+	s.Add(Invariant{
+		Name: "alloc-targets-busy",
+		Desc: "allocation enters a busy state",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, nxtbdirst FROM D WHERE bdiralloc = 'alloc' AND NOT isbusy(nxtbdirst)`,
+	})
+	s.Add(Invariant{
+		Name: "dealloc-targets-free",
+		Desc: "de-allocation returns the entry to I",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, nxtbdirst FROM D WHERE bdiralloc = 'dealloc' AND NOT nxtbdirst = 'I'`,
+	})
+	// Update flags accompany state changes and vice versa.
+	s.Add(Invariant{
+		Name: "bdirupd-consistent",
+		Desc: "busy-directory writes are flagged exactly when something changes",
+		Ref:  "family",
+		SQL: `SELECT inmsg, bdirst, nxtbdirst FROM D WHERE
+			(bdirupd = 'upd' AND nxtbdirst IS NULL AND nxtbdirpv IS NULL) OR
+			(bdirupd IS NULL AND (nxtbdirst IS NOT NULL OR nxtbdirpv IS NOT NULL))`,
+	})
+	s.Add(Invariant{
+		Name: "dirupd-consistent",
+		Desc: "directory writes are flagged exactly when something changes",
+		Ref:  "family",
+		SQL: `SELECT inmsg, nxtdirst, nxtdirpv FROM D WHERE
+			(dirupd = 'upd' AND nxtdirst IS NULL AND nxtdirpv IS NULL) OR
+			(dirupd IS NULL AND (nxtdirst IS NOT NULL OR nxtdirpv IS NOT NULL))`,
+	})
+	// Counting: pending-invalidation decrements happen only on idone,
+	// and a completion triggered by an idone requires the count to drain.
+	s.Add(Invariant{
+		Name: "dec-only-on-idone",
+		Desc: "pending-snoop count decrements only on an idone",
+		Ref:  "family",
+		SQL:  `SELECT inmsg FROM D WHERE nxtbdirpv = 'dec' AND NOT inmsg = 'idone'`,
+	})
+	s.Add(Invariant{
+		Name: "idone-gone-keeps-waiting",
+		Desc: "an idone with sharers remaining never completes the transaction",
+		Ref:  "§2.1",
+		SQL: `SELECT inmsg, bdirst, bdirpv, locmsg FROM D WHERE
+			inmsg = 'idone' AND bdirpv = 'gone' AND locmsg IS NOT NULL`,
+	})
+	// Output classification.
+	s.Add(Invariant{
+		Name: "locmsg-is-response",
+		Desc: "messages to the local node are responses",
+		Ref:  "family",
+		SQL:  `SELECT locmsg FROM D WHERE locmsg IS NOT NULL AND NOT isresponse(locmsg)`,
+	})
+	s.Add(Invariant{
+		Name: "remmsg-is-request",
+		Desc: "messages to remote nodes are (snoop) requests",
+		Ref:  "family",
+		SQL:  `SELECT remmsg FROM D WHERE remmsg IS NOT NULL AND NOT isrequest(remmsg)`,
+	})
+	s.Add(Invariant{
+		Name: "memmsg-is-request",
+		Desc: "messages to the memory controller are requests",
+		Ref:  "family",
+		SQL:  `SELECT memmsg FROM D WHERE memmsg IS NOT NULL AND NOT isrequest(memmsg)`,
+	})
+	// Message column groups are set together.
+	for _, p := range []string{"locmsg", "remmsg", "memmsg"} {
+		s.Add(Invariant{
+			Name: p + "-triple-consistent",
+			Desc: p + " and its source/destination/resource columns are set together",
+			Ref:  "family",
+			SQL: fmt.Sprintf(`SELECT %[1]s, %[1]ssrc, %[1]sdest, %[1]srsrc FROM D WHERE
+				(%[1]s IS NOT NULL AND (%[1]ssrc IS NULL OR %[1]sdest IS NULL OR %[1]srsrc IS NULL)) OR
+				(%[1]s IS NULL AND (%[1]ssrc IS NOT NULL OR %[1]sdest IS NOT NULL OR %[1]srsrc IS NOT NULL))`, p),
+		})
+	}
+	// Exclusive data is granted only by exclusive transactions.
+	s.Add(Invariant{
+		Name: "datax-only-readex",
+		Desc: "exclusive data grants come only from readex transactions",
+		Ref:  "family",
+		SQL: `SELECT locmsg, bdirst FROM D WHERE locmsg = 'datax' AND
+			NOT bdirst IN ('Busy-rx-s', 'Busy-rx-d', 'Busy-rx-w')`,
+	})
+	// Ownership transfer accompanies exclusive grants, for both the
+	// data-carrying grant and the upgrade grant.
+	s.Add(Invariant{
+		Name: "datax-transfers-ownership",
+		Desc: "an exclusive grant sets MESI and replaces the presence vector",
+		Ref:  "family",
+		SQL: `SELECT locmsg, nxtdirst, nxtdirpv FROM D WHERE locmsg = 'datax' AND
+			(NOT nxtdirst = 'MESI' OR NOT nxtdirpv = 'repl')`,
+	})
+	s.Add(Invariant{
+		Name: "upgack-transfers-ownership",
+		Desc: "an upgrade grant sets MESI and replaces the presence vector",
+		Ref:  "family",
+		SQL: `SELECT locmsg, nxtdirst, nxtdirpv FROM D WHERE locmsg = 'upgack' AND
+			(NOT nxtdirst = 'MESI' OR NOT nxtdirpv = 'repl')`,
+	})
+}
+
+// addBusyFamilyInvariants adds one invariant per transaction family: a busy
+// entry never jumps between transaction types.
+func addBusyFamilyInvariants(s *Suite) {
+	for _, txn := range protocol.TxnTags() {
+		var family []string
+		for _, b := range protocol.BusyStates() {
+			if protocol.BusyTxn(b) == txn {
+				family = append(family, b)
+			}
+		}
+		s.Add(Invariant{
+			Name: "busy-family-" + txn,
+			Desc: fmt.Sprintf("a %s busy entry stays in its family until freed", protocol.TxnRequest(txn)),
+			Ref:  "family",
+			SQL: fmt.Sprintf(`SELECT bdirst, nxtbdirst FROM D WHERE
+				bdirst IN (%s) AND nxtbdirst IS NOT NULL AND
+				NOT nxtbdirst = 'I' AND NOT nxtbdirst IN (%s)`,
+				quoteList(family), quoteList(family)),
+		})
+	}
+}
+
+// addDeterminism adds the controller-determinism invariants: every input
+// combination of a controller table selects exactly one row, so hardware
+// lookup is a function.
+func addDeterminism(s *Suite) {
+	inputCols := map[string]string{
+		"D": "inmsg, inmsgsrc, inmsgdest, inmsgrsrc, bdirhit, bdirst, bdirpv, dirhit, dirst, dirpv",
+		"M": "inmsg, inmsgsrc, inmsgdest, inmsgrsrc, bankst",
+		"C": "inmsg, inmsgsrc, inmsgdest, inmsgrsrc, cachest",
+		"N": "inmsg, inmsgsrc, inmsgdest, inmsgrsrc, mshrst",
+	}
+	for _, tab := range []string{"D", "M", "C", "N"} {
+		cols := inputCols[tab]
+		s.Add(Invariant{
+			Name: "deterministic-" + tab,
+			Desc: "every input combination of " + tab + " selects exactly one row",
+			Ref:  "family",
+			SQL: fmt.Sprintf(
+				`SELECT %s, COUNT(*) AS n FROM %s GROUP BY %s HAVING COUNT(*) > 1`,
+				cols, tab, cols),
+		})
+	}
+}
+
+// addMessageDiscipline adds cross-cutting role/channel discipline checks.
+func addMessageDiscipline(s *Suite) {
+	s.Add(Invariant{
+		Name: "locmsg-toward-local",
+		Desc: "local responses flow home -> local",
+		Ref:  "family",
+		SQL: `SELECT locmsgsrc, locmsgdest FROM D WHERE locmsg IS NOT NULL AND
+			(NOT locmsgsrc = 'home' OR NOT locmsgdest = 'local')`,
+	})
+	s.Add(Invariant{
+		Name: "remmsg-toward-remote",
+		Desc: "snoops flow home -> remote",
+		Ref:  "family",
+		SQL: `SELECT remmsgsrc, remmsgdest FROM D WHERE remmsg IS NOT NULL AND
+			(NOT remmsgsrc = 'home' OR NOT remmsgdest = 'remote')`,
+	})
+	s.Add(Invariant{
+		Name: "memmsg-stays-home",
+		Desc: "memory accesses stay within the home quad",
+		Ref:  "family",
+		SQL: `SELECT memmsgsrc, memmsgdest FROM D WHERE memmsg IS NOT NULL AND
+			(NOT memmsgsrc = 'home' OR NOT memmsgdest = 'home')`,
+	})
+}
+
+// addControllerInvariants adds the per-controller checks for the seven
+// remaining tables.
+func addControllerInvariants(s *Suite) {
+	// M: every memory access is answered.
+	s.Add(Invariant{
+		Name: "mem-always-answers",
+		Desc: "the memory controller answers every access",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, bankst FROM M WHERE dirmsg IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "mem-read-returns-data",
+		Desc: "a ready memory read returns data",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, dirmsg FROM M WHERE inmsg = 'mread' AND bankst = 'ready' AND NOT dirmsg = 'mdata'`,
+	})
+	s.Add(Invariant{
+		Name: "mem-wb-returns-compl",
+		Desc: "a forwarded writeback is answered with compl (§4.2 R1)",
+		Ref:  "§4.2",
+		SQL:  `SELECT inmsg, dirmsg FROM M WHERE inmsg = 'wb' AND bankst = 'ready' AND NOT dirmsg = 'compl'`,
+	})
+	// C: snoop obligations.
+	s.Add(Invariant{
+		Name: "cache-snoop-answered",
+		Desc: "the cache answers every snoop it accepts",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, cachest FROM C WHERE inmsg IN ('sinv', 'sread', 'sflush') AND snpmsg IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "cache-sinv-invalidates",
+		Desc: "a stable line hit by sinv ends invalid",
+		Ref:  "family",
+		SQL: `SELECT cachest, nxtcachest FROM C WHERE inmsg = 'sinv' AND
+			cachest IN ('M', 'E', 'S') AND NOT nxtcachest = 'I'`,
+	})
+	s.Add(Invariant{
+		Name: "cache-dirty-data-never-lost",
+		Desc: "a modified line leaving the cache always carries data",
+		Ref:  "family",
+		SQL: `SELECT inmsg, cachest, snpmsg FROM C WHERE cachest = 'M' AND
+			inmsg IN ('sinv', 'sread', 'sflush') AND NOT carriesdata(snpmsg)`,
+	})
+	s.Add(Invariant{
+		Name: "cache-no-silent-m-drop",
+		Desc: "a modified line is never evicted without a writeback",
+		Ref:  "family",
+		SQL: `SELECT inmsg, busmsg FROM C WHERE cachest = 'M' AND
+			inmsg IN ('previct', 'prflush') AND NOT busmsg = 'wb'`,
+	})
+	// N: MSHR life cycle and the final compl.
+	s.Add(Invariant{
+		Name: "node-completion-closes",
+		Desc: "the node interface closes completed transactions with compl",
+		Ref:  "§4.3",
+		SQL: `SELECT inmsg, netmsg FROM N WHERE mshrst = 'pending' AND
+			inmsg IN ('data', 'datax', 'upgack', 'wbcompl', 'flcompl') AND NOT netmsg = 'compl'`,
+	})
+	s.Add(Invariant{
+		Name: "node-no-double-issue",
+		Desc: "a pending MSHR never injects a second request",
+		Ref:  "family",
+		SQL: `SELECT inmsg, netmsg FROM N WHERE mshrst = 'pending' AND
+			isrequest(inmsg) AND netmsg IS NOT NULL`,
+	})
+	// R: RAC discipline.
+	s.Add(Invariant{
+		Name: "rac-snoop-answered",
+		Desc: "the RAC answers every snoop it accepts",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, racst FROM R WHERE inmsg IN ('sinv', 'sread', 'sflush') AND snpmsg IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "rac-dirty-data-never-lost",
+		Desc: "a modified RAC line leaving always carries data",
+		Ref:  "family",
+		SQL: `SELECT inmsg, racst, snpmsg FROM R WHERE racst = 'M' AND
+			inmsg IN ('sinv', 'sflush') AND NOT carriesdata(snpmsg)`,
+	})
+	// IO / INT / SY: request-response pairing.
+	s.Add(Invariant{
+		Name: "io-request-answered",
+		Desc: "the I/O bridge answers or forwards every request",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, iost FROM IO WHERE isrequest(inmsg) AND netmsg IS NULL AND devresp IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "int-request-answered",
+		Desc: "the interrupt controller answers or forwards every event",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, intst FROM INT WHERE netmsg IS NULL AND cpuresp IS NULL`,
+	})
+	s.Add(Invariant{
+		Name: "sync-request-answered",
+		Desc: "the sync controller answers or forwards every event",
+		Ref:  "family",
+		SQL:  `SELECT inmsg, syncst FROM SY WHERE netmsg IS NULL AND cpuresp IS NULL`,
+	})
+}

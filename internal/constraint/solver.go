@@ -1,0 +1,355 @@
+package constraint
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// Stats reports the work done by a solve.
+type Stats struct {
+	// Rows is the number of rows in the generated table.
+	Rows int
+	// Candidates is the number of candidate (partial or complete)
+	// assignments tested against constraints.
+	Candidates uint64
+	// Steps is the number of column-extension steps (incremental only).
+	Steps int
+}
+
+// Options tunes the solvers.
+type Options struct {
+	// Workers bounds solve parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// MonolithicLimit caps the assignment-space size Monolithic will
+	// enumerate; 0 means the default of 2^28.
+	MonolithicLimit uint64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) limit() uint64 {
+	if o.MonolithicLimit > 0 {
+		return o.MonolithicLimit
+	}
+	return 1 << 28
+}
+
+// Solve generates the controller table from the spec using the paper's
+// incremental algorithm: starting from the empty relation, the column tables
+// are cross-multiplied one at a time, and each column constraint is applied
+// as soon as every column it references has been generated. Constraints
+// prune partial assignments early, so the intermediate relations stay near
+// the size of the final table.
+func Solve(spec *Spec) (*rel.Table, Stats, error) {
+	return SolveOpts(spec, Options{})
+}
+
+// SolveOpts is Solve with explicit options.
+func SolveOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
+	var stats Stats
+	ev := spec.evaluator()
+
+	// Schedule: constraint for column c fires at the first step where all
+	// referenced columns (and c itself) are available.
+	type pending struct {
+		col  string
+		expr sqlmini.Expr
+		refs map[string]struct{}
+	}
+	var waiting []pending
+	for col, e := range spec.constraints {
+		refs := sqlmini.Columns(e)
+		refs[col] = struct{}{}
+		waiting = append(waiting, pending{col: col, expr: e, refs: refs})
+	}
+
+	names := make([]string, 0, len(spec.cols))
+	available := make(map[string]struct{}, len(spec.cols))
+
+	// cur holds the partial table's rows.
+	cur := [][]rel.Value{{}}
+
+	for _, col := range spec.cols {
+		stats.Steps++
+		names = append(names, col.Name)
+		available[col.Name] = struct{}{}
+
+		// Constraints that become checkable at this step.
+		var fire []sqlmini.Expr
+		rest := waiting[:0]
+		for _, p := range waiting {
+			ready := true
+			for r := range p.refs {
+				if _, ok := available[r]; !ok {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				fire = append(fire, p.expr)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		waiting = rest
+
+		domain := col.Domain()
+		next, tested, err := extendParallel(cur, names, domain, fire, ev, opts.workers())
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Candidates += tested
+		cur = next
+		if len(cur) == 0 {
+			break // inconsistent constraints: empty table (paper §3)
+		}
+	}
+	if len(waiting) > 0 && len(cur) > 0 {
+		// Defensive: should be impossible since all columns were added.
+		return nil, stats, fmt.Errorf("constraint: %d constraints never became checkable", len(waiting))
+	}
+
+	out, err := rel.NewTable(spec.Name, spec.ColumnNames()...)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, row := range cur {
+		if len(row) != len(spec.cols) {
+			// Solve aborted early on inconsistency; no rows to emit.
+			break
+		}
+		if err := out.InsertRow(row); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.Rows = out.NumRows()
+	return out, stats, nil
+}
+
+// extendParallel extends every row in cur with every value in domain,
+// keeping extensions that satisfy all fire constraints. Work is split
+// across workers by chunks of cur.
+func extendParallel(cur [][]rel.Value, names []string, domain []rel.Value, fire []sqlmini.Expr, ev *sqlmini.Evaluator, workers int) ([][]rel.Value, uint64, error) {
+	if len(cur) == 0 {
+		return nil, 0, nil
+	}
+	if workers > len(cur) {
+		workers = len(cur)
+	}
+	type result struct {
+		rows   [][]rel.Value
+		tested uint64
+		err    error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(cur) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo > len(cur) {
+			lo = len(cur)
+		}
+		hi := lo + chunk
+		if hi > len(cur) {
+			hi = len(cur)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := make(sqlmini.MapEnv, len(names))
+			var res result
+			for _, row := range cur[lo:hi] {
+				for i, n := range names[:len(names)-1] {
+					env[n] = row[i]
+				}
+				last := names[len(names)-1]
+				for _, v := range domain {
+					env[last] = v
+					res.tested++
+					ok := true
+					for _, e := range fire {
+						t, err := ev.True(e, env)
+						if err != nil {
+							res.err = err
+							results[w] = res
+							return
+						}
+						if !t {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						nr := make([]rel.Value, len(row)+1)
+						copy(nr, row)
+						nr[len(row)] = v
+						res.rows = append(res.rows, nr)
+					}
+				}
+			}
+			results[w] = res
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out [][]rel.Value
+	var tested uint64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, tested, r.err
+		}
+		out = append(out, r.rows...)
+		tested += r.tested
+	}
+	return out, tested, nil
+}
+
+// Monolithic generates the controller table by enumerating the full cross
+// product of the column tables and testing the complete conjunction of
+// column constraints on each total assignment — no early pruning. This is
+// the paper's slow baseline; its cost is the product of all domain sizes.
+// It refuses to run when the space exceeds Options.MonolithicLimit.
+func Monolithic(spec *Spec) (*rel.Table, Stats, error) {
+	return MonolithicOpts(spec, Options{})
+}
+
+// MonolithicOpts is Monolithic with explicit options.
+func MonolithicOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
+	var stats Stats
+	space := spec.SpaceSize()
+	if space > opts.limit() {
+		return nil, stats, fmt.Errorf("%w: %d > %d", ErrSpaceLimit, space, opts.limit())
+	}
+	names := spec.ColumnNames()
+	domains := make([][]rel.Value, len(spec.cols))
+	for i, c := range spec.cols {
+		domains[i] = c.Domain()
+	}
+	exprs := make([]sqlmini.Expr, 0, len(spec.constraints))
+	for _, e := range spec.constraints {
+		exprs = append(exprs, e)
+	}
+	ev := spec.evaluator()
+
+	workers := opts.workers()
+	if uint64(workers) > space {
+		workers = int(space)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		rows   [][]rel.Value
+		tested uint64
+		err    error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	per := space / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * per
+		hi := lo + per
+		if w == workers-1 {
+			hi = space
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			env := make(sqlmini.MapEnv, len(names))
+			row := make([]rel.Value, len(names))
+			var res result
+			for idx := lo; idx < hi; idx++ {
+				// Decode idx as a mixed-radix number over domains.
+				rem := idx
+				for i := len(domains) - 1; i >= 0; i-- {
+					d := domains[i]
+					row[i] = d[rem%uint64(len(d))]
+					rem /= uint64(len(d))
+				}
+				for i, n := range names {
+					env[n] = row[i]
+				}
+				res.tested++
+				ok := true
+				for _, e := range exprs {
+					t, err := ev.True(e, env)
+					if err != nil {
+						res.err = err
+						results[w] = res
+						return
+					}
+					if !t {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					res.rows = append(res.rows, append([]rel.Value(nil), row...))
+				}
+			}
+			results[w] = res
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out, err := rel.NewTable(spec.Name, names...)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, stats, r.err
+		}
+		stats.Candidates += r.tested
+		for _, row := range r.rows {
+			if err := out.InsertRow(row); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	// Canonical order so Monolithic and Solve results compare equal.
+	stats.Rows = out.NumRows()
+	return out, stats, nil
+}
+
+// GenerateInputs solves only the input columns of the spec: the table of
+// all legal input combinations, which the paper generates first and then
+// extends with output columns one at a time.
+func GenerateInputs(spec *Spec) (*rel.Table, Stats, error) {
+	sub := NewSpec(spec.Name + "_inputs")
+	sub.funcs = spec.funcs
+	inputs := make(map[string]struct{})
+	for _, c := range spec.cols {
+		if c.Kind != Input {
+			continue
+		}
+		if err := sub.AddColumn(c); err != nil {
+			return nil, Stats{}, err
+		}
+		inputs[c.Name] = struct{}{}
+	}
+	// Keep only constraints that mention input columns exclusively.
+	for col, e := range spec.constraints {
+		if _, ok := inputs[col]; !ok {
+			continue
+		}
+		onlyInputs := true
+		for ref := range sqlmini.Columns(e) {
+			if _, ok := inputs[ref]; !ok {
+				onlyInputs = false
+				break
+			}
+		}
+		if onlyInputs {
+			sub.constraints[col] = e
+		}
+	}
+	return Solve(sub)
+}

@@ -1,0 +1,282 @@
+// Package core assembles the paper's methodology into one pipeline — the
+// "push-button manner" of §1: from a database input of table schemas, SQL
+// column constraints and static checks, it (1) generates the eight
+// controller tables with the incremental constraint solver, (2) statically
+// checks the ~50 protocol invariants and the virtual-channel deadlock
+// freedom of a sequence of channel assignments, and (3) maps the debugged
+// directory table onto the nine hardware implementation tables, verifying
+// the mapping by reconstruction. The output is a database of debugged
+// tables plus a report of everything that was established.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"coherdb/internal/check"
+	"coherdb/internal/constraint"
+	"coherdb/internal/deadlock"
+	"coherdb/internal/hwmap"
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// Errors reported by the pipeline.
+var (
+	ErrInvariantsFailed = errors.New("core: protocol invariants violated")
+	ErrStillDeadlocked  = errors.New("core: final channel assignment still has cycles")
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Assignments names the §4.2 channel-assignment sequence to analyze;
+	// nil means the full initial4 -> vc4 -> fixed story. The last entry
+	// is the assignment that must be deadlock free.
+	Assignments []string
+	// SkipDeadlock, SkipInvariants and SkipMapping trim phases.
+	SkipDeadlock   bool
+	SkipInvariants bool
+	SkipMapping    bool
+	// Workers bounds parallelism in the phases that support it.
+	Workers int
+}
+
+// Report aggregates the pipeline outcome.
+type Report struct {
+	// GenStats holds per-controller solver statistics.
+	GenStats map[string]constraint.Stats
+	// Invariants holds the static check results, in suite order.
+	Invariants []check.Result
+	// InvariantSummary aggregates them.
+	InvariantSummary check.Summary
+	// Deadlock maps assignment name to its analysis report.
+	Deadlock map[string]*deadlock.Report
+	// AssignmentOrder is the sequence analyzed.
+	AssignmentOrder []string
+	// Mapping is the §5 hardware mapping of D.
+	Mapping *hwmap.Mapping
+	// ImplChecks holds the §5 implementation-table check results.
+	ImplChecks []check.Result
+	// Elapsed breaks down phase times.
+	Elapsed map[string]time.Duration
+}
+
+// Pipeline owns the protocol database across phases.
+type Pipeline struct {
+	DB     *sqlmini.DB
+	Report *Report
+}
+
+// New creates a pipeline with an empty database.
+func New() *Pipeline {
+	return &Pipeline{
+		DB: sqlmini.NewDB(),
+		Report: &Report{
+			GenStats: map[string]constraint.Stats{},
+			Deadlock: map[string]*deadlock.Report{},
+			Elapsed:  map[string]time.Duration{},
+		},
+	}
+}
+
+// Run executes the full methodology and returns the report. The pipeline
+// fails (with a partial report) if an invariant is violated, the final
+// assignment still has cycles, or the mapping cannot be verified.
+func Run(opts Options) (*Pipeline, error) {
+	p := New()
+	if err := p.Generate(); err != nil {
+		return p, err
+	}
+	if !opts.SkipInvariants {
+		if err := p.CheckInvariants(opts.Workers); err != nil {
+			return p, err
+		}
+	}
+	if !opts.SkipDeadlock {
+		if err := p.CheckDeadlocks(opts.Assignments); err != nil {
+			return p, err
+		}
+	}
+	if !opts.SkipMapping {
+		if err := p.MapToHardware(); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// Generate builds all eight controller tables into the database.
+func (p *Pipeline) Generate() error {
+	start := time.Now()
+	stats, err := protocol.GenerateAll(p.DB)
+	if err != nil {
+		return err
+	}
+	p.Report.GenStats = stats
+	p.Report.Elapsed["generate"] = time.Since(start)
+	return nil
+}
+
+// CheckInvariants runs the ~50-invariant static suite.
+func (p *Pipeline) CheckInvariants(workers int) error {
+	start := time.Now()
+	results := check.ProtocolSuite().Run(p.DB, check.Options{Workers: workers})
+	p.Report.Invariants = results
+	p.Report.InvariantSummary = check.Summarize(results)
+	p.Report.Elapsed["invariants"] = time.Since(start)
+	if p.Report.InvariantSummary.Failed > 0 || p.Report.InvariantSummary.Errors > 0 {
+		return fmt.Errorf("%w: %s", ErrInvariantsFailed, p.Report.InvariantSummary)
+	}
+	return nil
+}
+
+// CheckDeadlocks analyzes the channel-assignment sequence; the last
+// assignment must be cycle free.
+func (p *Pipeline) CheckDeadlocks(order []string) error {
+	start := time.Now()
+	if len(order) == 0 {
+		order = protocol.AssignmentNames()
+	}
+	p.Report.AssignmentOrder = order
+	tables, err := p.ControllerTables()
+	if err != nil {
+		return err
+	}
+	assignments := map[string]*rel.Table{}
+	for _, name := range order {
+		v, err := protocol.BuildAssignment(name)
+		if err != nil {
+			return err
+		}
+		assignments[name] = v
+	}
+	reports, err := deadlock.AnalyzeStory(tables, assignments, order, deadlock.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	p.Report.Deadlock = reports
+	p.Report.Elapsed["deadlock"] = time.Since(start)
+	final := reports[order[len(order)-1]]
+	if final.Deadlocked() {
+		return fmt.Errorf("%w: %v", ErrStillDeadlocked, final.Cycles)
+	}
+	return nil
+}
+
+// MapToHardware builds ED, partitions it into the nine implementation
+// tables and verifies the reconstruction.
+func (p *Pipeline) MapToHardware() error {
+	start := time.Now()
+	d, ok := p.DB.Table(protocol.DirectoryTable)
+	if !ok {
+		return fmt.Errorf("core: table D not generated yet")
+	}
+	m, err := hwmap.Partition(p.DB, d)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Verify(); err != nil {
+		return err
+	}
+	if err := m.VerifyEquivalence(); err != nil {
+		return err
+	}
+	p.Report.Mapping = m
+	// The implementation-detail rows must satisfy the Fig. 5 queue and
+	// feedback discipline.
+	p.Report.ImplChecks = check.ImplementationSuite().Run(p.DB, check.Options{})
+	if sum := check.Summarize(p.Report.ImplChecks); sum.Failed > 0 || sum.Errors > 0 {
+		return fmt.Errorf("%w: implementation tables: %s", ErrInvariantsFailed, sum)
+	}
+	p.Report.Elapsed["mapping"] = time.Since(start)
+	return nil
+}
+
+// ControllerTables returns the eight generated controller tables in
+// builder order.
+func (p *Pipeline) ControllerTables() ([]*rel.Table, error) {
+	var out []*rel.Table
+	for _, sb := range protocol.SpecBuilders() {
+		t, ok := p.DB.Table(sb.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: table %s not generated yet", sb.Name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// WriteTables dumps every table in the database as CSV files under dir.
+func (p *Pipeline) WriteTables(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range p.DB.Names() {
+		t := p.DB.MustTable(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summarize writes a human-readable account of the report.
+func (p *Pipeline) Summarize(w io.Writer) {
+	r := p.Report
+	fmt.Fprintf(w, "== table generation ==\n")
+	names := make([]string, 0, len(r.GenStats))
+	for n := range r.GenStats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := r.GenStats[n]
+		t, _ := p.DB.Table(n)
+		cols := 0
+		if t != nil {
+			cols = t.NumCols()
+		}
+		fmt.Fprintf(w, "  %-4s %4d rows x %2d cols (%d candidates tested)\n", n, st.Rows, cols, st.Candidates)
+	}
+	if len(r.Invariants) > 0 {
+		fmt.Fprintf(w, "== invariants ==\n  %s\n", r.InvariantSummary)
+		for _, res := range r.Invariants {
+			if !res.Passed() {
+				fmt.Fprintf(w, "  VIOLATED %s (%s)\n", res.Invariant.Name, res.Invariant.Ref)
+			}
+		}
+	}
+	for _, name := range r.AssignmentOrder {
+		rep := r.Deadlock[name]
+		if rep == nil {
+			continue
+		}
+		fmt.Fprintf(w, "== deadlock analysis: %s ==\n", name)
+		fmt.Fprintf(w, "  %d dependency rows, %d channels, %d edges, %d cycle(s)\n",
+			rep.Stats.ProtocolRows, len(rep.Graph.Nodes()), len(rep.Graph.Edges()), len(rep.Cycles))
+		for _, c := range rep.Cycles {
+			fmt.Fprintf(w, "  cycle: %s\n", c)
+		}
+	}
+	if r.Mapping != nil {
+		fmt.Fprintf(w, "== hardware mapping ==\n  ED: %d rows; %d implementation tables; reconstruction and equivalence verified\n",
+			r.Mapping.Extended.NumRows(), len(r.Mapping.Tables))
+		if len(r.ImplChecks) > 0 {
+			fmt.Fprintf(w, "  implementation checks: %s\n", check.Summarize(r.ImplChecks))
+		}
+	}
+}

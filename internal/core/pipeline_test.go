@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+)
+
+// The full pipeline is expensive; run it once and share.
+var (
+	runOnce sync.Once
+	runVal  *Pipeline
+	runErr  error
+)
+
+func fullRun(t testing.TB) *Pipeline {
+	t.Helper()
+	runOnce.Do(func() {
+		runVal, runErr = Run(Options{})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return runVal
+}
+
+func TestFullPipeline(t *testing.T) {
+	p := fullRun(t)
+	r := p.Report
+	if len(r.GenStats) != 8 {
+		t.Fatalf("generated %d tables, want 8", len(r.GenStats))
+	}
+	if r.InvariantSummary.Failed != 0 || r.InvariantSummary.Passed < 45 {
+		t.Fatalf("invariants: %s", r.InvariantSummary)
+	}
+	if len(r.AssignmentOrder) != 3 {
+		t.Fatalf("assignments analyzed: %v", r.AssignmentOrder)
+	}
+	if !r.Deadlock[protocol.AssignInitial].Deadlocked() {
+		t.Fatal("initial assignment should deadlock")
+	}
+	if !r.Deadlock[protocol.AssignVC4].Deadlocked() {
+		t.Fatal("vc4 assignment should deadlock")
+	}
+	if r.Deadlock[protocol.AssignFixed].Deadlocked() {
+		t.Fatal("fixed assignment should be clean")
+	}
+	if r.Mapping == nil || len(r.Mapping.Tables) != 9 {
+		t.Fatal("mapping incomplete")
+	}
+	for _, phase := range []string{"generate", "invariants", "deadlock", "mapping"} {
+		if r.Elapsed[phase] <= 0 {
+			t.Fatalf("phase %s not timed", phase)
+		}
+	}
+}
+
+func TestControllerTablesOrder(t *testing.T) {
+	p := fullRun(t)
+	tables, err := p.ControllerTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 || tables[0].Name() != protocol.DirectoryTable {
+		t.Fatalf("tables = %d, first = %s", len(tables), tables[0].Name())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := fullRun(t)
+	var sb strings.Builder
+	p.Summarize(&sb)
+	out := sb.String()
+	for _, want := range []string{"table generation", "invariants", "deadlock analysis", "hardware mapping", "cycle:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	p := fullRun(t)
+	dir := t.TempDir()
+	if err := p.WriteTables(dir); err != nil {
+		t.Fatal(err)
+	}
+	// D must round-trip through its CSV dump.
+	f, err := os.Open(filepath.Join(dir, "D.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := rel.ReadCSV("D", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.DB.MustTable("D")
+	eq, err := got.EqualRows(d)
+	if err != nil || !eq {
+		t.Fatalf("CSV round trip: eq=%v err=%v", eq, err)
+	}
+}
+
+func TestPhaseErrors(t *testing.T) {
+	p := New()
+	if err := p.CheckDeadlocks(nil); err == nil {
+		t.Fatal("deadlock phase before generation must error")
+	}
+	if err := p.MapToHardware(); err == nil {
+		t.Fatal("mapping before generation must error")
+	}
+	if _, err := p.ControllerTables(); err == nil {
+		t.Fatal("tables before generation must error")
+	}
+}
+
+func TestInvariantFailureSurfaces(t *testing.T) {
+	// Corrupt D after generation: the pipeline invariant phase must fail.
+	p := New()
+	if err := p.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.DB.MustTable("D")
+	bad := d.Clone()
+	for i := 0; i < bad.NumRows(); i++ {
+		if bad.Get(i, "locmsg").Str() == "retry" {
+			if err := bad.Set(i, "locmsg", rel.Null()); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	p.DB.PutTable(bad)
+	err := p.CheckInvariants(0)
+	if !errors.Is(err, ErrInvariantsFailed) {
+		t.Fatalf("err = %v, want ErrInvariantsFailed", err)
+	}
+}
+
+func TestRunStopsAtFailingPhase(t *testing.T) {
+	// A run restricted to the deadlocky assignment must fail with
+	// ErrStillDeadlocked.
+	_, err := Run(Options{
+		SkipInvariants: true,
+		SkipMapping:    true,
+		Assignments:    []string{protocol.AssignVC4},
+	})
+	if !errors.Is(err, ErrStillDeadlocked) {
+		t.Fatalf("err = %v, want ErrStillDeadlocked", err)
+	}
+}

@@ -1,0 +1,197 @@
+package deadlock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"coherdb/internal/rel"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Relaxed ignores messages when matching input and output assignments
+	// during composition, capturing transaction interleavings (§4.1).
+	// The paper's final method uses the relaxation; it defaults to on.
+	Relaxed bool
+	// NoPlacements disables the five quad-placement relations (ablation:
+	// only L≠H≠R is considered). The Fig. 4 deadlock is invisible
+	// without placements.
+	NoPlacements bool
+	// Closure repeatedly composes pairwise tables until no new
+	// dependencies are added. The paper's first attempt used a transitive
+	// closure and "abandoned [it] due to the excessive number of spurious
+	// cycles"; it is kept as an ablation.
+	Closure bool
+	// Workers bounds composition parallelism; 0 means a sensible default.
+	Workers int
+}
+
+// DefaultOptions returns the paper's final configuration.
+func DefaultOptions() Options { return Options{Relaxed: true} }
+
+// Stats reports the work done by one analysis.
+type Stats struct {
+	ControllerRows int
+	PlacementRows  int
+	ComposedRows   int
+	ProtocolRows   int
+	Rounds         int
+	Elapsed        time.Duration
+}
+
+// Report is the outcome of one deadlock analysis.
+type Report struct {
+	Graph    *VCG
+	Cycles   []Cycle
+	Protocol []DepRow
+	Stats    Stats
+}
+
+// Deadlocked reports whether any cycle was found.
+func (r *Report) Deadlocked() bool { return len(r.Cycles) > 0 }
+
+// ProtocolTable materializes the protocol dependency table as a relation.
+func (r *Report) ProtocolTable() *rel.Table {
+	return DepTable("protocol_deps", r.Protocol)
+}
+
+// Analyze runs the §4.1 method over the given controller tables and channel
+// assignment.
+func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (*Report, error) {
+	start := time.Now()
+	assign, err := NewAssignment(v)
+	if err != nil {
+		return nil, err
+	}
+	// Individual controller dependency tables under exact matching —
+	// these correspond to the placement L≠H≠R (§4.1).
+	var individual [][]DepRow
+	total := 0
+	for _, t := range controllers {
+		rows, err := ControllerDeps(t, assign)
+		if err != nil {
+			return nil, err
+		}
+		individual = append(individual, rows)
+		total += len(rows)
+	}
+	stats := Stats{ControllerRows: total}
+
+	placements := Placements()
+	if opts.NoPlacements {
+		placements = placements[:1]
+	}
+	// Per-placement sets of individual tables.
+	type set struct {
+		placement Placement
+		tables    [][]DepRow
+	}
+	sets := make([]set, len(placements))
+	for pi, p := range placements {
+		tables := make([][]DepRow, len(individual))
+		for ti, rows := range individual {
+			mod := make([]DepRow, len(rows))
+			for i, r := range rows {
+				mod[i] = applyPlacement(r, p)
+			}
+			tables[ti] = mod
+			stats.PlacementRows += len(mod)
+		}
+		sets[pi] = set{placement: p, tables: tables}
+	}
+
+	// Pairwise dependency tables per placement set, in parallel.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	type job struct{ si, i, j int }
+	var jobs []job
+	for si := range sets {
+		for i := range sets[si].tables {
+			for j := range sets[si].tables {
+				jobs = append(jobs, job{si: si, i: i, j: j})
+			}
+		}
+	}
+	results := make([][]DepRow, len(jobs))
+	var wg sync.WaitGroup
+	next := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				k := next
+				next++
+				mu.Unlock()
+				if k >= len(jobs) {
+					return
+				}
+				jb := jobs[k]
+				results[k] = Compose(sets[jb.si].tables[jb.i], sets[jb.si].tables[jb.j], opts.Relaxed)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The protocol dependency table: union of all individual tables (all
+	// placements) and all pairwise tables.
+	var protocol []DepRow
+	for _, s := range sets {
+		for _, t := range s.tables {
+			protocol = append(protocol, t...)
+		}
+	}
+	for _, r := range results {
+		stats.ComposedRows += len(r)
+		protocol = append(protocol, r...)
+	}
+	protocol = dedupe(protocol)
+	stats.Rounds = 1
+
+	// Optional closure (the paper's abandoned first attempt).
+	if opts.Closure {
+		for {
+			added := Compose(protocol, protocol, opts.Relaxed)
+			before := len(protocol)
+			protocol = dedupe(append(protocol, added...))
+			stats.Rounds++
+			if len(protocol) == before {
+				break
+			}
+		}
+	}
+	stats.ProtocolRows = len(protocol)
+
+	g := NewVCG(protocol)
+	stats.Elapsed = time.Since(start)
+	return &Report{
+		Graph:    g,
+		Cycles:   g.Cycles(),
+		Protocol: protocol,
+		Stats:    stats,
+	}, nil
+}
+
+// AnalyzeStory runs the analysis over a sequence of named assignments and
+// returns the per-assignment reports — the §4.2 narrative: find cycles,
+// modify V, repeat until none remain.
+func AnalyzeStory(controllers []*rel.Table, assignments map[string]*rel.Table, order []string, opts Options) (map[string]*Report, error) {
+	out := make(map[string]*Report, len(assignments))
+	for _, name := range order {
+		v, ok := assignments[name]
+		if !ok {
+			return nil, fmt.Errorf("deadlock: assignment %q missing", name)
+		}
+		rep, err := Analyze(controllers, v, opts)
+		if err != nil {
+			return nil, fmt.Errorf("deadlock: analyzing %q: %w", name, err)
+		}
+		out[name] = rep
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package deadlock
+
+import (
+	"testing"
+
+	"coherdb/internal/protocol"
+)
+
+func TestRepairConvergesFromVC4(t *testing.T) {
+	// The automated §4.2 loop must fix the assignment that defeated the
+	// hand-tuned VC4 variant.
+	tables := controllerTables(t)
+	v := assignment(t, protocol.AssignVC4)
+	res, err := Repair(tables, v, DefaultOptions(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge; %d actions, %d cycles left:\n%s",
+			len(res.Actions), len(res.Report.Cycles), res.Report.Graph.Describe())
+	}
+	if len(res.Actions) == 0 {
+		t.Fatal("vc4 needs repair but no action taken")
+	}
+	t.Logf("converged after %d action(s):", len(res.Actions))
+	for _, a := range res.Actions {
+		t.Logf("  %s", a)
+	}
+	// The repaired assignment really is clean.
+	rep, err := Analyze(tables, res.Final, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlocked() {
+		t.Fatal("final assignment re-analyzes as deadlocked")
+	}
+}
+
+func TestRepairConvergesFromInitial(t *testing.T) {
+	tables := controllerTables(t)
+	v := assignment(t, protocol.AssignInitial)
+	res, err := Repair(tables, v, DefaultOptions(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge from the initial assignment after %d actions", len(res.Actions))
+	}
+	t.Logf("initial4 repaired in %d action(s)", len(res.Actions))
+}
+
+func TestRepairNoOpOnCleanAssignment(t *testing.T) {
+	tables := controllerTables(t)
+	v := assignment(t, protocol.AssignFixed)
+	res, err := Repair(tables, v, DefaultOptions(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Actions) != 0 {
+		t.Fatalf("clean assignment modified: %v", res.Actions)
+	}
+}
+
+func TestRepairActionRendering(t *testing.T) {
+	move := RepairAction{Kind: "move", M: "mread", S: "home", D: "home", NewVC: "VCR1", Cycles: 3}
+	ded := RepairAction{Kind: "dedicate", M: "mread", S: "home", D: "home", Cycles: 1}
+	if move.String() == "" || ded.String() == "" {
+		t.Fatal("empty renderings")
+	}
+	if move.String() == ded.String() {
+		t.Fatal("kinds indistinguishable")
+	}
+}

@@ -1,0 +1,102 @@
+package hwmap
+
+import (
+	"errors"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+func TestControllerEquivalence(t *testing.T) {
+	// C5: the split request/response controller built from the nine
+	// implementation tables behaves exactly like the extended table on
+	// every input.
+	_, m := mapping(t)
+	if err := m.VerifyEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerLookupRoutes(t *testing.T) {
+	_, m := mapping(t)
+	ctrl, err := NewController(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request row: readex at SI with free queues.
+	ed := m.Extended
+	var inputs map[string]rel.Value
+	for i := 0; i < ed.NumRows(); i++ {
+		if ed.Get(i, "inmsg").Equal(rel.S("readex")) &&
+			ed.Get(i, "dirst").Equal(rel.S("SI")) &&
+			ed.Get(i, ColQstatus).Equal(rel.S(NotFull)) {
+			inputs = map[string]rel.Value{}
+			for _, c := range edInputCols {
+				inputs[c] = ed.Get(i, c)
+			}
+			break
+		}
+	}
+	if inputs == nil {
+		t.Fatal("no readex@SI row in ED")
+	}
+	out, ok := ctrl.Lookup(inputs)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if !out["remmsg"].Equal(rel.S("sinv")) || !out["memmsg"].Equal(rel.S("mread")) {
+		t.Fatalf("outputs = %v", out)
+	}
+	// An unknown input combination misses.
+	inputs["inmsg"] = rel.S("readex")
+	inputs["dirst"] = rel.S("nosuchstate")
+	if _, ok := ctrl.Lookup(inputs); ok {
+		t.Fatal("phantom lookup")
+	}
+}
+
+func TestVerifyEquivalenceDetectsCorruption(t *testing.T) {
+	_, m := mapping(t)
+	tab := m.Tables[2] // Request_memmsg
+	clone := tab.Clone()
+	seeded := false
+	for i := 0; i < clone.NumRows() && !seeded; i++ {
+		if clone.Get(i, "memmsg").Equal(rel.S("mread")) {
+			if err := clone.Set(i, "memmsg", rel.S("mwrite")); err != nil {
+				t.Fatal(err)
+			}
+			seeded = true
+		}
+	}
+	if !seeded {
+		t.Fatal("nothing to corrupt")
+	}
+	m.Tables[2] = clone
+	defer func() { m.Tables[2] = tab }()
+	if err := m.VerifyEquivalence(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("err = %v, want ErrBroken", err)
+	}
+}
+
+func TestNewControllerRejectsNondeterminism(t *testing.T) {
+	_, m := mapping(t)
+	tab := m.Tables[0]
+	clone := tab.Clone()
+	// Duplicate the first row with a different output: same inputs, two
+	// behaviours.
+	row := append([]rel.Value(nil), clone.RawRow(0)...)
+	j := clone.ColIndex("locmsg")
+	if clone.RawRow(0)[j].Equal(rel.S("retry")) {
+		row[j] = rel.S("nack")
+	} else {
+		row[j] = rel.S("retry")
+	}
+	if err := clone.InsertRow(row); err != nil {
+		t.Fatal(err)
+	}
+	m.Tables[0] = clone
+	defer func() { m.Tables[0] = tab }()
+	if _, err := NewController(m); err == nil {
+		t.Fatal("nondeterministic table accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package hwmap
+
+import (
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+)
+
+// ExpandDontcares is the ablation for the paper's §3 claim that "the NULL
+// value allows a controller table entry to be specified only using the
+// relevant values and helps in optimal mapping of tables to hardware": it
+// rewrites a directory controller table without dontcares, enumerating
+// every NULL input over the column's full domain. The result is the table
+// a naive (TCAM-free) mapping would have to store; its row count blowup is
+// the cost the dontcare representation avoids.
+func ExpandDontcares(d *rel.Table) (*rel.Table, error) {
+	if err := checkDirectorySchema(d); err != nil {
+		return nil, err
+	}
+	domains := map[string][]rel.Value{
+		"bdirst": domainOf(append([]string{protocol.DirI}, protocol.BusyStates()...)),
+		"bdirpv": domainOf(protocol.PVEncodings()),
+		"dirhit": domainOf([]string{"hit", "miss"}),
+		"dirst":  domainOf(protocol.DirStates()),
+		"dirpv":  domainOf(protocol.PVEncodings()),
+	}
+	out, err := rel.NewTable(d.Name()+"_expanded", d.Columns()...)
+	if err != nil {
+		return nil, err
+	}
+	cols := d.Columns()
+	var expand func(row []rel.Value, from int) error
+	expand = func(row []rel.Value, from int) error {
+		for i := from; i < len(cols); i++ {
+			dom, isInput := domains[cols[i]]
+			if !isInput || !row[i].IsNull() {
+				continue
+			}
+			for _, v := range dom {
+				next := append([]rel.Value(nil), row...)
+				next[i] = v
+				if err := expand(next, i+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return out.InsertRow(append([]rel.Value(nil), row...))
+	}
+	for i := 0; i < d.NumRows(); i++ {
+		if err := expand(d.RawRow(i), 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func domainOf(vals []string) []rel.Value {
+	out := make([]rel.Value, len(vals))
+	for i, v := range vals {
+		out[i] = rel.S(v)
+	}
+	return out
+}

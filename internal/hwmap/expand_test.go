@@ -1,0 +1,79 @@
+package hwmap
+
+import (
+	"errors"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+func TestExpandDontcaresBlowup(t *testing.T) {
+	// A5: the dontcare representation is dramatically smaller than the
+	// fully enumerated table it stands for.
+	d := directoryTable(t)
+	exp, err := ExpandDontcares(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.NumRows() <= 2*d.NumRows() {
+		t.Fatalf("expansion only grew %d -> %d rows; dontcares are not earning their keep",
+			d.NumRows(), exp.NumRows())
+	}
+	// No NULL remains in the enumerated input columns.
+	for i := 0; i < exp.NumRows(); i++ {
+		for _, c := range []string{"bdirst", "bdirpv", "dirhit", "dirst", "dirpv"} {
+			if exp.Get(i, c).IsNull() {
+				t.Fatalf("row %d still has a dontcare in %s", i, c)
+			}
+		}
+	}
+	t.Logf("dontcare table: %d rows; enumerated: %d rows (%.1fx)",
+		d.NumRows(), exp.NumRows(), float64(exp.NumRows())/float64(d.NumRows()))
+}
+
+func TestExpandDontcaresPreservesSemantics(t *testing.T) {
+	// Every original row must be represented: some expanded row agrees
+	// with it on all non-NULL inputs and on every output column.
+	d := directoryTable(t)
+	exp, err := ExpandDontcares(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []string{"inmsg", "inmsgsrc", "inmsgdest", "inmsgrsrc",
+		"bdirhit", "bdirst", "bdirpv", "dirhit", "dirst", "dirpv"}
+	for i := 0; i < d.NumRows(); i += 7 { // sample for speed
+		orig := d.Row(i)
+		found := false
+		for j := 0; j < exp.NumRows() && !found; j++ {
+			cand := exp.Row(j)
+			match := true
+			for _, c := range inputs {
+				if v := orig.Get(c); !v.IsNull() && !cand.Get(c).Equal(v) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			same := true
+			for _, c := range d.Columns() {
+				if isOutputCol(c) && !cand.Get(c).Equal(orig.Get(c)) {
+					same = false
+					break
+				}
+			}
+			found = same
+		}
+		if !found {
+			t.Fatalf("row %d of D has no faithful expansion: %v", i, orig.Values())
+		}
+	}
+}
+
+func TestExpandDontcaresRejectsWrongSchema(t *testing.T) {
+	bad := rel.MustNewTable("x", "a")
+	if _, err := ExpandDontcares(bad); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("err = %v", err)
+	}
+}

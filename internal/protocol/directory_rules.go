@@ -1,0 +1,379 @@
+package protocol
+
+// DirectoryRules builds the full transition rule set of the directory
+// controller. Rules fall into three groups, mirroring §2.1 and §3:
+//
+//  1. retry rules — a request that finds the line busy is answered with a
+//     retry response; the conflicting busy state is enumerated explicitly
+//     for requests in the same address class (all transaction
+//     interleavings), and is a dontcare otherwise.
+//  2. request rules — a request that finds the line idle is processed
+//     according to the directory state: snoops and memory accesses are
+//     issued and a busy entry is allocated in the transaction's first
+//     pending state.
+//  3. response rules — snoop, memory and completion responses advance the
+//     busy entry through its pending states and finally complete the
+//     transaction, updating the directory. Every de-allocation row carries
+//     a compl, establishing the §4.3 serialization invariant.
+//
+// Two rows published in the paper anchor the design: the Fig. 2/3 readex
+// flow (sinv and mread issued in parallel from SI, Busy-sd -> Busy-s on
+// data, -> Busy-d on the last idone), and the §4.2 dependency rows — the
+// directory emits mread upon processing an idone (readex against a modified
+// owner that raced a writeback), and the home memory controller answers a
+// forwarded wb with a compl.
+func DirectoryRules() *RuleSet {
+	rs := NewRuleSet()
+	addRetryRules(rs)
+	addRequestRules(rs)
+	addResponseRules(rs)
+	return rs
+}
+
+// --- output helpers ---------------------------------------------------
+
+// loc builds the locmsg output columns (home -> local requester).
+func loc(msg string) map[string]string {
+	return map[string]string{
+		"locmsg": msg, "locmsgsrc": RoleHome, "locmsgdest": RoleLocal, "locmsgrsrc": QLoc,
+	}
+}
+
+// rem adds the remmsg output columns (home -> remote) to set.
+func rem(set map[string]string, msg string) map[string]string {
+	set["remmsg"] = msg
+	set["remmsgsrc"] = RoleHome
+	set["remmsgdest"] = RoleRemote
+	set["remmsgrsrc"] = QRem
+	return set
+}
+
+// mem adds the memmsg output columns (home directory -> home memory).
+func mem(set map[string]string, msg string) map[string]string {
+	set["memmsg"] = msg
+	set["memmsgsrc"] = RoleHome
+	set["memmsgdest"] = RoleHome
+	set["memmsgrsrc"] = QMem
+	return set
+}
+
+// busyAlloc records allocation of a busy entry in state st; load notes that
+// the pending-snoop count is loaded from the presence vector.
+func busyAlloc(set map[string]string, st string, load bool) map[string]string {
+	set["nxtbdirst"] = st
+	set["bdiralloc"] = "alloc"
+	set["bdirupd"] = "upd"
+	if load {
+		set["nxtbdirpv"] = PVLoad
+	}
+	return set
+}
+
+// busyTo records a busy-state transition; dec notes a pending-count
+// decrement.
+func busyTo(set map[string]string, st string, dec bool) map[string]string {
+	set["nxtbdirst"] = st
+	set["bdirupd"] = "upd"
+	if dec {
+		set["nxtbdirpv"] = PVDec
+	}
+	return set
+}
+
+// busyFree records de-allocation of the busy entry.
+func busyFree(set map[string]string) map[string]string {
+	set["nxtbdirst"] = DirI
+	set["bdiralloc"] = "dealloc"
+	set["bdirupd"] = "upd"
+	return set
+}
+
+// dirTo records a directory update to state st with presence-vector op pv;
+// alloc is "alloc", "dealloc" or "" for no allocation change.
+func dirTo(set map[string]string, st, pv, alloc string) map[string]string {
+	set["nxtdirst"] = st
+	set["nxtdirpv"] = pv
+	set["dirupd"] = "upd"
+	if alloc != "" {
+		set["diralloc"] = alloc
+	}
+	return set
+}
+
+func merge(sets ...map[string]string) map[string]string {
+	out := make(map[string]string)
+	for _, s := range sets {
+		for k, v := range s {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func cloneSet(set map[string]string) map[string]string {
+	out := make(map[string]string, len(set))
+	for k, v := range set {
+		out[k] = v
+	}
+	return out
+}
+
+// --- rule groups --------------------------------------------------------
+
+func addRetryRules(rs *RuleSet) {
+	// Cacheable requests: one row per conflicting busy state.
+	for _, q := range cacheableRequests() {
+		for _, b := range addressedBusyStates() {
+			rs.Add(Rule{
+				ID:   "retry/" + q + "@" + b,
+				When: all(eq("inmsg", q), eq("bdirhit", "hit"), eq("bdirst", b)),
+				Set:  loc("retry"),
+			})
+		}
+	}
+	// Uncached requests conflict only with the uncached families.
+	for _, q := range uncachedRequests() {
+		for _, b := range uncachedBusyStates() {
+			rs.Add(Rule{
+				ID:   "retry/" + q + "@" + b,
+				When: all(eq("inmsg", q), eq("bdirhit", "hit"), eq("bdirst", b)),
+				Set:  loc("retry"),
+			})
+		}
+	}
+	// Special requests: busy state is a dontcare.
+	for _, q := range specialRequests() {
+		rs.Add(Rule{
+			ID:   "retry/" + q,
+			When: all(eq("inmsg", q), eq("bdirhit", "hit"), "bdirst = NULL"),
+			Set:  loc("retry"),
+		})
+	}
+}
+
+func addRequestRules(rs *RuleSet) {
+	whenReq := func(q, dirst string) string {
+		return all(eq("inmsg", q), eq("bdirhit", "miss"), eq("dirst", dirst))
+	}
+	whenUC := func(q string) string {
+		return all(eq("inmsg", q), eq("bdirhit", "miss"))
+	}
+	add := func(id, when string, set map[string]string) {
+		rs.Add(Rule{ID: id, When: when, Set: set})
+	}
+
+	// read: get a shared copy. At MESI the owner is asked to supply data
+	// and downgrade.
+	add("read@I", whenReq("read", DirI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("rd", "d"), false))
+	add("read@SI", whenReq("read", DirSI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("rd", "d"), false))
+	add("read@MESI", whenReq("read", DirMESI),
+		busyAlloc(rem(map[string]string{}, "sread"), BusyState("rd", "w"), false))
+
+	// readex (Fig. 2): from SI, sinv and mread are issued in parallel and
+	// the entry waits in Busy-sd; from MESI the modified owner is
+	// invalidated first and memory is read only after its idone (§4.2).
+	add("readex@I", whenReq("readex", DirI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("rx", "d"), false))
+	add("readex@SI", whenReq("readex", DirSI),
+		busyAlloc(rem(mem(map[string]string{}, "mread"), "sinv"), BusyState("rx", "sd"), true))
+	add("readex@MESI", whenReq("readex", DirMESI),
+		busyAlloc(rem(map[string]string{}, "sinv"), BusyState("rx", "w"), false))
+
+	// readinv mirrors readex but leaves the line uncached.
+	add("readinv@I", whenReq("readinv", DirI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("ri", "d"), false))
+	add("readinv@SI", whenReq("readinv", DirSI),
+		busyAlloc(rem(mem(map[string]string{}, "mread"), "sinv"), BusyState("ri", "sd"), true))
+	add("readinv@MESI", whenReq("readinv", DirMESI),
+		busyAlloc(rem(map[string]string{}, "sinv"), BusyState("ri", "w"), false))
+
+	// upgrade: S -> M without data; legal only while the line is shared.
+	add("upgrade@SI", whenReq("upgrade", DirSI),
+		busyAlloc(rem(map[string]string{}, "sinv"), BusyState("ug", "s"), true))
+	add("upgrade@I", whenReq("upgrade", DirI), loc("nack"))
+	add("upgrade@MESI", whenReq("upgrade", DirMESI), loc("nack"))
+
+	// wb: forwarded to the home memory controller (§4.2: the wb(B)
+	// request reaches D first and is forwarded to the home memory).
+	add("wb@MESI", whenReq("wb", DirMESI),
+		busyAlloc(mem(map[string]string{}, "wb"), BusyState("wb", "m"), false))
+	add("wb@I", whenReq("wb", DirI), loc("nack"))
+	add("wb@SI", whenReq("wb", DirSI), loc("nack"))
+
+	// pwb: partial writeback keeps ownership.
+	add("pwb@MESI", whenReq("pwb", DirMESI),
+		busyAlloc(mem(map[string]string{}, "mwrpart"), BusyState("pw", "m"), false))
+	add("pwb@I", whenReq("pwb", DirI), loc("nack"))
+	add("pwb@SI", whenReq("pwb", DirSI), loc("nack"))
+
+	// flush: push the line to memory and invalidate all copies.
+	add("flush@I", whenReq("flush", DirI),
+		busyAlloc(loc("flcompl"), BusyState("fl", "c"), false))
+	add("flush@SI", whenReq("flush", DirSI),
+		busyAlloc(rem(map[string]string{}, "sinv"), BusyState("fl", "s"), true))
+	add("flush@MESI", whenReq("flush", DirMESI),
+		busyAlloc(rem(map[string]string{}, "sflush"), BusyState("fl", "sm"), false))
+
+	// replhint: a sharer dropped its copy; adjust the vector in place.
+	add("replhint@SI", whenReq("replhint", DirSI),
+		merge(loc("replack"), map[string]string{"nxtdirpv": PVDRepl, "dirupd": "upd"}))
+	add("replhint@I", whenReq("replhint", DirI), loc("nack"))
+	add("replhint@MESI", whenReq("replhint", DirMESI), loc("nack"))
+
+	// prefetch: pull a shared copy from memory; never disturbs an owner.
+	add("prefetch@I", whenReq("prefetch", DirI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("pf", "d"), false))
+	add("prefetch@SI", whenReq("prefetch", DirSI),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("pf", "d"), false))
+	add("prefetch@MESI", whenReq("prefetch", DirMESI), loc("nack"))
+
+	// Uncached, I/O and atomic requests bypass the directory.
+	add("ioread", whenUC("ioread"),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("ior", "d"), false))
+	add("iowrite", whenUC("iowrite"),
+		busyAlloc(mem(map[string]string{}, "mwrite"), BusyState("iow", "m"), false))
+	add("ucread", whenUC("ucread"),
+		busyAlloc(mem(map[string]string{}, "mread"), BusyState("ucr", "d"), false))
+	add("ucwrite", whenUC("ucwrite"),
+		busyAlloc(mem(map[string]string{}, "mwrite"), BusyState("ucw", "m"), false))
+	add("fetchadd", whenUC("fetchadd"),
+		busyAlloc(mem(map[string]string{}, "mrmw"), BusyState("at", "dm"), false))
+
+	// sync: acknowledged once the directory pipeline is drained.
+	add("sync", whenUC("sync"),
+		busyAlloc(loc("syncack"), BusyState("sy", "c"), false))
+
+	// intr: forwarded to the remote processor.
+	add("intr", whenUC("intr"),
+		busyAlloc(rem(map[string]string{}, "intr"), BusyState("in", "a"), false))
+}
+
+func addResponseRules(rs *RuleSet) {
+	whenResp := func(msg, st, pv string) string {
+		conds := []string{eq("inmsg", msg), eq("bdirst", st)}
+		if pv != "" {
+			conds = append(conds, eq("bdirpv", pv))
+		}
+		return all(conds...)
+	}
+	add := func(id string, when string, set map[string]string) {
+		rs.Add(Rule{ID: id, When: when, Set: set})
+	}
+	// complClose closes a transaction's -c state.
+	complClose := func(txn string) {
+		add(txn+"/c+compl", all(eq("inmsg", "compl"), eq("inmsgsrc", RoleLocal),
+			eq("bdirst", BusyState(txn, "c"))), busyFree(map[string]string{}))
+	}
+
+	// read.
+	rdDone := func(pv string, alloc string) map[string]string {
+		return dirTo(merge(loc("data"), busyTo(map[string]string{}, BusyState("rd", "c"), false)),
+			DirSI, pv, alloc)
+	}
+	add("rd/d+mdata", whenResp("mdata", BusyState("rd", "d"), ""), rdDone(PVInc, "alloc"))
+	add("rd/w+sdata", whenResp("sdata", BusyState("rd", "w"), ""), rdDone(PVInc, ""))
+	add("rd/w+sdone", whenResp("sdone", BusyState("rd", "w"), ""),
+		busyTo(mem(map[string]string{}, "mread"), BusyState("rd", "d"), false))
+	add("rd/w+swbdata", whenResp("swbdata", BusyState("rd", "w"), ""), rdDone(PVRepl, ""))
+	complClose("rd")
+
+	// readex and readinv share the two-phase shape; they differ in the
+	// completion message and final directory state.
+	type exDone struct {
+		msg   string
+		dirst string
+		pv    string
+		alloc string
+	}
+	dones := map[string]exDone{
+		"rx": {"datax", DirMESI, PVRepl, "alloc"},
+		"ri": {"data", DirI, PVClear, "dealloc"},
+	}
+	for _, txn := range []string{"rx", "ri"} {
+		d := dones[txn]
+		sd, sSt, dSt, w, c := BusyState(txn, "sd"), BusyState(txn, "s"), BusyState(txn, "d"), BusyState(txn, "w"), BusyState(txn, "c")
+		complete := dirTo(merge(loc(d.msg), busyTo(map[string]string{}, c, false)), d.dirst, d.pv, d.alloc)
+
+		// Fig. 2/3: Busy-sd -> Busy-s on data, -> Busy-d on last idone.
+		add(txn+"/sd+mdata", whenResp("mdata", sd, ""), busyTo(map[string]string{}, sSt, false))
+		add(txn+"/sd+idone.gone", whenResp("idone", sd, PVGone), busyTo(map[string]string{}, sd, true))
+		add(txn+"/sd+idone.one", whenResp("idone", sd, PVOne), busyTo(map[string]string{}, dSt, false))
+		add(txn+"/s+idone.gone", whenResp("idone", sSt, PVGone), busyTo(map[string]string{}, sSt, true))
+		add(txn+"/s+idone.one", whenResp("idone", sSt, PVOne), cloneSet(complete))
+		add(txn+"/d+mdata", whenResp("mdata", dSt, ""), cloneSet(complete))
+		// §4.2: the modified owner was invalidated (its writeback raced);
+		// only now is memory read — the idone -> mread dependency row.
+		add(txn+"/w+idone", whenResp("idone", w, PVOne),
+			busyTo(mem(map[string]string{}, "mread"), dSt, false))
+		add(txn+"/w+swbdata", whenResp("swbdata", w, ""), cloneSet(complete))
+		complClose(txn)
+	}
+
+	// upgrade: counted invalidations, then grant.
+	ugS := BusyState("ug", "s")
+	add("ug/s+idone.gone", whenResp("idone", ugS, PVGone), busyTo(map[string]string{}, ugS, true))
+	add("ug/s+idone.one", whenResp("idone", ugS, PVOne),
+		dirTo(merge(loc("upgack"), busyTo(map[string]string{}, BusyState("ug", "c"), false)), DirMESI, PVRepl, ""))
+	complClose("ug")
+
+	// wb: the forwarded writeback is completed by the home memory
+	// controller's compl (§4.2), then ownership is released.
+	add("wb/m+compl", all(eq("inmsg", "compl"), eq("inmsgsrc", RoleHome), eq("bdirst", BusyState("wb", "m"))),
+		dirTo(merge(loc("wbcompl"), busyTo(map[string]string{}, BusyState("wb", "c"), false)), DirI, PVClear, "dealloc"))
+	complClose("wb")
+
+	// pwb: memory write, ownership retained.
+	add("pw/m+mdone", whenResp("mdone", BusyState("pw", "m"), ""),
+		merge(loc("wbcompl"), busyTo(map[string]string{}, BusyState("pw", "c"), false)))
+	complClose("pw")
+
+	// flush.
+	flDone := dirTo(merge(loc("flcompl"), busyTo(map[string]string{}, BusyState("fl", "c"), false)), DirI, PVClear, "dealloc")
+	add("fl/s+idone.gone", whenResp("idone", BusyState("fl", "s"), PVGone),
+		busyTo(map[string]string{}, BusyState("fl", "s"), true))
+	add("fl/s+idone.one", whenResp("idone", BusyState("fl", "s"), PVOne), cloneSet(flDone))
+	add("fl/sm+sdata", whenResp("sdata", BusyState("fl", "sm"), ""),
+		busyTo(mem(map[string]string{}, "mwrite"), BusyState("fl", "m"), false))
+	add("fl/sm+swbdata", whenResp("swbdata", BusyState("fl", "sm"), ""),
+		busyTo(mem(map[string]string{}, "mwrite"), BusyState("fl", "m"), false))
+	add("fl/m+mdone", whenResp("mdone", BusyState("fl", "m"), ""), cloneSet(flDone))
+	complClose("fl")
+
+	// prefetch.
+	add("pf/d+mdata", whenResp("mdata", BusyState("pf", "d"), ""),
+		dirTo(merge(loc("pfdata"), busyTo(map[string]string{}, BusyState("pf", "c"), false)), DirSI, PVInc, "alloc"))
+	complClose("pf")
+
+	// I/O and uncached accesses.
+	add("ior/d+mdata", whenResp("mdata", BusyState("ior", "d"), ""),
+		merge(loc("iodata"), busyTo(map[string]string{}, BusyState("ior", "c"), false)))
+	complClose("ior")
+	add("iow/m+mdone", whenResp("mdone", BusyState("iow", "m"), ""),
+		merge(loc("iocompl"), busyTo(map[string]string{}, BusyState("iow", "c"), false)))
+	complClose("iow")
+	add("ucr/d+mdata", whenResp("mdata", BusyState("ucr", "d"), ""),
+		merge(loc("ucdata"), busyTo(map[string]string{}, BusyState("ucr", "c"), false)))
+	complClose("ucr")
+	add("ucw/m+mdone", whenResp("mdone", BusyState("ucw", "m"), ""),
+		merge(loc("uccompl"), busyTo(map[string]string{}, BusyState("ucw", "c"), false)))
+	complClose("ucw")
+
+	// fetchadd: memory returns the old value and the write done, in
+	// either order.
+	atDM, atD, atM := BusyState("at", "dm"), BusyState("at", "d"), BusyState("at", "m")
+	add("at/dm+mdata", whenResp("mdata", atDM, ""), busyTo(map[string]string{}, atM, false))
+	add("at/dm+mdone", whenResp("mdone", atDM, ""), busyTo(map[string]string{}, atD, false))
+	add("at/m+mdone", whenResp("mdone", atM, ""),
+		merge(loc("atdata"), busyTo(map[string]string{}, BusyState("at", "c"), false)))
+	add("at/d+mdata", whenResp("mdata", atD, ""),
+		merge(loc("atdata"), busyTo(map[string]string{}, BusyState("at", "c"), false)))
+	complClose("at")
+
+	// sync and interrupt.
+	complClose("sy")
+	add("in/a+intrack", whenResp("intrack", BusyState("in", "a"), ""),
+		merge(loc("intrack"), busyTo(map[string]string{}, BusyState("in", "c"), false)))
+	complClose("in")
+}

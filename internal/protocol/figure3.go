@@ -1,0 +1,72 @@
+package protocol
+
+import "coherdb/internal/constraint"
+
+// Figure3FragmentSpec builds the readex fragment of the directory table as
+// published in Fig. 3: three input columns (incoming message, directory
+// state including busy states, presence vector) and five output columns.
+// Its assignment space is small enough for the monolithic solver, so it is
+// the workload for the §3 incremental-vs-monolithic comparison (C1).
+//
+// Scale (extra copies of the nxtdirst column family) multiplies the
+// assignment space so the comparison can be swept; scale 0 or 1 is the
+// plain fragment.
+func Figure3FragmentSpec(scale int) (*constraint.Spec, error) {
+	s := constraint.NewSpec("D_readex")
+	steps := []error{
+		s.AddInput("inmsg", "readex", "data", "idone"),
+		s.AddInput("dirst", "I", "SI", "Busy-sd", "Busy-d", "Busy-s"),
+		s.AddInput("dirpv", "zero", "one", "gone"),
+		s.AddOutput("locmsg", "compl-data"),
+		s.AddOutput("remmsg", "sinv"),
+		s.AddOutput("memmsg", "mread"),
+		s.AddOutput("nxtdirst", "MESI", "Busy-sd", "Busy-d", "Busy-s"),
+		s.AddOutput("nxtdirpv", "repl", "dec"),
+		s.Constrain("inmsg", `inmsg <> NULL`),
+		s.Constrain("dirst",
+			`inmsg = readex ? (dirst = I and dirpv = zero) or (dirst = SI and dirpv <> zero) :
+			 inmsg = data ? dirst = Busy-sd or dirst = Busy-d :
+			 dirst = Busy-sd or dirst = Busy-s`),
+		s.Constrain("dirpv",
+			`inmsg = data and dirst = Busy-d ? dirpv = zero :
+			 inmsg = idone and dirst = Busy-s ? dirpv = zero :
+			 inmsg = readex and dirst = I ? dirpv = zero : dirpv <> NULL`),
+		s.Constrain("remmsg", `inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL`),
+		s.Constrain("memmsg", `inmsg = readex ? memmsg = mread : memmsg = NULL`),
+		s.Constrain("locmsg",
+			`(inmsg = data and dirst = Busy-d) or (inmsg = idone and dirst = Busy-s) ?
+			 locmsg = compl-data : locmsg = NULL`),
+		s.Constrain("nxtdirst",
+			`inmsg = readex and dirst = I ? nxtdirst = Busy-d :
+			 inmsg = readex ? nxtdirst = Busy-sd :
+			 inmsg = data and dirst = Busy-sd ? nxtdirst = Busy-s :
+			 inmsg = idone and dirst = Busy-sd ? nxtdirst = Busy-d :
+			 nxtdirst = MESI`),
+		s.Constrain("nxtdirpv",
+			`(inmsg = data and dirst = Busy-d) or (inmsg = idone and dirst = Busy-s) ?
+			 nxtdirpv = repl :
+			 inmsg = idone and dirst = Busy-sd ? nxtdirpv = dec : nxtdirpv = NULL`),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Widen the spec for the sweep: each extra column copies the
+	// nxtdirst family, multiplying the assignment space by 5.
+	for i := 1; i < scale; i++ {
+		col := "aux" + string(rune('a'+i-1))
+		if err := s.AddOutput(col, "MESI", "Busy-sd", "Busy-d", "Busy-s"); err != nil {
+			return nil, err
+		}
+		if err := s.Constrain(col,
+			`inmsg = readex and dirst = I ? `+col+` = Busy-d :
+			 inmsg = readex ? `+col+` = Busy-sd :
+			 inmsg = data and dirst = Busy-sd ? `+col+` = Busy-s :
+			 inmsg = idone and dirst = Busy-sd ? `+col+` = Busy-d :
+			 `+col+` = MESI`); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

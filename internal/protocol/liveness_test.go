@@ -1,0 +1,114 @@
+package protocol
+
+import (
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// TestBusyFamilyLiveness checks, on the generated table itself, that every
+// transaction family forms a live state machine: the request rules allocate
+// into states from which the response rules can always reach de-allocation,
+// and no busy state is a dead end.
+func TestBusyFamilyLiveness(t *testing.T) {
+	d, _ := directoryTable(t)
+
+	// Transition edges between busy states, from the response rows.
+	next := map[string][]string{}
+	dealloc := map[string]bool{}
+	entry := map[string]bool{}
+	for i := 0; i < d.NumRows(); i++ {
+		cur := d.Get(i, "bdirst")
+		nxt := d.Get(i, "nxtbdirst")
+		switch {
+		case d.Get(i, "bdiralloc").Equal(rel.S("alloc")):
+			entry[nxt.Str()] = true
+		case d.Get(i, "bdiralloc").Equal(rel.S("dealloc")):
+			dealloc[cur.Str()] = true
+		case IsBusyState(cur.Str()) && !nxt.IsNull():
+			next[cur.Str()] = append(next[cur.Str()], nxt.Str())
+		}
+	}
+
+	// Every busy state must be reachable from some entry state.
+	reach := map[string]bool{}
+	var stack []string
+	for e := range entry {
+		stack = append(stack, e)
+		reach[e] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range next[s] {
+			if !reach[n] {
+				reach[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	for _, b := range BusyStates() {
+		if !reach[b] {
+			t.Errorf("busy state %s unreachable from any allocation", b)
+		}
+	}
+
+	// Every busy state must reach a de-allocating state (liveness): walk
+	// backwards from the dealloc states.
+	prev := map[string][]string{}
+	for s, ns := range next {
+		for _, n := range ns {
+			prev[n] = append(prev[n], s)
+		}
+	}
+	live := map[string]bool{}
+	stack = stack[:0]
+	for s := range dealloc {
+		live[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range prev[s] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for _, b := range BusyStates() {
+		if !live[b] {
+			t.Errorf("busy state %s cannot reach de-allocation (stuck transaction)", b)
+		}
+	}
+
+	// Transitions never leave the transaction family (also a §4.3
+	// invariant; cross-checked here at the graph level).
+	for s, ns := range next {
+		for _, n := range ns {
+			if IsBusyState(n) && BusyTxn(n) != BusyTxn(s) {
+				t.Errorf("transition %s -> %s crosses families", s, n)
+			}
+		}
+	}
+}
+
+// TestEveryResponseAdvancesOrCompletes verifies there are no response rows
+// that leave the busy entry exactly as it was without any output: progress
+// is guaranteed for every response the directory accepts.
+func TestEveryResponseAdvancesOrCompletes(t *testing.T) {
+	d, _ := directoryTable(t)
+	for i := 0; i < d.NumRows(); i++ {
+		if !IsResponse(d.Get(i, "inmsg").Str()) {
+			continue
+		}
+		cur, nxt := d.Get(i, "bdirst"), d.Get(i, "nxtbdirst")
+		counts := !d.Get(i, "nxtbdirpv").IsNull()
+		sendsMsg := !d.Get(i, "locmsg").IsNull() || !d.Get(i, "remmsg").IsNull() || !d.Get(i, "memmsg").IsNull()
+		if cur.Equal(nxt) && !counts && !sendsMsg {
+			t.Errorf("row %d: response %s at %s makes no progress",
+				i, d.Get(i, "inmsg"), cur)
+		}
+	}
+}

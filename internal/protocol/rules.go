@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+
+	"coherdb/internal/constraint"
+)
+
+// Rule is one controller transition case: when the input condition When
+// holds, the output columns take the values in Set (outputs not listed are
+// NULL, i.e. noop). Rules are the authoring form; they compile into the
+// paper's per-column ternary constraint chains:
+//
+//	when1 ? col = v1 : when2 ? col = v2 : ... : col = NULL
+//
+// so the spec handed to the solver is exactly the paper's database input.
+// A rule's When must be written over input columns only; the first matching
+// rule (in order) defines every output of a row.
+type Rule struct {
+	// ID identifies the rule in diagnostics, e.g. "readex@SI".
+	ID string
+	// When is an input condition in the constraint dialect.
+	When string
+	// Set maps output columns to their values. The special value "NULL"
+	// (or an absent column) means noop.
+	Set map[string]string
+}
+
+// RuleSet accumulates rules for one controller spec and compiles them.
+type RuleSet struct {
+	rules []Rule
+	ids   map[string]struct{}
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet {
+	return &RuleSet{ids: make(map[string]struct{})}
+}
+
+// Add appends a rule. Duplicate IDs panic: protocol specs are static and a
+// duplicate is an authoring bug.
+func (rs *RuleSet) Add(r Rule) {
+	if r.ID == "" {
+		panic("protocol: rule without ID")
+	}
+	if _, dup := rs.ids[r.ID]; dup {
+		panic(fmt.Sprintf("protocol: duplicate rule ID %q", r.ID))
+	}
+	rs.ids[r.ID] = struct{}{}
+	rs.rules = append(rs.rules, r)
+}
+
+// Addf is Add with a formatted ID.
+func (rs *RuleSet) Addf(idFormat string, args []any, when string, set map[string]string) {
+	rs.Add(Rule{ID: fmt.Sprintf(idFormat, args...), When: when, Set: set})
+}
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Rules returns the rules in order.
+func (rs *RuleSet) Rules() []Rule { return append([]Rule(nil), rs.rules...) }
+
+// CompileInto attaches the compiled constraints to spec: one ternary chain
+// per output column (over the rules that mention it, in priority order),
+// and a legality disjunction over all rule conditions attached to
+// legalityCol (pass "" to skip the legality constraint when per-column
+// input constraints already define legality exactly).
+func (rs *RuleSet) CompileInto(spec *constraint.Spec, legalityCol string, outputs []string) error {
+	if legalityCol != "" {
+		var sb strings.Builder
+		for i, r := range rs.rules {
+			if i > 0 {
+				sb.WriteString(" or ")
+			}
+			sb.WriteString("(")
+			sb.WriteString(r.When)
+			sb.WriteString(")")
+		}
+		if err := spec.Constrain(legalityCol, sb.String()); err != nil {
+			return fmt.Errorf("protocol: legality constraint: %w", err)
+		}
+	}
+	for _, col := range outputs {
+		expr := rs.chainFor(col)
+		if expr == "" {
+			continue
+		}
+		if err := spec.Constrain(col, expr); err != nil {
+			return fmt.Errorf("protocol: constraint for %s: %w", col, err)
+		}
+	}
+	return nil
+}
+
+// chainFor builds the ternary constraint chain for one output column.
+// Every rule participates (with NULL when it does not set the column) so
+// that rule priority is preserved even for overlapping conditions.
+func (rs *RuleSet) chainFor(col string) string {
+	var sb strings.Builder
+	any := false
+	for _, r := range rs.rules {
+		v, ok := r.Set[col]
+		if ok && v != "NULL" {
+			any = true
+		}
+	}
+	if !any {
+		// A column no rule ever sets is noop everywhere.
+		return col + " = NULL"
+	}
+	for _, r := range rs.rules {
+		v, ok := r.Set[col]
+		if !ok {
+			v = "NULL"
+		}
+		sb.WriteString("(")
+		sb.WriteString(r.When)
+		sb.WriteString(") ? ")
+		sb.WriteString(col)
+		sb.WriteString(" = ")
+		sb.WriteString(quoteVal(v))
+		sb.WriteString(" : ")
+	}
+	// No rule matched: output must be NULL (such rows are pruned by the
+	// legality constraint anyway).
+	sb.WriteString(col)
+	sb.WriteString(" = NULL")
+	return sb.String()
+}
+
+// quoteVal renders a rule value as a constraint literal. "NULL" stays the
+// NULL keyword; everything else becomes a double-quoted symbol so hyphened
+// state names parse unambiguously.
+func quoteVal(v string) string {
+	if v == "NULL" {
+		return "NULL"
+	}
+	return `"` + v + `"`
+}
+
+// LegalityExpr returns the OR of all rule conditions — the set of legal
+// input combinations covered by the rules.
+func (rs *RuleSet) LegalityExpr() string {
+	var sb strings.Builder
+	for i, r := range rs.rules {
+		if i > 0 {
+			sb.WriteString(" or ")
+		}
+		sb.WriteString("(")
+		sb.WriteString(r.When)
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// eq builds the atom `col = "value"` (or `col = NULL`).
+func eq(col, val string) string { return col + " = " + quoteVal(val) }
+
+// ne builds the atom `col <> "value"` (or `col <> NULL`).
+func ne(col, val string) string { return col + " <> " + quoteVal(val) }
+
+// in builds `col in ("a", "b", ...)`.
+func in(col string, vals ...string) string {
+	var sb strings.Builder
+	sb.WriteString(col)
+	sb.WriteString(" in (")
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(quoteVal(v))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// all joins conditions with and.
+func all(conds ...string) string {
+	return "(" + strings.Join(conds, " and ") + ")"
+}
+
+// anyOf joins conditions with or.
+func anyOf(conds ...string) string {
+	return "(" + strings.Join(conds, " or ") + ")"
+}

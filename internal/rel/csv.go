@@ -1,0 +1,112 @@
+package rel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The CSV encoding round-trips values losslessly: NULL is encoded as the
+// bare token \N (as in classic database dump formats); integers and booleans
+// are tagged so they are not confused with strings that look like numbers.
+
+const csvNull = `\N`
+
+func encodeValue(v Value) string {
+	switch v.Kind() {
+	case KindNull:
+		return csvNull
+	case KindInt:
+		return "#i" + strconv.FormatInt(v.Int(), 10)
+	case KindBool:
+		if v.Bool() {
+			return "#btrue"
+		}
+		return "#bfalse"
+	default:
+		s := v.Str()
+		if strings.HasPrefix(s, "#") || s == csvNull {
+			return "#s" + s
+		}
+		return s
+	}
+}
+
+func decodeValue(s string) (Value, error) {
+	switch {
+	case s == csvNull:
+		return Null(), nil
+	case strings.HasPrefix(s, "#i"):
+		n, err := strconv.ParseInt(s[2:], 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("rel: bad int literal %q: %w", s, err)
+		}
+		return I(n), nil
+	case s == "#btrue":
+		return B(true), nil
+	case s == "#bfalse":
+		return B(false), nil
+	case strings.HasPrefix(s, "#s"):
+		return S(s[2:]), nil
+	case strings.HasPrefix(s, "#"):
+		return Null(), fmt.Errorf("rel: unknown value tag %q", s)
+	default:
+		return S(s), nil
+	}
+}
+
+// WriteCSV encodes the table (header line then rows) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.cols); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.cols))
+	for _, r := range t.rows {
+		for i, v := range r {
+			rec[i] = encodeValue(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a table previously written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("rel: reading CSV header: %w", err)
+	}
+	t, err := NewTable(name, header...)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rel: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%w: CSV row has %d fields, want %d", ErrArity, len(rec), len(header))
+		}
+		row := make([]Value, len(rec))
+		for i, s := range rec {
+			v, err := decodeValue(s)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+}

@@ -1,0 +1,128 @@
+package rel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func revTable(rows ...[3]string) *Table {
+	t := MustNewTable("rev", "inmsg", "dirst", "out")
+	for _, r := range rows {
+		t.MustInsert(S(r[0]), S(r[1]), S(r[2]))
+	}
+	return t
+}
+
+func TestDiffTablesSetDifference(t *testing.T) {
+	old := revTable([3]string{"readex", "I", "mread"}, [3]string{"readex", "SI", "sinv"})
+	new := revTable([3]string{"readex", "I", "mread"}, [3]string{"wb", "MESI", "fwd"})
+	d, err := DiffTables(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Added.NumRows() != 1 || !d.Added.Get(0, "inmsg").Equal(S("wb")) {
+		t.Fatalf("added:\n%s", d.Added)
+	}
+	if d.Removed.NumRows() != 1 || !d.Removed.Get(0, "dirst").Equal(S("SI")) {
+		t.Fatalf("removed:\n%s", d.Removed)
+	}
+	if d.Empty() {
+		t.Fatal("diff should not be empty")
+	}
+}
+
+func TestDiffTablesIdentical(t *testing.T) {
+	a := revTable([3]string{"readex", "I", "mread"})
+	d, err := DiffTables(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatal("identical tables must diff empty")
+	}
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "identical") {
+		t.Fatal("render wrong")
+	}
+}
+
+func TestDiffByKeyReportsChanges(t *testing.T) {
+	old := revTable(
+		[3]string{"readex", "I", "mread"},
+		[3]string{"readex", "SI", "sinv"},
+		[3]string{"wb", "MESI", "fwd"},
+	)
+	new := revTable(
+		[3]string{"readex", "I", "mread"},
+		[3]string{"readex", "SI", "sflush"}, // output revised
+		[3]string{"flush", "SI", "sinv"},    // new case
+	)
+	d, err := DiffByKey(old, new, []string{"inmsg", "dirst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 1 {
+		t.Fatalf("changed = %d", len(d.Changed))
+	}
+	c := d.Changed[0]
+	if !c.Key[0].Equal(S("readex")) || !c.Key[1].Equal(S("SI")) {
+		t.Fatalf("changed key = %v", c.Key)
+	}
+	if !c.Old[2].Equal(S("sinv")) || !c.New[2].Equal(S("sflush")) {
+		t.Fatalf("changed values: %v -> %v", c.Old, c.New)
+	}
+	if d.Added.NumRows() != 1 || !d.Added.Get(0, "inmsg").Equal(S("flush")) {
+		t.Fatalf("added:\n%s", d.Added)
+	}
+	if d.Removed.NumRows() != 1 || !d.Removed.Get(0, "inmsg").Equal(S("wb")) {
+		t.Fatalf("removed:\n%s", d.Removed)
+	}
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"removed", "added", "changed key"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDiffByKeyDuplicateKeysFallBack(t *testing.T) {
+	old := revTable(
+		[3]string{"readex", "SI", "a"},
+		[3]string{"readex", "SI", "b"},
+	)
+	new := revTable(
+		[3]string{"readex", "SI", "a"},
+		[3]string{"readex", "SI", "c"},
+	)
+	d, err := DiffByKey(old, new, []string{"inmsg", "dirst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 0 {
+		t.Fatalf("duplicate keys must not produce Changed entries: %v", d.Changed)
+	}
+	if d.Added.NumRows() != 1 || d.Removed.NumRows() != 1 {
+		t.Fatalf("added=%d removed=%d, want 1/1", d.Added.NumRows(), d.Removed.NumRows())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	a := revTable()
+	b := MustNewTable("other", "x")
+	if _, err := DiffTables(a, b); !errors.Is(err, ErrSchema) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := DiffByKey(a, b, []string{"x"}); !errors.Is(err, ErrSchema) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := DiffByKey(a, a.Clone(), []string{"ghost"}); !errors.Is(err, ErrUnknownColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}

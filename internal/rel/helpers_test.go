@@ -1,0 +1,16 @@
+package rel
+
+import (
+	"io"
+	"strings"
+)
+
+// stringsBuilder is a strings.Builder that can hand back a reader over what
+// was written, for round-trip tests.
+type stringsBuilder struct {
+	strings.Builder
+}
+
+func (b *stringsBuilder) Reader() io.Reader {
+	return strings.NewReader(b.Builder.String())
+}

@@ -1,0 +1,71 @@
+package rel
+
+import "fmt"
+
+// Index is a hash index over one or more columns of a table, mapping each
+// distinct key to the row numbers holding it. An index is a snapshot: it is
+// built over the rows present at construction time and is not maintained
+// under mutation. The deadlock analyzer builds indexes over dependency-table
+// assignment columns to make pairwise composition near-linear.
+type Index struct {
+	t       *Table
+	cols    []string
+	colIdx  []int
+	buckets map[string][]int
+}
+
+// BuildIndex constructs a hash index over the given columns.
+func BuildIndex(t *Table, cols ...string) (*Index, error) {
+	idx := make([]int, len(cols))
+	for k, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c, t.name)
+		}
+		idx[k] = j
+	}
+	ix := &Index{t: t, cols: append([]string(nil), cols...), colIdx: idx, buckets: make(map[string][]int)}
+	for i := range t.rows {
+		k := t.RowKey(i, idx)
+		ix.buckets[k] = append(ix.buckets[k], i)
+	}
+	return ix, nil
+}
+
+// Columns returns the indexed column names.
+func (ix *Index) Columns() []string { return append([]string(nil), ix.cols...) }
+
+// Lookup returns the row numbers whose indexed columns equal vals, in
+// insertion order. The number of values must match the indexed column count.
+func (ix *Index) Lookup(vals ...Value) []int {
+	if len(vals) != len(ix.colIdx) {
+		return nil
+	}
+	return ix.buckets[keyOf(vals)]
+}
+
+// LookupRows returns Row accessors rather than indexes.
+func (ix *Index) LookupRows(vals ...Value) []Row {
+	rows := ix.Lookup(vals...)
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = ix.t.Row(r)
+	}
+	return out
+}
+
+// Distinct returns the number of distinct keys in the index.
+func (ix *Index) Distinct() int { return len(ix.buckets) }
+
+func keyOf(vals []Value) string {
+	n := 0
+	for _, v := range vals {
+		n += len(v.Key()) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range vals {
+		b = append(b, v.Key()...)
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}

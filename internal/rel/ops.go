@@ -1,0 +1,304 @@
+package rel
+
+import (
+	"fmt"
+)
+
+// Select returns a new table containing the rows for which pred is true.
+func (t *Table) Select(pred func(Row) bool) *Table {
+	out := MustNewTable(t.name, t.cols...)
+	for _, r := range t.rows {
+		if pred(Row{t: t, vals: r}) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// Project returns a new table with only the given columns, in the given
+// order. Duplicate rows are retained (use Distinct for set semantics).
+func (t *Table) Project(cols ...string) (*Table, error) {
+	idx := make([]int, len(cols))
+	for k, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c, t.name)
+		}
+		idx[k] = j
+	}
+	out, err := NewTable(t.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = make([][]Value, len(t.rows))
+	for i, r := range t.rows {
+		nr := make([]Value, len(idx))
+		for k, j := range idx {
+			nr[k] = r[j]
+		}
+		out.rows[i] = nr
+	}
+	return out, nil
+}
+
+// Distinct returns a new table with duplicate rows removed, preserving the
+// first occurrence order.
+func (t *Table) Distinct() *Table {
+	out := MustNewTable(t.name, t.cols...)
+	seen := make(map[string]struct{}, len(t.rows))
+	for i, r := range t.rows {
+		k := t.RowKey(i, nil)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.rows = append(out.rows, r)
+	}
+	return out
+}
+
+// Union returns the multiset union of t and o (UNION ALL). Schemas must have
+// identical column lists.
+func (t *Table) Union(o *Table) (*Table, error) {
+	if err := sameSchema(t, o); err != nil {
+		return nil, err
+	}
+	out := MustNewTable(t.name, t.cols...)
+	out.rows = make([][]Value, 0, len(t.rows)+len(o.rows))
+	out.rows = append(out.rows, t.rows...)
+	out.rows = append(out.rows, o.rows...)
+	return out, nil
+}
+
+// UnionDistinct returns the set union of t and o (SQL UNION).
+func (t *Table) UnionDistinct(o *Table) (*Table, error) {
+	u, err := t.Union(o)
+	if err != nil {
+		return nil, err
+	}
+	return u.Distinct(), nil
+}
+
+// Difference returns the rows of t that do not occur in o (set semantics).
+func (t *Table) Difference(o *Table) (*Table, error) {
+	if err := sameSchema(t, o); err != nil {
+		return nil, err
+	}
+	drop := make(map[string]struct{}, len(o.rows))
+	for i := range o.rows {
+		drop[o.RowKey(i, nil)] = struct{}{}
+	}
+	out := MustNewTable(t.name, t.cols...)
+	for i, r := range t.rows {
+		if _, gone := drop[t.RowKey(i, nil)]; !gone {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns the rows of t that also occur in o (set semantics).
+func (t *Table) Intersect(o *Table) (*Table, error) {
+	if err := sameSchema(t, o); err != nil {
+		return nil, err
+	}
+	keep := make(map[string]struct{}, len(o.rows))
+	for i := range o.rows {
+		keep[o.RowKey(i, nil)] = struct{}{}
+	}
+	out := MustNewTable(t.name, t.cols...)
+	for i, r := range t.rows {
+		if _, ok := keep[t.RowKey(i, nil)]; ok {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Cross returns the cross product of t and o. Column names must not collide;
+// use Rename first if they do. This is the operation the paper's constraint
+// solver prunes: controller tables are cross products of column tables with
+// non-satisfying rows removed.
+func (t *Table) Cross(o *Table) (*Table, error) {
+	cols := make([]string, 0, len(t.cols)+len(o.cols))
+	cols = append(cols, t.cols...)
+	cols = append(cols, o.cols...)
+	out, err := NewTable(t.name+"_x_"+o.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = make([][]Value, 0, len(t.rows)*len(o.rows))
+	for _, a := range t.rows {
+		for _, b := range o.rows {
+			nr := make([]Value, 0, len(cols))
+			nr = append(nr, a...)
+			nr = append(nr, b...)
+			out.rows = append(out.rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// CrossFiltered computes the cross product of t and o, keeping only rows for
+// which keep returns true. keep receives the concatenated row. This fuses
+// product and selection so pruning happens before materialization — the core
+// of incremental table generation.
+func (t *Table) CrossFiltered(o *Table, keep func(row []Value) bool) (*Table, error) {
+	cols := make([]string, 0, len(t.cols)+len(o.cols))
+	cols = append(cols, t.cols...)
+	cols = append(cols, o.cols...)
+	out, err := NewTable(t.name+"_x_"+o.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]Value, len(cols))
+	for _, a := range t.rows {
+		copy(buf, a)
+		for _, b := range o.rows {
+			copy(buf[len(a):], b)
+			if keep(buf) {
+				out.rows = append(out.rows, append([]Value(nil), buf...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinOn is a condition for EquiJoin: left column name equals right column
+// name.
+type JoinOn struct {
+	Left, Right string
+}
+
+// EquiJoin returns the inner equi-join of t and o on the given column pairs,
+// using a hash join on the right table. NULL keys never match (SQL
+// semantics). Column names must not collide across the two tables.
+func (t *Table) EquiJoin(o *Table, on []JoinOn) (*Table, error) {
+	if len(on) == 0 {
+		return t.Cross(o)
+	}
+	lidx := make([]int, len(on))
+	ridx := make([]int, len(on))
+	for k, c := range on {
+		li := t.ColIndex(c.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c.Left, t.name)
+		}
+		ri := o.ColIndex(c.Right)
+		if ri < 0 {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c.Right, o.name)
+		}
+		lidx[k], ridx[k] = li, ri
+	}
+	cols := make([]string, 0, len(t.cols)+len(o.cols))
+	cols = append(cols, t.cols...)
+	cols = append(cols, o.cols...)
+	out, err := NewTable(t.name+"_j_"+o.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	// Build hash on the right side.
+	buckets := make(map[string][]int, len(o.rows))
+	for i := range o.rows {
+		if rowHasNullAt(o.rows[i], ridx) {
+			continue
+		}
+		k := o.RowKey(i, ridx)
+		buckets[k] = append(buckets[k], i)
+	}
+	for i := range t.rows {
+		if rowHasNullAt(t.rows[i], lidx) {
+			continue
+		}
+		k := t.RowKey(i, lidx)
+		for _, j := range buckets[k] {
+			nr := make([]Value, 0, len(cols))
+			nr = append(nr, t.rows[i]...)
+			nr = append(nr, o.rows[j]...)
+			out.rows = append(out.rows, nr)
+		}
+	}
+	return out, nil
+}
+
+func rowHasNullAt(row []Value, idx []int) bool {
+	for _, j := range idx {
+		if row[j].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Rename returns a copy of t with columns renamed according to mapping
+// old→new. Unmapped columns keep their names.
+func (t *Table) Rename(mapping map[string]string) (*Table, error) {
+	cols := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		if n, ok := mapping[c]; ok {
+			cols[i] = n
+		} else {
+			cols[i] = c
+		}
+	}
+	out, err := NewTable(t.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = t.rows
+	return out, nil
+}
+
+// Prefix returns a copy of t with every column name prefixed by p, a common
+// pre-step before Cross/EquiJoin to avoid collisions.
+func (t *Table) Prefix(p string) *Table {
+	cols := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = p + c
+	}
+	out := MustNewTable(t.name, cols...)
+	out.rows = t.rows
+	return out
+}
+
+// ContainsAll reports whether every row of o occurs in t (set semantics over
+// the shared column order; schemas must match). This implements the paper's
+// reconstruction check: the table rebuilt from implementation tables must
+// contain the original debugged table.
+func (t *Table) ContainsAll(o *Table) (bool, error) {
+	if err := sameSchema(t, o); err != nil {
+		return false, err
+	}
+	have := make(map[string]struct{}, len(t.rows))
+	for i := range t.rows {
+		have[t.RowKey(i, nil)] = struct{}{}
+	}
+	for i := range o.rows {
+		if _, ok := have[o.RowKey(i, nil)]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EqualRows reports whether t and o hold exactly the same set of rows
+// (duplicates collapsed), regardless of row order.
+func (t *Table) EqualRows(o *Table) (bool, error) {
+	ab, err := t.ContainsAll(o)
+	if err != nil || !ab {
+		return ab, err
+	}
+	return o.ContainsAll(t)
+}
+
+func sameSchema(a, b *Table) error {
+	if len(a.cols) != len(b.cols) {
+		return fmt.Errorf("%w: %q has %d columns, %q has %d", ErrSchema, a.name, len(a.cols), b.name, len(b.cols))
+	}
+	for i := range a.cols {
+		if a.cols[i] != b.cols[i] {
+			return fmt.Errorf("%w: column %d is %q in %q but %q in %q", ErrSchema, i, a.cols[i], a.name, b.cols[i], b.name)
+		}
+	}
+	return nil
+}

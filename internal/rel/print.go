@@ -1,0 +1,64 @@
+package rel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// String renders the table as an aligned ASCII grid, matching the figures in
+// the paper (header row, one row per controller transition).
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Write(&sb)
+	return sb.String()
+}
+
+// Write renders the table as an aligned ASCII grid to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, v := range r {
+			if n := len(v.String()); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- %s (%d rows) --\n", t.name, len(t.rows))
+	for i, c := range t.cols {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		pad(&sb, c, widths[i])
+	}
+	sb.WriteByte('\n')
+	for i := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, v := range r {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad(&sb, v.String(), widths[i])
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(sb *strings.Builder, s string, w int) {
+	sb.WriteString(s)
+	for n := len(s); n < w; n++ {
+		sb.WriteByte(' ')
+	}
+}

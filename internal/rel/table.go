@@ -1,0 +1,238 @@
+package rel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Common errors returned by table operations.
+var (
+	ErrArity         = errors.New("rel: value count does not match column count")
+	ErrUnknownColumn = errors.New("rel: unknown column")
+	ErrDupColumn     = errors.New("rel: duplicate column")
+	ErrSchema        = errors.New("rel: incompatible schemas")
+)
+
+// Table is an in-memory relation: an ordered list of named columns and a
+// multiset of rows. Operations that produce new relations never mutate their
+// receivers, matching relational-algebra semantics; Insert and Delete mutate
+// in place.
+type Table struct {
+	name string
+	cols []string
+	pos  map[string]int
+	rows [][]Value
+}
+
+// NewTable creates an empty table with the given column names.
+// Column names are case-sensitive and must be unique.
+func NewTable(name string, cols ...string) (*Table, error) {
+	t := &Table{name: name, cols: append([]string(nil), cols...), pos: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.pos[c]; dup {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrDupColumn, c, name)
+		}
+		t.pos[c] = i
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error; for statically known schemas.
+func MustNewTable(name string, cols ...string) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// SetName renames the table in place and returns it for chaining.
+func (t *Table) SetName(name string) *Table {
+	t.name = name
+	return t
+}
+
+// Columns returns a copy of the column name list.
+func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Empty reports whether the table has no rows.
+func (t *Table) Empty() bool { return len(t.rows) == 0 }
+
+// ColIndex returns the position of column name, or -1 if absent.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.pos[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
+
+// Insert appends a row. The number of values must equal the column count.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(vals), len(t.cols), t.name)
+	}
+	t.rows = append(t.rows, append([]Value(nil), vals...))
+	return nil
+}
+
+// MustInsert is Insert that panics on arity mismatch.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRow appends an already-built row slice without copying. The caller
+// must not retain the slice. Used on hot paths (cross products, joins).
+func (t *Table) InsertRow(row []Value) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(row), len(t.cols), t.name)
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Row returns an accessor for row i. It panics if i is out of range.
+func (t *Table) Row(i int) Row { return Row{t: t, vals: t.rows[i]} }
+
+// RawRow returns the underlying value slice of row i; callers must not
+// modify it.
+func (t *Table) RawRow(i int) []Value { return t.rows[i] }
+
+// Get returns the value at row i, column name. It returns NULL for an
+// unknown column, mirroring SQL's treatment of missing attributes in the
+// paper's sparse controller tables.
+func (t *Table) Get(i int, name string) Value {
+	j := t.ColIndex(name)
+	if j < 0 {
+		return Null()
+	}
+	return t.rows[i][j]
+}
+
+// Set assigns the value at row i, column name.
+func (t *Table) Set(i int, name string, v Value) error {
+	j := t.ColIndex(name)
+	if j < 0 {
+		return fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, name, t.name)
+	}
+	t.rows[i][j] = v
+	return nil
+}
+
+// DeleteWhere removes all rows for which pred returns true and returns the
+// number removed.
+func (t *Table) DeleteWhere(pred func(Row) bool) int {
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		if pred(Row{t: t, vals: r}) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	return removed
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := MustNewTable(t.name, t.cols...)
+	c.rows = make([][]Value, len(t.rows))
+	for i, r := range t.rows {
+		c.rows[i] = append([]Value(nil), r...)
+	}
+	return c
+}
+
+// RowKey returns an injective string encoding of row i over the given column
+// positions (all columns if cols is nil), for hashing.
+func (t *Table) RowKey(i int, cols []int) string {
+	var sb strings.Builder
+	r := t.rows[i]
+	if cols == nil {
+		for _, v := range r {
+			sb.WriteString(v.Key())
+			sb.WriteByte(0x1f)
+		}
+		return sb.String()
+	}
+	for _, j := range cols {
+		sb.WriteString(r[j].Key())
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}
+
+// SortBy sorts rows in place by the given columns ascending. Unknown columns
+// are an error.
+func (t *Table) SortBy(cols ...string) error {
+	idx := make([]int, len(cols))
+	for k, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c, t.name)
+		}
+		idx[k] = j
+	}
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		ra, rb := t.rows[a], t.rows[b]
+		for _, j := range idx {
+			if c := ra[j].Compare(rb[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// SortAll sorts rows in place by every column left to right, giving a
+// canonical order used by EqualRows.
+func (t *Table) SortAll() {
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		ra, rb := t.rows[a], t.rows[b]
+		for j := range ra {
+			if c := ra[j].Compare(rb[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// Row is a lightweight accessor for one row of a table.
+type Row struct {
+	t    *Table
+	vals []Value
+}
+
+// Get returns the value in the named column, or NULL if the column is absent.
+func (r Row) Get(name string) Value {
+	j := r.t.ColIndex(name)
+	if j < 0 {
+		return Null()
+	}
+	return r.vals[j]
+}
+
+// Values returns the underlying value slice; callers must not modify it.
+func (r Row) Values() []Value { return r.vals }
+
+// Table returns the row's parent table.
+func (r Row) Table() *Table { return r.t }

@@ -1,0 +1,203 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Fatal("Null() must be NULL")
+	}
+	if v := S("readex"); v.Kind() != KindString || v.Str() != "readex" {
+		t.Fatalf("S: got %v", v)
+	}
+	if v := I(-7); v.Kind() != KindInt || v.Int() != -7 {
+		t.Fatalf("I: got %v", v)
+	}
+	if v := B(true); v.Kind() != KindBool || !v.Bool() {
+		t.Fatalf("B: got %v", v)
+	}
+}
+
+func TestValueZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+}
+
+func TestValueAccessorsOnWrongKind(t *testing.T) {
+	if S("x").Int() != 0 || S("x").Bool() {
+		t.Fatal("wrong-kind accessors must return zero values")
+	}
+	if I(3).Str() != "" || Null().Str() != "" {
+		t.Fatal("Str on non-string must be empty")
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{B(true), true},
+		{B(false), false},
+		{I(0), false},
+		{I(1), true},
+		{I(-1), true},
+		{S(""), false},
+		{S("x"), true},
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Null().Equal(Null()) {
+		t.Fatal("NULL must equal NULL for row identity")
+	}
+	if S("a").Equal(S("b")) || !S("a").Equal(S("a")) {
+		t.Fatal("string equality broken")
+	}
+	if S("1").Equal(I(1)) {
+		t.Fatal("cross-kind values must not be equal")
+	}
+	if B(false).Equal(Null()) {
+		t.Fatal("false must not equal NULL")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	ordered := []Value{Null(), B(false), B(true), I(-5), I(0), I(9), S(""), S("a"), S("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{S("sinv"), "sinv"},
+		{I(42), "42"},
+		{B(true), "true"},
+		{B(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueQuoted(t *testing.T) {
+	if got := S("it's").Quoted(); got != "'it''s'" {
+		t.Fatalf("Quoted = %q", got)
+	}
+	if got := I(3).Quoted(); got != "3" {
+		t.Fatalf("Quoted int = %q", got)
+	}
+	if got := Null().Quoted(); got != "NULL" {
+		t.Fatalf("Quoted null = %q", got)
+	}
+}
+
+// randomValue produces an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return Null()
+	case 1:
+		return I(r.Int63n(2000) - 1000)
+	case 2:
+		return B(r.Intn(2) == 0)
+	default:
+		letters := []byte("abcxyz'#\\N")
+		n := r.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return S(string(b))
+	}
+}
+
+// valueGen adapts randomValue to testing/quick.
+type valueGen struct{ V Value }
+
+func (valueGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueGen{V: randomValue(r)})
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	// Property: Key is injective — equal keys imply Equal values.
+	f := func(a, b valueGen) bool {
+		if a.V.Key() == b.V.Key() {
+			return a.V.Equal(b.V)
+		}
+		return !a.V.Equal(b.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b valueGen) bool {
+		return a.V.Compare(b.V) == -b.V.Compare(a.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareTransitiveOnTriples(t *testing.T) {
+	f := func(a, b, c valueGen) bool {
+		x, y, z := a.V, b.V, c.V
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 {
+			return x.Compare(z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEqualConsistentWithCompare(t *testing.T) {
+	f := func(a, b valueGen) bool {
+		return a.V.Equal(b.V) == (a.V.Compare(b.V) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(a valueGen) bool {
+		v2, err := decodeValue(encodeValue(a.V))
+		return err == nil && v2.Equal(a.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SequenceChart renders the run's message exchanges for one line address as
+// an ASCII sequence chart — the form of the paper's Figure 2, with the
+// relative ordering of the messages down the page. Events are recorded
+// whenever tracing is enabled.
+func (s *System) SequenceChart(addr Addr) string {
+	lanes := make([]EntityID, 0, len(s.nodes)+2)
+	for i := range s.nodes {
+		lanes = append(lanes, NodeID(i))
+	}
+	lanes = append(lanes, Dir, Mem)
+	col := map[EntityID]int{}
+	const width = 14
+	for i, l := range lanes {
+		col[l] = i * width
+	}
+	var sb strings.Builder
+	// Header.
+	for _, l := range lanes {
+		cell := string(l)
+		if len(cell) > width-2 {
+			cell = cell[:width-2]
+		}
+		sb.WriteString(cell)
+		sb.WriteString(strings.Repeat(" ", width-len(cell)))
+	}
+	sb.WriteByte('\n')
+	line := func() []byte {
+		b := make([]byte, width*len(lanes))
+		for i := range b {
+			b[i] = ' '
+		}
+		for _, l := range lanes {
+			b[col[l]] = '|'
+		}
+		return b
+	}
+	n := 0
+	for _, ev := range s.events {
+		if ev.Addr != addr {
+			continue
+		}
+		from, okF := col[ev.From]
+		to, okT := col[ev.To]
+		if !okF || !okT || from == to {
+			continue
+		}
+		n++
+		b := line()
+		lo, hi := from, to
+		dirRight := true
+		if lo > hi {
+			lo, hi = hi, lo
+			dirRight = false
+		}
+		for i := lo + 1; i < hi; i++ {
+			b[i] = '-'
+		}
+		if dirRight {
+			b[hi-1] = '>'
+		} else {
+			b[lo+1] = '<'
+		}
+		// Embed "n.msg[vc]" in the middle of the arrow.
+		label := fmt.Sprintf("%d.%s", n, ev.Type)
+		if ev.VC != "" {
+			label += "[" + ev.VC + "]"
+		}
+		mid := (lo + hi + 1 - len(label)) / 2
+		if mid <= lo+1 {
+			mid = lo + 2
+		}
+		for i := 0; i < len(label) && mid+i < hi-1; i++ {
+			b[mid+i] = label[i]
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	if n == 0 {
+		return "no messages recorded for that line (enable Config.Trace)\n"
+	}
+	return sb.String()
+}

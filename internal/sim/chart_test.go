@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSequenceChartReadEx(t *testing.T) {
+	tables := genTables(t)
+	sys, err := ReadExSystem(tables, fixedAssignment(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	chart := sys.SequenceChart(0x100)
+	t.Logf("\n%s", chart)
+	for _, want := range []string{"readex", "sinv", "mread", "idone", "mdata", "datax", "compl"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %s", want)
+		}
+	}
+	// Order: readex before sinv before datax.
+	if strings.Index(chart, "readex") > strings.Index(chart, "sinv[") {
+		t.Error("readex must precede sinv")
+	}
+	// Empty chart case.
+	if !strings.Contains(sys.SequenceChart(0xdead), "no messages") {
+		t.Error("empty chart message missing")
+	}
+}

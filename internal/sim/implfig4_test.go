@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"coherdb/internal/protocol"
+)
+
+// fig4ImplSystem builds the Fig. 4 scenario on the implementation engine,
+// with width concurrent readex-vs-writeback races.
+func fig4ImplSystem(t *testing.T, assignName string, width int) *System {
+	t.Helper()
+	v, err := protocol.BuildAssignment(assignName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 1,
+		ChannelCaps: map[string]int{"VC0": 8, "VC1": 2},
+		// A slow snoop link lets both invalidations get issued before the
+		// first idone returns, and a slow local-response link keeps the
+		// remote's writebacks unresolved (MI_w) when the snoops land — the
+		// window in which the memmsg queue fills while a second response
+		// is already in flight.
+		ChannelLatency: map[string]int{"VC1": 4, "VC3": 8},
+		Tables:         genTables(t).Map(),
+		Assignment:     v, Mapping: implMapping(t),
+		ImplOutQueueCap: 1, MemLatency: 40, MaxRetries: 1,
+		StarvationLimit: 600, MaxSteps: 40000, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, remote := sys.Node(0), sys.Node(1)
+	// Line B: modified at the local node; lines A1..Ak at the remote.
+	lineB := Addr(0xB0)
+	local.SetCache(lineB, protocol.CacheM)
+	sys.Dir().SetOwner(lineB, NodeID(0))
+	local.Script(Op{Kind: "previct", Addr: lineB})
+	for k := 0; k < width; k++ {
+		lineA := Addr(0xA0 + k)
+		remote.SetCache(lineA, protocol.CacheM)
+		sys.Dir().SetOwner(lineA, NodeID(1))
+		local.Script(Op{Kind: "prwrite", Addr: lineA})
+		remote.Script(Op{Kind: "previct", Addr: lineA, Delay: 1 + k})
+	}
+	return sys
+}
+
+func TestImplBufferingAbsorbsSingleRace(t *testing.T) {
+	// The Fig. 5 queues are store-and-forward buffers: with a single
+	// readex/writeback race, the idone is absorbed into the memmsg queue
+	// even while VC4 is blocked, so the spec-level deadlock does not
+	// freeze the implementation — buffering defers the hazard.
+	sys := fig4ImplSystem(t, protocol.AssignVC4, 1)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v\n%s", res.Outcome, res.Blockage)
+	}
+}
+
+func TestImplSaturatedQueuesDeadlock(t *testing.T) {
+	// ... but buffering only defers it: a second concurrent race fills the
+	// single-entry memmsg queue and the §4.2 cyclic wait freezes the
+	// implementation too — finite queues are exactly the resources the
+	// static VCG analysis reasons about.
+	sys := fig4ImplSystem(t, protocol.AssignVC4, 2)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Deadlocked {
+		t.Fatalf("outcome = %v, want deadlock\n%s", res.Outcome, strings.Join(res.Trace, "\n"))
+	}
+	if !strings.Contains(res.Blockage, "VC4") || !strings.Contains(res.Blockage, "VC2") {
+		t.Fatalf("blockage does not show the VC2/VC4 pair:\n%s", res.Blockage)
+	}
+}
+
+func TestImplSaturatedQueuesFixedCompletes(t *testing.T) {
+	// Under the repaired assignment the saturated scenario completes.
+	sys := fig4ImplSystem(t, protocol.AssignFixed, 2)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v\n%s", res.Outcome, res.Blockage)
+	}
+	if v := sys.CheckCoherence(); len(v) != 0 {
+		t.Fatalf("coherence: %v", v)
+	}
+}

@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"coherdb/internal/constraint"
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+)
+
+var (
+	tabOnce sync.Once
+	tabVal  Tables
+	tabErr  error
+)
+
+func genTables(t testing.TB) Tables {
+	t.Helper()
+	tabOnce.Do(func() {
+		specs, err := protocol.BuildAllSpecs()
+		if err != nil {
+			tabErr = err
+			return
+		}
+		solve := func(name string) *rel.Table {
+			if tabErr != nil {
+				return nil
+			}
+			tab, _, err := constraint.Solve(specs[name])
+			if err != nil {
+				tabErr = err
+				return nil
+			}
+			return tab
+		}
+		tabVal = Tables{
+			D: solve(protocol.DirectoryTable),
+			M: solve(protocol.MemoryTable),
+			C: solve(protocol.CacheTable),
+			N: solve(protocol.NodeTable),
+		}
+	})
+	if tabErr != nil {
+		t.Fatal(tabErr)
+	}
+	return tabVal
+}
+
+func fixedAssignment(t testing.TB) *rel.Table {
+	t.Helper()
+	v, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestChannelFIFO(t *testing.T) {
+	ch := NewChannel("VC0", 2)
+	m1 := Message{Type: "a"}
+	m2 := Message{Type: "b"}
+	if !ch.Send(m1) || !ch.Send(m2) {
+		t.Fatal("sends failed")
+	}
+	if ch.Send(Message{Type: "c"}) {
+		t.Fatal("overfull send accepted")
+	}
+	if h, ok := ch.Head(); !ok || h.Type != "a" {
+		t.Fatal("head wrong")
+	}
+	if got, _ := ch.Pop(); got.Type != "a" {
+		t.Fatal("pop wrong")
+	}
+	if ch.Len() != 1 {
+		t.Fatal("len wrong")
+	}
+	if !ch.CanSend(1) || ch.CanSend(2) {
+		t.Fatal("CanSend wrong")
+	}
+	snap := ch.Snapshot()
+	if len(snap) != 1 || snap[0].Type != "b" {
+		t.Fatal("snapshot wrong")
+	}
+	unbounded := NewChannel("x", 0)
+	for i := 0; i < 100; i++ {
+		if !unbounded.Send(Message{}) {
+			t.Fatal("unbounded channel rejected send")
+		}
+	}
+}
+
+func TestTableCoreMostSpecificMatch(t *testing.T) {
+	tab := rel.MustNewTable("T", "inmsg", "st", "out")
+	tab.MustInsert(rel.S("req"), rel.Null(), rel.S("generic"))
+	tab.MustInsert(rel.S("req"), rel.S("busy"), rel.S("specific"))
+	core, err := newTableCore(tab, []string{"inmsg", "st"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := core.match(map[string]rel.Value{"inmsg": rel.S("req"), "st": rel.S("busy")})
+	if !ok || !row.Get("out").Equal(rel.S("specific")) {
+		t.Fatal("most specific row not preferred")
+	}
+	row, ok = core.match(map[string]rel.Value{"inmsg": rel.S("req"), "st": rel.S("other")})
+	if !ok || !row.Get("out").Equal(rel.S("generic")) {
+		t.Fatal("dontcare row not used as fallback")
+	}
+	if _, ok := core.match(map[string]rel.Value{"inmsg": rel.S("nosuch"), "st": rel.Null()}); ok {
+		t.Fatal("phantom match")
+	}
+}
+
+func TestSimpleReadMiss(t *testing.T) {
+	tables := genTables(t)
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 4, Tables: tables.Map(),
+		Assignment: fixedAssignment(t), MaxSteps: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(0).Script(Op{Kind: "prread", Addr: 1})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if sys.Node(0).CacheState(1) != protocol.CacheS {
+		t.Fatalf("cache state = %s, want S", sys.Node(0).CacheState(1))
+	}
+	st, sharers := sys.Dir().Entry(1)
+	if st != protocol.DirSI || len(sharers) != 1 || sharers[0] != NodeID(0) {
+		t.Fatalf("directory = %s %v", st, sharers)
+	}
+	if sys.Dir().BusyCount() != 0 {
+		t.Fatal("busy entries leaked")
+	}
+}
+
+func TestWriteMissTakesOwnership(t *testing.T) {
+	tables := genTables(t)
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 4, Tables: tables.Map(),
+		Assignment: fixedAssignment(t), MaxSteps: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(0).Script(Op{Kind: "prwrite", Addr: 7})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if sys.Node(0).CacheState(7) != protocol.CacheM {
+		t.Fatalf("cache state = %s, want M", sys.Node(0).CacheState(7))
+	}
+	st, sharers := sys.Dir().Entry(7)
+	if st != protocol.DirMESI || len(sharers) != 1 {
+		t.Fatalf("directory = %s %v", st, sharers)
+	}
+}
+
+func TestFigure2ReadExInvalidatesSharers(t *testing.T) {
+	tables := genTables(t)
+	sys, err := ReadExSystem(tables, fixedAssignment(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v\n%s", res.Outcome, strings.Join(res.Trace, "\n"))
+	}
+	const line Addr = 0x100
+	if sys.Node(0).CacheState(line) != protocol.CacheM {
+		t.Fatalf("requester state = %s", sys.Node(0).CacheState(line))
+	}
+	for i := 1; i <= 3; i++ {
+		if st := sys.Node(i).CacheState(line); st != protocol.CacheI {
+			t.Fatalf("sharer %d state = %s, want I", i, st)
+		}
+	}
+	st, sharers := sys.Dir().Entry(line)
+	if st != protocol.DirMESI || len(sharers) != 1 || sharers[0] != NodeID(0) {
+		t.Fatalf("directory = %s %v", st, sharers)
+	}
+	// The trace must show the Fig. 2 message sequence.
+	trace := strings.Join(res.Trace, "\n")
+	for _, want := range []string{"readex", "sinv", "mread", "idone", "mdata", "datax", "compl"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+func TestUpgradeSoleSharer(t *testing.T) {
+	// read then write on the same node: the upgrade finds no other
+	// sharer; the synthesized zero-vector completion must still finish.
+	tables := genTables(t)
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 4, Tables: tables.Map(),
+		Assignment: fixedAssignment(t), MaxSteps: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(0).Script(
+		Op{Kind: "prread", Addr: 3},
+		Op{Kind: "prwrite", Addr: 3},
+	)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if sys.Node(0).CacheState(3) != protocol.CacheM {
+		t.Fatalf("state = %s, want M", sys.Node(0).CacheState(3))
+	}
+}
+
+func TestWritebackReleasesOwnership(t *testing.T) {
+	tables := genTables(t)
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 4, Tables: tables.Map(),
+		Assignment: fixedAssignment(t), MaxSteps: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(0).SetCache(9, protocol.CacheM)
+	sys.Dir().SetOwner(9, NodeID(0))
+	sys.Node(0).Script(Op{Kind: "previct", Addr: 9})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if st, _ := sys.Dir().Entry(9); st != protocol.DirI {
+		t.Fatalf("directory = %s, want I", st)
+	}
+	if sys.Node(0).CacheState(9) != protocol.CacheI {
+		t.Fatal("cache still holds the line")
+	}
+}
+
+func TestFigure4DeadlockUnderVC4Assignment(t *testing.T) {
+	// F4: the published deadlock manifests dynamically under the VC4
+	// assignment...
+	tables := genTables(t)
+	res, err := RunFigure4(tables, protocol.AssignVC4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Deadlocked {
+		t.Fatalf("outcome = %v, want deadlock\n%s", res.Outcome, strings.Join(res.Trace, "\n"))
+	}
+	// The blockage must involve VC2 and VC4 (the cyclic pair of Fig. 4).
+	if !strings.Contains(res.Blockage, "VC4") || !strings.Contains(res.Blockage, "VC2") {
+		t.Fatalf("blockage does not show the VC2/VC4 pair:\n%s", res.Blockage)
+	}
+}
+
+func TestFigure4CompletesUnderFixedAssignment(t *testing.T) {
+	// ... and disappears once mread rides the dedicated path.
+	tables := genTables(t)
+	res, err := RunFigure4(tables, protocol.AssignFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %v\n%s\n%s", res.Outcome, res.Blockage, strings.Join(res.Trace, "\n"))
+	}
+}
+
+func TestRunScenarioNames(t *testing.T) {
+	tables := genTables(t)
+	if len(ScenarioNames()) != 2 {
+		t.Fatal("scenario list wrong")
+	}
+	if _, err := RunScenario("nosuch", tables, protocol.AssignFixed); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	res, err := RunScenario("readex", tables, protocol.AssignFixed)
+	if err != nil || res.Outcome != Completed {
+		t.Fatalf("readex scenario: %v %v", err, res)
+	}
+}
+
+func TestRandomWorkloadCoherent(t *testing.T) {
+	tables := genTables(t)
+	for _, seed := range []int64{1, 2, 3} {
+		sys, err := RandomSystem(tables, fixedAssignment(t), RandomConfig{
+			Nodes: 3, Addrs: 3, OpsPerNode: 15, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Outcome != Completed {
+			t.Fatalf("seed %d: outcome %v\n%s", seed, res.Outcome, res.Blockage)
+		}
+		if v := sys.CheckCoherence(); len(v) != 0 {
+			t.Fatalf("seed %d: coherence violations: %v", seed, v)
+		}
+		if res.Stats.OpsCompleted == 0 {
+			t.Fatalf("seed %d: nothing completed", seed)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tables := genTables(t)
+	run := func() Stats {
+		sys, err := RandomSystem(tables, fixedAssignment(t), RandomConfig{
+			Nodes: 3, Addrs: 2, OpsPerNode: 10, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	a, b := run(), run()
+	if a.Steps != b.Steps || a.Delivered != b.Delivered || a.OpsCompleted != b.OpsCompleted {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDeterministicFinalFingerprint(t *testing.T) {
+	// Same seed, same final protocol state — byte for byte.
+	tables := genTables(t)
+	run := func() string {
+		sys, err := RandomSystem(tables, fixedAssignment(t), RandomConfig{
+			Nodes: 3, Addrs: 3, OpsPerNode: 15, Seed: 99, DirectOps: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Fingerprint()
+	}
+	if run() != run() {
+		t.Fatal("final fingerprints differ across identical runs")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Completed.String() == "" || Deadlocked.String() == "" || StepLimit.String() == "" {
+		t.Fatal("outcome strings empty")
+	}
+	if Outcome(99).String() != "unknown" {
+		t.Fatal("unknown outcome")
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"coherdb/internal/rel"
+)
+
+// tableCore executes a controller table: given a binding of input columns,
+// it finds the matching row. A NULL in an input column of a row is a
+// dontcare and matches anything; the most specific matching row (fewest
+// dontcares among bound inputs) wins, which resolves the overlap between
+// the concrete interleaving rows and dontcare retry rows.
+type tableCore struct {
+	tab    *rel.Table
+	inCols []string
+	inIdx  []int
+	// index on the first input column (typically inmsg) to avoid scanning
+	// the whole table for every lookup.
+	byFirst map[string][]int
+}
+
+func newTableCore(tab *rel.Table, inCols []string) (*tableCore, error) {
+	tc := &tableCore{tab: tab, inCols: inCols, byFirst: make(map[string][]int)}
+	for _, c := range inCols {
+		j := tab.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("sim: table %q lacks input column %q", tab.Name(), c)
+		}
+		tc.inIdx = append(tc.inIdx, j)
+	}
+	first := tc.inIdx[0]
+	for i := 0; i < tab.NumRows(); i++ {
+		k := tab.RawRow(i)[first].Str()
+		tc.byFirst[k] = append(tc.byFirst[k], i)
+	}
+	return tc, nil
+}
+
+// match finds the most specific row matching the binding. The binding maps
+// input column names to concrete values; a missing binding entry is treated
+// as NULL.
+func (tc *tableCore) match(binding map[string]rel.Value) (rel.Row, bool) {
+	firstVal := binding[tc.inCols[0]]
+	best := -1
+	bestScore := -1
+	for _, i := range tc.byFirst[firstVal.Str()] {
+		row := tc.tab.RawRow(i)
+		score := 0
+		ok := true
+		for k, j := range tc.inIdx {
+			want := row[j]
+			if want.IsNull() {
+				continue // dontcare
+			}
+			got := binding[tc.inCols[k]]
+			if !want.Equal(got) {
+				ok = false
+				break
+			}
+			score++
+		}
+		if ok && score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best < 0 {
+		return rel.Row{}, false
+	}
+	return tc.tab.Row(best), true
+}

@@ -1,0 +1,256 @@
+package sqlmini
+
+import (
+	"strings"
+
+	"coherdb/internal/rel"
+)
+
+// Expr is a SQL expression node.
+type Expr interface {
+	// String renders the expression back to dialect syntax.
+	String() string
+	exprNode()
+}
+
+// Lit is a literal value (string, number, TRUE/FALSE, NULL).
+type Lit struct {
+	Val rel.Value
+}
+
+// Col is a column reference, optionally qualified ("D.inmsg").
+type Col struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+// Unary is NOT expr.
+type Unary struct {
+	Op string // "NOT"
+	X  Expr
+}
+
+// Binary is a binary operation: comparison, AND, OR.
+type Binary struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+// InList is "x IN (a, b, c)" or "x NOT IN (...)".
+type InList struct {
+	X      Expr
+	Set    []Expr
+	Negate bool
+}
+
+// IsNull is "x IS NULL" or "x IS NOT NULL".
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// Between is "x BETWEEN lo AND hi".
+type Between struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// Ternary is the paper's constraint form "cond ? then : else".
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Case is "CASE WHEN c THEN v ... [ELSE e] END".
+type Case struct {
+	Whens []When
+	Else  Expr // nil means NULL
+}
+
+// When is one WHEN/THEN arm of a Case.
+type When struct {
+	Cond, Val Expr
+}
+
+// Call is a registered function invocation, e.g. isrequest(inmsg).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Lit) exprNode()     {}
+func (Col) exprNode()     {}
+func (Unary) exprNode()   {}
+func (Binary) exprNode()  {}
+func (InList) exprNode()  {}
+func (IsNull) exprNode()  {}
+func (Between) exprNode() {}
+func (Ternary) exprNode() {}
+func (Case) exprNode()    {}
+func (Call) exprNode()    {}
+
+func (e Lit) String() string { return e.Val.Quoted() }
+
+func (e Col) String() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e Unary) String() string { return "(" + e.Op + " " + e.X.String() + ")" }
+
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e InList) String() string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	sb.WriteString(e.X.String())
+	if e.Negate {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	for i, s := range e.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.String())
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+func (e IsNull) String() string {
+	if e.Negate {
+		return "(" + e.X.String() + " IS NOT NULL)"
+	}
+	return "(" + e.X.String() + " IS NULL)"
+}
+
+func (e Between) String() string {
+	not := ""
+	if e.Negate {
+		not = "NOT "
+	}
+	return "(" + e.X.String() + " " + not + "BETWEEN " + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+func (e Ternary) String() string {
+	return "(" + e.Cond.String() + " ? " + e.Then.String() + " : " + e.Else.String() + ")"
+}
+
+func (e Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range e.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Val.String())
+	}
+	if e.Else != nil {
+		sb.WriteString(" ELSE " + e.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (e Call) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Name)
+	sb.WriteString("(")
+	for i, a := range e.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Stmt is a SQL statement.
+type Stmt interface{ stmtNode() }
+
+// SelectItem is one element of a select list: an expression with an optional
+// alias, or a star.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is one table in a FROM clause, with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinClause is "JOIN t [alias] ON expr".
+type JoinClause struct {
+	Ref TableRef
+	On  Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query, possibly with UNION branches chained via
+// Union/UnionAll.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr
+	// GroupBy groups rows by the given expressions; COUNT(*) in the
+	// select list then counts per group, and Having filters groups.
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 means no limit
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+// CreateStmt is CREATE TABLE name (cols) or CREATE TABLE name AS SELECT.
+type CreateStmt struct {
+	Name string
+	Cols []string
+	As   *SelectStmt
+}
+
+// DropStmt is DROP TABLE name.
+type DropStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// DeleteStmt is DELETE FROM name [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE name SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+func (*SelectStmt) stmtNode() {}
+func (*CreateStmt) stmtNode() {}
+func (*DropStmt) stmtNode()   {}
+func (*InsertStmt) stmtNode() {}
+func (*DeleteStmt) stmtNode() {}
+func (*UpdateStmt) stmtNode() {}

@@ -1,0 +1,99 @@
+package sqlmini
+
+import (
+	"fmt"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewDB()
+	t := rel.MustNewTable("T", "m", "st", "pv", "out")
+	msgs := []string{"read", "readex", "wb", "idone", "data"}
+	sts := []string{"I", "SI", "MESI"}
+	for i := 0; i < rows; i++ {
+		t.MustInsert(
+			rel.S(msgs[i%len(msgs)]), rel.S(sts[i%len(sts)]),
+			rel.I(int64(i%3)), rel.S(fmt.Sprintf("o%d", i%17)),
+		)
+	}
+	db.PutTable(t)
+	v := rel.MustNewTable("V", "m", "vc")
+	for i, m := range msgs {
+		v.MustInsert(rel.S(m), rel.S(fmt.Sprintf("VC%d", i)))
+	}
+	db.PutTable(v)
+	return db
+}
+
+func BenchmarkParseStatement(b *testing.B) {
+	const q = `SELECT DISTINCT t.m, v.vc AS chan FROM T t JOIN V v ON t.m = v.m
+		WHERE t.st <> 'I' AND t.pv IN (1, 2) ORDER BY chan DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseStatement(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTernaryConstraint(b *testing.B) {
+	const e = `inmsg = "data" and dirst = "Busy-d" ? dirpv = zero :
+		inmsg = "idone" and dirst = "Busy-s" ? dirpv = zero : dirpv = one`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalTernary(b *testing.B) {
+	e, err := ParseExpr(`m = "data" and st = "MESI" ? pv = 1 : pv = 2`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := &Evaluator{Funcs: map[string]Func{}, NullEq: true}
+	env := MapEnv{"m": rel.S("data"), "st": rel.S("MESI"), "pv": rel.I(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(e, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryWhere(b *testing.B) {
+	for _, rows := range []int{100, 1000, 10000} {
+		db := benchDB(b, rows)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(`SELECT m, out FROM T WHERE st = 'MESI' AND m <> 'wb'`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryHashJoin(b *testing.B) {
+	db := benchDB(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT T.m, V.vc FROM T JOIN V ON T.m = V.m`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryEmptyInvariantIdiom(b *testing.B) {
+	db := benchDB(b, 5000)
+	db.SetStrictNulls(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		empty, err := db.QueryEmpty(`SELECT m FROM T WHERE st = 'MESI' AND NOT pv IN (0, 1, 2)`)
+		if err != nil || !empty {
+			b.Fatal(err)
+		}
+	}
+}

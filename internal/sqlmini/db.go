@@ -1,0 +1,346 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"coherdb/internal/rel"
+)
+
+// Errors returned by the executor.
+var (
+	ErrNoTable    = errors.New("sqlmini: no such table")
+	ErrTableExist = errors.New("sqlmini: table already exists")
+)
+
+// DB is a catalog of named tables plus a function registry — the "central
+// database" of the paper in which all controller tables live. It is safe for
+// concurrent use.
+//
+// By default the DB evaluates expressions in the paper's constraint dialect
+// (NULL is an ordinary dontcare/noop domain value, so col = NULL holds when
+// col is NULL). Use SetStrictNulls for ANSI three-valued semantics.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*rel.Table
+	eval   Evaluator
+}
+
+// NewDB creates an empty database with the standard function registry
+// (typename, coalesce2) pre-installed.
+func NewDB() *DB {
+	db := &DB{
+		tables: make(map[string]*rel.Table),
+		eval:   Evaluator{Funcs: make(map[string]Func), NullEq: true},
+	}
+	db.eval.Funcs["typename"] = func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("%w: typename wants 1 arg", ErrType)
+		}
+		return rel.S(args[0].Kind().String()), nil
+	}
+	db.eval.Funcs["coalesce2"] = func(args []rel.Value) (rel.Value, error) {
+		if len(args) != 2 {
+			return rel.Null(), fmt.Errorf("%w: coalesce2 wants 2 args", ErrType)
+		}
+		if args[0].IsNull() {
+			return args[1], nil
+		}
+		return args[0], nil
+	}
+	return db
+}
+
+// SetStrictNulls switches between ANSI SQL NULL semantics (true) and the
+// paper's constraint dialect (false, the default).
+func (db *DB) SetStrictNulls(strict bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.eval.NullEq = !strict
+}
+
+// Register installs fn as a SQL-callable scalar function. The paper
+// registers protocol predicates such as isrequest(msg).
+func (db *DB) Register(name string, fn Func) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.eval.Funcs[name] = fn
+}
+
+// PutTable installs (or replaces) a table under its own name.
+func (db *DB) PutTable(t *rel.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[t.Name()] = t
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*rel.Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable returns the named table or panics; for names known statically.
+func (db *DB) MustTable(name string) *rel.Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("sqlmini: no such table %q", name))
+	}
+	return t
+}
+
+// DropTable removes the named table; it reports whether it existed.
+func (db *DB) DropTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.tables[name]
+	delete(db.tables, name)
+	return ok
+}
+
+// Names returns the sorted table names.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Table is the result relation for SELECT (and CREATE ... AS SELECT);
+	// nil for other statements.
+	Table *rel.Table
+	// Affected is the number of rows inserted, deleted or updated.
+	Affected int
+}
+
+// Exec parses and executes a single statement.
+func (db *DB) Exec(src string) (*Result, error) {
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecScript parses and executes a semicolon-separated script, stopping at
+// the first error.
+func (db *DB) ExecScript(src string) error {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := db.ExecStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query executes a SELECT and returns the result table.
+func (db *DB) Query(src string) (*rel.Table, error) {
+	res, err := db.Exec(src)
+	if err != nil {
+		return nil, err
+	}
+	if res.Table == nil {
+		return nil, fmt.Errorf("sqlmini: statement %q is not a query", strings.TrimSpace(src))
+	}
+	return res.Table, nil
+}
+
+// QueryEmpty executes a SELECT and reports whether its result is empty —
+// the "[Select ...] = empty" idiom the paper uses for every invariant.
+func (db *DB) QueryEmpty(src string) (bool, error) {
+	t, err := db.Query(src)
+	if err != nil {
+		return false, err
+	}
+	return t.Empty(), nil
+}
+
+// ExecStmt executes an already-parsed statement.
+func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		t, err := db.execSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: t}, nil
+	case *CreateStmt:
+		return db.execCreate(s)
+	case *DropStmt:
+		if _, ok := db.tables[s.Name]; !ok {
+			if s.IfExists {
+				return &Result{}, nil
+			}
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Name)
+		}
+		delete(db.tables, s.Name)
+		return &Result{}, nil
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	default:
+		return nil, fmt.Errorf("sqlmini: unhandled statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreate(s *CreateStmt) (*Result, error) {
+	if _, dup := db.tables[s.Name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExist, s.Name)
+	}
+	if s.As != nil {
+		t, err := db.execSelect(s.As)
+		if err != nil {
+			return nil, err
+		}
+		t.SetName(s.Name)
+		db.tables[s.Name] = t
+		return &Result{Table: t, Affected: t.NumRows()}, nil
+	}
+	t, err := rel.NewTable(s.Name, s.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[s.Name] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
+	}
+	cols := s.Cols
+	if cols == nil {
+		cols = t.Columns()
+	}
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("%w: %s in table %q", ErrUnknownColumn, c, s.Table)
+		}
+		pos[i] = j
+	}
+	emptyEnv := MapEnv{}
+	for _, rexprs := range s.Rows {
+		if len(rexprs) != len(cols) {
+			return nil, fmt.Errorf("%w: INSERT row has %d values, want %d", rel.ErrArity, len(rexprs), len(cols))
+		}
+		row := make([]rel.Value, t.NumCols())
+		for i, e := range rexprs {
+			v, err := db.eval.Eval(e, emptyEnv)
+			if err != nil {
+				return nil, err
+			}
+			row[pos[i]] = v
+		}
+		if err := t.InsertRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
+	}
+	var evalErr error
+	n := t.DeleteWhere(func(r rel.Row) bool {
+		if evalErr != nil {
+			return false
+		}
+		if s.Where == nil {
+			return true
+		}
+		ok, err := db.eval.True(s.Where, rowEnv{row: r})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
+	}
+	for _, c := range s.Cols {
+		if !t.HasColumn(c) {
+			return nil, fmt.Errorf("%w: %s in table %q", ErrUnknownColumn, c, s.Table)
+		}
+	}
+	n := 0
+	for i := 0; i < t.NumRows(); i++ {
+		env := rowEnv{row: t.Row(i)}
+		if s.Where != nil {
+			ok, err := db.eval.True(s.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		// Evaluate all RHS before assigning, so SET a=b, b=a swaps.
+		vals := make([]rel.Value, len(s.Exprs))
+		for k, e := range s.Exprs {
+			v, err := db.eval.Eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[k] = v
+		}
+		for k, c := range s.Cols {
+			if err := t.Set(i, c, vals[k]); err != nil {
+				return nil, err
+			}
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// rowEnv adapts a single-table row to Env; the qualifier, if present, must
+// match the table name.
+type rowEnv struct {
+	row rel.Row
+}
+
+func (e rowEnv) Lookup(q, name string) (rel.Value, bool) {
+	t := e.row.Table()
+	if q != "" && q != t.Name() {
+		return rel.Null(), false
+	}
+	if !t.HasColumn(name) {
+		return rel.Null(), false
+	}
+	return e.row.Get(name), true
+}

@@ -1,0 +1,739 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+
+	"coherdb/internal/rel"
+)
+
+// frame is the working relation during SELECT execution: a list of columns,
+// each tagged with the alias of the table it came from, and the joined rows.
+type frame struct {
+	aliases []string
+	names   []string
+	rows    [][]rel.Value
+}
+
+func frameOf(t *rel.Table, alias string) *frame {
+	if alias == "" {
+		alias = t.Name()
+	}
+	f := &frame{}
+	for _, c := range t.Columns() {
+		f.aliases = append(f.aliases, alias)
+		f.names = append(f.names, c)
+	}
+	f.rows = make([][]rel.Value, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		f.rows[i] = t.RawRow(i)
+	}
+	return f
+}
+
+// resolve finds the column position for a (possibly qualified) name.
+// It returns -1 when absent or ambiguous.
+func (f *frame) resolve(q, name string) int {
+	found := -1
+	for i := range f.names {
+		if f.names[i] != name {
+			continue
+		}
+		if q != "" {
+			if f.aliases[i] == q {
+				return i
+			}
+			continue
+		}
+		if found >= 0 {
+			return -1 // ambiguous unqualified reference
+		}
+		found = i
+	}
+	return found
+}
+
+func (f *frame) cross(g *frame) *frame {
+	out := &frame{
+		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
+		names:   append(append([]string(nil), f.names...), g.names...),
+	}
+	out.rows = make([][]rel.Value, 0, len(f.rows)*len(g.rows))
+	for _, a := range f.rows {
+		for _, b := range g.rows {
+			row := make([]rel.Value, 0, len(a)+len(b))
+			row = append(row, a...)
+			row = append(row, b...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// frameEnv evaluates expressions against one row of a frame.
+type frameEnv struct {
+	f   *frame
+	row []rel.Value
+}
+
+func (e frameEnv) Lookup(q, name string) (rel.Value, bool) {
+	i := e.f.resolve(q, name)
+	if i < 0 {
+		return rel.Null(), false
+	}
+	return e.row[i], true
+}
+
+func (db *DB) execSelect(s *SelectStmt) (*rel.Table, error) {
+	out, err := db.execSelectOne(s)
+	if err != nil {
+		return nil, err
+	}
+	for u, all := s.Union, s.UnionAll; u != nil; u, all = u.Union, u.UnionAll {
+		// Each branch's own Union chain is cleared before execution to
+		// avoid double-processing; we walk the chain here instead.
+		branch := *u
+		branch.Union = nil
+		bt, err := db.execSelectOne(&branch)
+		if err != nil {
+			return nil, err
+		}
+		if bt.NumCols() != out.NumCols() {
+			return nil, fmt.Errorf("%w: UNION branches have %d and %d columns", rel.ErrSchema, out.NumCols(), bt.NumCols())
+		}
+		renamed, err := bt.Rename(renameTo(bt.Columns(), out.Columns()))
+		if err != nil {
+			return nil, err
+		}
+		if all {
+			out, err = out.Union(renamed)
+		} else {
+			out, err = out.UnionDistinct(renamed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func renameTo(from, to []string) map[string]string {
+	m := make(map[string]string, len(from))
+	for i := range from {
+		m[from[i]] = to[i]
+	}
+	return m
+}
+
+func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
+	// FROM clause: build the working frame.
+	var f *frame
+	if len(s.From) == 0 {
+		f = &frame{rows: [][]rel.Value{{}}} // one empty row for FROM-less SELECT
+	}
+	for _, ref := range s.From {
+		t, ok := db.tables[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
+		}
+		g := frameOf(t, ref.Alias)
+		if f == nil {
+			f = g
+		} else {
+			f = f.cross(g)
+		}
+	}
+	for _, j := range s.Joins {
+		t, ok := db.tables[j.Ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
+		}
+		g := frameOf(t, j.Ref.Alias)
+		joined, err := db.join(f, g, j.On)
+		if err != nil {
+			return nil, err
+		}
+		f = joined
+	}
+	// WHERE.
+	if s.Where != nil {
+		kept := f.rows[:0:0]
+		for _, row := range f.rows {
+			ok, err := db.eval.True(s.Where, frameEnv{f: f, row: row})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		f = &frame{aliases: f.aliases, names: f.names, rows: kept}
+	}
+	// GROUP BY aggregation; aggregates without GROUP BY treat the whole
+	// input as one group.
+	if len(s.GroupBy) > 0 || (hasAggregates(s.Items) && !isCountStar(s.Items)) {
+		return db.execGrouped(s, f)
+	}
+	// COUNT(*) aggregate.
+	if isCountStar(s.Items) {
+		name := "count"
+		if s.Items[0].Alias != "" {
+			name = s.Items[0].Alias
+		}
+		t := rel.MustNewTable("result", name)
+		t.MustInsert(rel.I(int64(len(f.rows))))
+		return t, nil
+	}
+	// Projection list.
+	cols, exprs, err := db.projection(s.Items, f)
+	if err != nil {
+		return nil, err
+	}
+	type outRow struct {
+		vals []rel.Value
+		keys []rel.Value
+	}
+	rows := make([]outRow, 0, len(f.rows))
+	for _, row := range f.rows {
+		env := frameEnv{f: f, row: row}
+		vals := make([]rel.Value, len(exprs))
+		for i, e := range exprs {
+			v, err := db.eval.Eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		var keys []rel.Value
+		if len(s.OrderBy) > 0 {
+			keys = make([]rel.Value, len(s.OrderBy))
+			for i, k := range s.OrderBy {
+				v, err := db.eval.Eval(k.Expr, orderEnv{frame: env, cols: cols, vals: vals})
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+		}
+		rows = append(rows, outRow{vals: vals, keys: keys})
+	}
+	if s.Distinct {
+		seen := make(map[string]struct{}, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			k := rowKeyOf(r.vals)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for i, k := range s.OrderBy {
+				c := rows[a].keys[i].Compare(rows[b].keys[i])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	out, err := rel.NewTable("result", cols...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := out.InsertRow(r.vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// execGrouped evaluates a GROUP BY query: rows are bucketed by the group
+// expressions; each bucket yields one output row, with COUNT(*) bound to
+// the bucket size for the select list and the HAVING filter.
+func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
+	type group struct {
+		rows [][]rel.Value
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, row := range f.rows {
+		env := frameEnv{f: f, row: row}
+		key := ""
+		for _, ge := range s.GroupBy {
+			v, err := db.eval.Eval(ge, env)
+			if err != nil {
+				return nil, err
+			}
+			key += v.Key() + "\x1f"
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	cols, exprs, err := db.projection(s.Items, f)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rel.NewTable("result", cols...)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range order {
+		g := groups[key]
+		env := frameEnv{f: f, row: g.rows[0]}
+		if s.Having != nil {
+			h, err := db.rewriteAggs(s.Having, f, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			keep, err := db.eval.True(h, env)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		vals := make([]rel.Value, len(exprs))
+		for i, e := range exprs {
+			re, err := db.rewriteAggs(e, f, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			v, err := db.eval.Eval(re, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := out.InsertRow(vals); err != nil {
+			return nil, err
+		}
+	}
+	// ORDER BY over the output columns (aggregates are already
+	// materialized per row).
+	if len(s.OrderBy) > 0 {
+		type keyed struct {
+			row  []rel.Value
+			keys []rel.Value
+		}
+		rows := make([]keyed, out.NumRows())
+		for i := 0; i < out.NumRows(); i++ {
+			k := keyed{row: out.RawRow(i), keys: make([]rel.Value, len(s.OrderBy))}
+			env := groupOutEnv{cols: cols, vals: out.RawRow(i)}
+			for j, key := range s.OrderBy {
+				v, err := db.eval.Eval(key.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				k.keys[j] = v
+			}
+			rows[i] = k
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for j, key := range s.OrderBy {
+				c := rows[a].keys[j].Compare(rows[b].keys[j])
+				if key.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted, err := rel.NewTable("result", cols...)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range rows {
+			if err := sorted.InsertRow(k.row); err != nil {
+				return nil, err
+			}
+		}
+		out = sorted
+	}
+	if s.Limit >= 0 && out.NumRows() > s.Limit {
+		limited, err := rel.NewTable("result", cols...)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < s.Limit; i++ {
+			if err := limited.InsertRow(out.RawRow(i)); err != nil {
+				return nil, err
+			}
+		}
+		out = limited
+	}
+	return out, nil
+}
+
+// rewriteAggs replaces aggregate calls (count_star, agg_min, agg_max) in
+// an expression with literals computed over the group's rows, so the
+// remaining expression evaluates against the group's representative row.
+func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
+	switch x := e.(type) {
+	case Call:
+		switch x.Name {
+		case "count_star":
+			return Lit{Val: rel.I(int64(len(rows)))}, nil
+		case "agg_min", "agg_max":
+			if len(x.Args) != 1 {
+				return nil, fmt.Errorf("%w: %s wants 1 argument", ErrType, x.Name)
+			}
+			best := rel.Null()
+			for _, row := range rows {
+				v, err := db.eval.Eval(x.Args[0], frameEnv{f: f, row: row})
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue // aggregates skip NULLs
+				}
+				if best.IsNull() ||
+					(x.Name == "agg_min" && v.Compare(best) < 0) ||
+					(x.Name == "agg_max" && v.Compare(best) > 0) {
+					best = v
+				}
+			}
+			return Lit{Val: best}, nil
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			ra, err := db.rewriteAggs(a, f, rows)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
+		}
+		return Call{Name: x.Name, Args: args}, nil
+	case Unary:
+		rx, err := db.rewriteAggs(x.X, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: x.Op, X: rx}, nil
+	case Binary:
+		l, err := db.rewriteAggs(x.L, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.rewriteAggs(x.R, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: x.Op, L: l, R: r}, nil
+	case InList:
+		rx, err := db.rewriteAggs(x.X, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		set := make([]Expr, len(x.Set))
+		for i, sx := range x.Set {
+			rs, err := db.rewriteAggs(sx, f, rows)
+			if err != nil {
+				return nil, err
+			}
+			set[i] = rs
+		}
+		return InList{X: rx, Set: set, Negate: x.Negate}, nil
+	case IsNull:
+		rx, err := db.rewriteAggs(x.X, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		return IsNull{X: rx, Negate: x.Negate}, nil
+	case Between:
+		rx, err := db.rewriteAggs(x.X, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := db.rewriteAggs(x.Lo, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := db.rewriteAggs(x.Hi, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		return Between{X: rx, Lo: lo, Hi: hi, Negate: x.Negate}, nil
+	case Ternary:
+		c, err := db.rewriteAggs(x.Cond, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		tn, err := db.rewriteAggs(x.Then, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		el, err := db.rewriteAggs(x.Else, f, rows)
+		if err != nil {
+			return nil, err
+		}
+		return Ternary{Cond: c, Then: tn, Else: el}, nil
+	case Case:
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := db.rewriteAggs(w.Cond, f, rows)
+			if err != nil {
+				return nil, err
+			}
+			v, err := db.rewriteAggs(w.Val, f, rows)
+			if err != nil {
+				return nil, err
+			}
+			whens[i] = When{Cond: c, Val: v}
+		}
+		var els Expr
+		if x.Else != nil {
+			var err error
+			els, err = db.rewriteAggs(x.Else, f, rows)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return Case{Whens: whens, Else: els}, nil
+	default:
+		return e, nil
+	}
+}
+
+// groupOutEnv resolves ORDER BY keys of a grouped query against the output
+// columns.
+type groupOutEnv struct {
+	cols []string
+	vals []rel.Value
+}
+
+// Lookup implements Env over the grouped output row.
+func (e groupOutEnv) Lookup(q, name string) (rel.Value, bool) {
+	if q != "" {
+		return rel.Null(), false
+	}
+	for i, c := range e.cols {
+		if c == name {
+			return e.vals[i], true
+		}
+	}
+	return rel.Null(), false
+}
+
+// orderEnv lets ORDER BY reference both source columns and output aliases.
+type orderEnv struct {
+	frame frameEnv
+	cols  []string
+	vals  []rel.Value
+}
+
+func (e orderEnv) Lookup(q, name string) (rel.Value, bool) {
+	if v, ok := e.frame.Lookup(q, name); ok {
+		return v, true
+	}
+	if q == "" {
+		for i, c := range e.cols {
+			if c == name {
+				return e.vals[i], true
+			}
+		}
+	}
+	return rel.Null(), false
+}
+
+// hasAggregates reports whether any select item contains an aggregate call.
+func hasAggregates(items []SelectItem) bool {
+	var walk func(e Expr) bool
+	walk = func(e Expr) bool {
+		switch x := e.(type) {
+		case Call:
+			if x.Name == "count_star" || x.Name == "agg_min" || x.Name == "agg_max" {
+				return true
+			}
+			for _, a := range x.Args {
+				if walk(a) {
+					return true
+				}
+			}
+		case Unary:
+			return walk(x.X)
+		case Binary:
+			return walk(x.L) || walk(x.R)
+		case Ternary:
+			return walk(x.Cond) || walk(x.Then) || walk(x.Else)
+		}
+		return false
+	}
+	for _, it := range items {
+		if it.Expr != nil && walk(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCountStar(items []SelectItem) bool {
+	if len(items) != 1 || items[0].Star || items[0].Expr == nil {
+		return false
+	}
+	c, ok := items[0].Expr.(Call)
+	return ok && c.Name == "count_star"
+}
+
+// projection expands the select list into output column names and the
+// expressions producing them.
+func (db *DB) projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
+	var cols []string
+	var exprs []Expr
+	for _, it := range items {
+		if it.Star {
+			for i := range f.names {
+				name := f.names[i]
+				if f.resolve("", name) < 0 {
+					// Ambiguous across tables; qualify.
+					name = f.aliases[i] + "." + f.names[i]
+				}
+				cols = append(cols, name)
+				exprs = append(exprs, Col{Qualifier: f.aliases[i], Name: f.names[i]})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(Col); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		cols = append(cols, name)
+		exprs = append(exprs, it.Expr)
+	}
+	// Disambiguate duplicate output names (SELECT a.m, b.m ...).
+	seen := make(map[string]int, len(cols))
+	for i, c := range cols {
+		n := seen[c]
+		seen[c] = n + 1
+		if n > 0 {
+			cols[i] = fmt.Sprintf("%s_%d", c, n)
+		}
+	}
+	return cols, exprs, nil
+}
+
+// join combines f with g under the ON condition. When the condition is a
+// conjunction of cross-side column equalities a hash join is used; otherwise
+// a filtered nested-loop cross product.
+type joinPair struct{ li, ri int }
+
+func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
+	var pairs []joinPair
+	hashable := true
+	for _, c := range splitAnd(on) {
+		b, ok := c.(Binary)
+		if !ok || b.Op != "=" {
+			hashable = false
+			break
+		}
+		lc, lok := b.L.(Col)
+		rc, rok := b.R.(Col)
+		if !lok || !rok {
+			hashable = false
+			break
+		}
+		li, ri := f.resolve(lc.Qualifier, lc.Name), g.resolve(rc.Qualifier, rc.Name)
+		if li < 0 || ri < 0 {
+			// Maybe written right-to-left.
+			li, ri = f.resolve(rc.Qualifier, rc.Name), g.resolve(lc.Qualifier, lc.Name)
+		}
+		if li < 0 || ri < 0 {
+			hashable = false
+			break
+		}
+		pairs = append(pairs, joinPair{li: li, ri: ri})
+	}
+	out := &frame{
+		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
+		names:   append(append([]string(nil), f.names...), g.names...),
+	}
+	if hashable && len(pairs) > 0 {
+		buckets := make(map[string][]int, len(g.rows))
+		for i, row := range g.rows {
+			key, ok := joinKey(row, pairs, func(p joinPair) int { return p.ri })
+			if !ok {
+				continue // NULL keys never match
+			}
+			buckets[key] = append(buckets[key], i)
+		}
+		for _, a := range f.rows {
+			key, ok := joinKey(a, pairs, func(p joinPair) int { return p.li })
+			if !ok {
+				continue
+			}
+			for _, j := range buckets[key] {
+				row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
+				row = append(row, a...)
+				row = append(row, g.rows[j]...)
+				out.rows = append(out.rows, row)
+			}
+		}
+		return out, nil
+	}
+	// Nested loop with ON filter.
+	for _, a := range f.rows {
+		for _, b := range g.rows {
+			row := make([]rel.Value, 0, len(a)+len(b))
+			row = append(row, a...)
+			row = append(row, b...)
+			ok, err := db.eval.True(on, frameEnv{f: out, row: row})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row []rel.Value, pairs []joinPair, side func(joinPair) int) (string, bool) {
+	key := ""
+	for _, p := range pairs {
+		v := row[side(p)]
+		if v.IsNull() {
+			return "", false
+		}
+		key += v.Key() + "\x1f"
+	}
+	return key, true
+}
+
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(Binary); ok && b.Op == "AND" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func rowKeyOf(vals []rel.Value) string {
+	key := ""
+	for _, v := range vals {
+		key += v.Key() + "\x1f"
+	}
+	return key
+}

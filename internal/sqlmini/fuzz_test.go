@@ -1,0 +1,119 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// randExpr generates a random expression tree of bounded depth in the
+// dialect's grammar.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Lit{Val: rel.I(int64(rng.Intn(20) - 10))}
+		case 1:
+			return Lit{Val: rel.S([]string{"readex", "Busy-sd", "it's", "x"}[rng.Intn(4)])}
+		case 2:
+			return Lit{Val: rel.Null()}
+		default:
+			return Col{Name: []string{"a", "b", "dirst"}[rng.Intn(3)]}
+		}
+	}
+	sub := func() Expr { return randExpr(rng, depth-1) }
+	switch rng.Intn(8) {
+	case 0:
+		return Binary{Op: []string{"=", "<>", "<", "<=", ">", ">=", "AND", "OR"}[rng.Intn(8)], L: sub(), R: sub()}
+	case 1:
+		return Unary{Op: "NOT", X: sub()}
+	case 2:
+		n := 1 + rng.Intn(3)
+		set := make([]Expr, n)
+		for i := range set {
+			set[i] = sub()
+		}
+		return InList{X: sub(), Set: set, Negate: rng.Intn(2) == 0}
+	case 3:
+		return IsNull{X: sub(), Negate: rng.Intn(2) == 0}
+	case 4:
+		return Between{X: sub(), Lo: sub(), Hi: sub(), Negate: rng.Intn(2) == 0}
+	case 5:
+		return Ternary{Cond: sub(), Then: sub(), Else: sub()}
+	case 6:
+		n := 1 + rng.Intn(2)
+		whens := make([]When, n)
+		for i := range whens {
+			whens[i] = When{Cond: sub(), Val: sub()}
+		}
+		var els Expr
+		if rng.Intn(2) == 0 {
+			els = sub()
+		}
+		return Case{Whens: whens, Else: els}
+	default:
+		n := rng.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = sub()
+		}
+		return Call{Name: "f", Args: args}
+	}
+}
+
+// TestQuickRenderParseFixpoint: for random expression trees, String() must
+// parse back, and re-rendering must reach a fixpoint after one round.
+func TestQuickRenderParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 500; trial++ {
+		e := randExpr(rng, 3)
+		s1 := e.String()
+		p1, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("trial %d: %q does not reparse: %v", trial, s1, err)
+		}
+		s2 := p1.String()
+		p2, err := ParseExpr(s2)
+		if err != nil {
+			t.Fatalf("trial %d: second render %q does not reparse: %v", trial, s2, err)
+		}
+		if s3 := p2.String(); s2 != s3 {
+			t.Fatalf("trial %d: render not a fixpoint:\n%q\n%q", trial, s2, s3)
+		}
+	}
+}
+
+// TestQuickRenderedSemanticsStable: evaluating the original tree and the
+// reparsed tree under random environments gives identical results.
+func TestQuickRenderedSemanticsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	ev := &Evaluator{Funcs: map[string]Func{
+		"f": func(args []rel.Value) (rel.Value, error) {
+			if len(args) == 0 {
+				return rel.I(7), nil
+			}
+			return args[0], nil
+		},
+	}, NullEq: true}
+	for trial := 0; trial < 300; trial++ {
+		e := randExpr(rng, 3)
+		p, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		env := MapEnv{
+			"a":     rel.I(int64(rng.Intn(5))),
+			"b":     rel.S([]string{"x", "readex", ""}[rng.Intn(3)]),
+			"dirst": rel.Null(),
+		}
+		v1, err1 := ev.Eval(e, env)
+		v2, err2 := ev.Eval(p, env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, err1, err2)
+		}
+		if err1 == nil && !v1.Equal(v2) {
+			t.Fatalf("trial %d: %q evaluates to %v original, %v reparsed", trial, e.String(), v1, v2)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sqlmini
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicStatement(t *testing.T) {
+	toks, err := Lex(`Select inmsg, dirst from D where dirst = 'MESI'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "inmsg"}, {TokSymbol, ","},
+		{TokIdent, "dirst"}, {TokKeyword, "FROM"}, {TokIdent, "D"},
+		{TokKeyword, "WHERE"}, {TokIdent, "dirst"}, {TokSymbol, "="},
+		{TokString, "MESI"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %s %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexDoubleQuotedValuesAreStrings(t *testing.T) {
+	// The paper writes: dirst = "Busy-d".
+	toks, err := Lex(`dirst = "Busy-d"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "Busy-d" {
+		t.Fatalf("token = %v, want string Busy-d", toks[2])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Fatalf("text = %q", toks[0].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("select a -- trailing comment\nfrom t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // SELECT a FROM t EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexNegativeNumbers(t *testing.T) {
+	toks, err := Lex(`a in (-1, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != TokNumber || toks[3].Text != "-1" {
+		t.Fatalf("token = %v", toks[3])
+	}
+}
+
+func TestLexHyphenatedIdentifiers(t *testing.T) {
+	// Protocol state names like Busy-sd lex as single identifiers.
+	toks, err := Lex(`Busy-sd`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Kind != TokIdent || toks[0].Text != "Busy-sd" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks, err := Lex(`!= <> <= >= == ( ) . ? : ; *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"!=", "<>", "<=", ">=", "==", "(", ")", ".", "?", ":", ";", "*"}
+	for i, w := range wantTexts {
+		if toks[i].Kind != TokSymbol || toks[i].Text != w {
+			t.Errorf("token %d = %v, want symbol %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "a @ b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := Lex("abc @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	if se.Pos != 4 {
+		t.Fatalf("pos = %d, want 4", se.Pos)
+	}
+	if se.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("sElEcT NuLl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" || toks[1].Text != "NULL" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if got := kinds(toks); got[0] != TokKeyword || got[1] != TokKeyword {
+		t.Fatalf("kinds = %v", got)
+	}
+}

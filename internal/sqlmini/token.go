@@ -1,0 +1,75 @@
+// Package sqlmini implements the SQL dialect used by the coherdb
+// reproduction: a lexer, parser, three-valued expression evaluator and
+// statement executor over the relational engine in package rel.
+//
+// The dialect covers what the paper uses: CREATE TABLE (optionally AS
+// SELECT), DROP TABLE, INSERT, DELETE, UPDATE, and SELECT with DISTINCT,
+// multi-table FROM, JOIN ... ON, WHERE, ORDER BY, LIMIT and UNION [ALL].
+// Expressions include =, <>, comparisons, IN, BETWEEN, IS [NOT] NULL,
+// AND/OR/NOT, CASE, registered Go functions (e.g. isrequest), and the
+// paper's ternary constraint form "cond ? then : else".
+package sqlmini
+
+import "fmt"
+
+// TokKind is the lexical class of a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokString
+	TokNumber
+	TokSymbol
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokSymbol:
+		return "symbol"
+	}
+	return "token"
+}
+
+// Token is a single lexical token. For keywords, Text is upper-cased; for
+// identifiers and strings it is the literal spelling.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) become TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "AS": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DELETE": true, "UPDATE": true,
+	"SET": true, "JOIN": true, "ON": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "UNION": true, "ALL": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"BETWEEN": true, "ASC": true, "DESC": true, "IF": true,
+	"EXISTS": true, "COUNT": true, "GROUP": true, "HAVING": true,
+	"MIN": true, "MAX": true,
+}

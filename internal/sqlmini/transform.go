@@ -1,0 +1,63 @@
+package sqlmini
+
+import "coherdb/internal/rel"
+
+// ResolveSymbols rewrites an expression for the paper's constraint dialect,
+// in which bare identifiers denote symbolic domain values unless they name a
+// column: "inmsg = readex and dirst = SI" compares the inmsg column against
+// the *value* readex. Every Col whose name is not accepted by isColumn is
+// replaced by a string literal of the same spelling.
+func ResolveSymbols(e Expr, isColumn func(string) bool) Expr {
+	switch x := e.(type) {
+	case Lit:
+		return x
+	case Col:
+		if x.Qualifier == "" && !isColumn(x.Name) {
+			return Lit{Val: rel.S(x.Name)}
+		}
+		return x
+	case Unary:
+		return Unary{Op: x.Op, X: ResolveSymbols(x.X, isColumn)}
+	case Binary:
+		return Binary{Op: x.Op, L: ResolveSymbols(x.L, isColumn), R: ResolveSymbols(x.R, isColumn)}
+	case InList:
+		set := make([]Expr, len(x.Set))
+		for i, s := range x.Set {
+			set[i] = ResolveSymbols(s, isColumn)
+		}
+		return InList{X: ResolveSymbols(x.X, isColumn), Set: set, Negate: x.Negate}
+	case IsNull:
+		return IsNull{X: ResolveSymbols(x.X, isColumn), Negate: x.Negate}
+	case Between:
+		return Between{
+			X:      ResolveSymbols(x.X, isColumn),
+			Lo:     ResolveSymbols(x.Lo, isColumn),
+			Hi:     ResolveSymbols(x.Hi, isColumn),
+			Negate: x.Negate,
+		}
+	case Ternary:
+		return Ternary{
+			Cond: ResolveSymbols(x.Cond, isColumn),
+			Then: ResolveSymbols(x.Then, isColumn),
+			Else: ResolveSymbols(x.Else, isColumn),
+		}
+	case Case:
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = When{Cond: ResolveSymbols(w.Cond, isColumn), Val: ResolveSymbols(w.Val, isColumn)}
+		}
+		var els Expr
+		if x.Else != nil {
+			els = ResolveSymbols(x.Else, isColumn)
+		}
+		return Case{Whens: whens, Else: els}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ResolveSymbols(a, isColumn)
+		}
+		return Call{Name: x.Name, Args: args}
+	default:
+		return e
+	}
+}
