@@ -7,6 +7,9 @@
 //	cohercheck -invariants           # only the ~50-invariant suite
 //	cohercheck -deadlock -assign vc4 # analyze one channel assignment
 //	cohercheck -messages             # print the Figure 1 message catalog
+//	cohercheck -metrics              # append Prometheus-style metrics (per-invariant
+//	                                 # durations, solver counters, VCG sizes) to stdout
+//	cohercheck -trace                # dump collected spans as JSON lines to stderr
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"coherdb/internal/core"
 	"coherdb/internal/deadlock"
 	"coherdb/internal/modelcheck"
+	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
 	"coherdb/internal/sim"
 )
@@ -30,6 +34,8 @@ func main() {
 	repair := flag.Bool("repair", false, "with -assign: iteratively repair the assignment until cycle free")
 	mc := flag.Bool("modelcheck", false, "explore the Fig. 4 configuration with the explicit-state model checker (baseline)")
 	verbose := flag.Bool("v", false, "print per-invariant results and VCG details")
+	traceFlag := flag.Bool("trace", false, "collect spans (phases, solves, statements) and dump them as JSON lines to stderr at exit")
+	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
 	flag.Parse()
 
 	if *messages {
@@ -37,7 +43,29 @@ func main() {
 		return
 	}
 
+	var (
+		col *obs.Collector
+		tr  obs.Tracer
+		reg *obs.Registry
+	)
+	if *traceFlag {
+		col = obs.NewCollector(0)
+		tr = col
+	}
+	if *metricsFlag {
+		reg = obs.Default
+	}
+	flush := func() {
+		if col != nil {
+			col.WriteJSONL(os.Stderr)
+		}
+		if reg != nil {
+			reg.WriteMetrics(os.Stdout)
+		}
+	}
+
 	p := core.New()
+	p.Observe(tr, reg)
 	if err := p.Generate(); err != nil {
 		fail(err)
 	}
@@ -50,7 +78,7 @@ func main() {
 	runAll := !*invariants && !*deadlocks
 
 	if *invariants || runAll {
-		results := check.ProtocolSuite().Run(p.DB, check.Options{})
+		results := check.ProtocolSuite().Run(p.DB, check.Options{Tracer: tr, Metrics: reg})
 		sum := check.Summarize(results)
 		fmt.Println(sum)
 		for _, r := range results {
@@ -65,6 +93,7 @@ func main() {
 			}
 		}
 		if sum.Failed > 0 || sum.Errors > 0 {
+			flush()
 			os.Exit(1)
 		}
 	}
@@ -95,7 +124,11 @@ func main() {
 				}
 				continue
 			}
-			rep, err := deadlock.Analyze(tables, v, deadlock.DefaultOptions())
+			dopts := deadlock.DefaultOptions()
+			dopts.Label = name
+			dopts.Tracer = tr
+			dopts.Metrics = reg
+			rep, err := deadlock.Analyze(tables, v, dopts)
 			if err != nil {
 				fail(err)
 			}
@@ -112,6 +145,7 @@ func main() {
 			}
 		}
 	}
+	flush()
 }
 
 // runModelCheck explores the Fig. 4 configuration exhaustively under the

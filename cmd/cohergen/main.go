@@ -8,6 +8,10 @@
 //	cohergen -out tables/            # dump every table as CSV
 //	cohergen -compare                # incremental vs monolithic on the
 //	                                 # Fig. 3 fragment (C1's shape)
+//	cohergen -stats -metrics         # append solver counters (candidates,
+//	                                 # pruned) as Prometheus text to stdout
+//	cohergen -stats -trace           # dump per-solve spans as JSON lines
+//	                                 # to stderr
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"coherdb/internal/check"
 	"coherdb/internal/constraint"
 	"coherdb/internal/core"
+	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
 	"coherdb/internal/rel"
 	"coherdb/internal/specfile"
@@ -36,16 +41,39 @@ func main() {
 	diffFiles := flag.String("diff", "", "diff two table revisions: old.csv,new.csv")
 	diffKey := flag.String("key", "", "comma-separated key columns for -diff (inputs of the table)")
 	exportSpec := flag.String("export-spec", "", "write a controller's database input (schema + constraints) to stdout: D, M, C, N, R, IO, INT, SY")
+	traceFlag := flag.Bool("trace", false, "collect per-solve spans and dump them as JSON lines to stderr at exit")
+	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style solver metrics to stdout at exit")
 	flag.Parse()
 
+	var (
+		col *obs.Collector
+		tr  obs.Tracer
+		reg *obs.Registry
+	)
+	if *traceFlag {
+		col = obs.NewCollector(0)
+		tr = col
+	}
+	if *metricsFlag {
+		reg = obs.Default
+	}
+	defer func() {
+		if col != nil {
+			col.WriteJSONL(os.Stderr)
+		}
+		if reg != nil {
+			reg.WriteMetrics(os.Stdout)
+		}
+	}()
+
 	if *compare {
-		if err := runCompare(); err != nil {
+		if err := runCompare(tr, reg); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *specPath != "" {
-		if err := runSpecFile(*specPath); err != nil {
+		if err := runSpecFile(*specPath, tr, reg); err != nil {
 			fail(err)
 		}
 		return
@@ -74,6 +102,7 @@ func main() {
 	}
 
 	p := core.New()
+	p.Observe(tr, reg)
 	start := time.Now()
 	if err := p.Generate(); err != nil {
 		fail(err)
@@ -109,19 +138,20 @@ func main() {
 // runCompare reproduces the §3 timing claim's shape on the Fig. 3 fragment:
 // the incremental solver prunes early and stays fast; the monolithic
 // conjunction enumerates the full cross product.
-func runCompare() error {
+func runCompare(tr obs.Tracer, reg *obs.Registry) error {
 	spec, err := protocol.Figure3FragmentSpec(1)
 	if err != nil {
 		return err
 	}
+	opts := constraint.Options{Tracer: tr, Metrics: reg}
 	t0 := time.Now()
-	inc, si, err := constraint.Solve(spec)
+	inc, si, err := constraint.SolveOpts(spec, opts)
 	if err != nil {
 		return err
 	}
 	dInc := time.Since(t0)
 	t0 = time.Now()
-	mono, sm, err := constraint.Monolithic(spec)
+	mono, sm, err := constraint.MonolithicOpts(spec, opts)
 	if err != nil {
 		return err
 	}
@@ -141,7 +171,7 @@ func runCompare() error {
 
 // runSpecFile parses a textual database input, solves it, prints the
 // resulting table and runs its static checks.
-func runSpecFile(path string) error {
+func runSpecFile(path string, tr obs.Tracer, reg *obs.Registry) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -152,7 +182,7 @@ func runSpecFile(path string) error {
 		return err
 	}
 	protocol.RegisterFuncs(sf.Spec.RegisterFunc)
-	tab, stats, err := constraint.Solve(sf.Spec)
+	tab, stats, err := constraint.SolveOpts(sf.Spec, constraint.Options{Tracer: tr, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -164,7 +194,7 @@ func runSpecFile(path string) error {
 	db := sqlmini.NewDB()
 	protocol.RegisterFuncs(db.Register)
 	db.PutTable(tab)
-	results := check.SuiteFrom(sf.Checks).Run(db, check.Options{})
+	results := check.SuiteFrom(sf.Checks).Run(db, check.Options{Tracer: tr, Metrics: reg})
 	failed := 0
 	for _, r := range results {
 		status := "ok"

@@ -7,7 +7,10 @@
 //
 //	cohersql                                       # REPL on stdin
 //	cohersql -q "SELECT COUNT(*) FROM D"           # one-shot query
+//	cohersql -q "EXPLAIN SELECT ..."               # show the query plan without executing
 //	echo "SELECT DISTINCT inmsg FROM D" | cohersql
+//	cohersql -metrics -q "..."                     # Prometheus-style metrics to stdout at exit
+//	cohersql -trace -q "..."                       # per-statement spans as JSON lines to stderr
 package main
 
 import (
@@ -18,20 +21,46 @@ import (
 	"strings"
 
 	"coherdb/internal/core"
+	"coherdb/internal/obs"
 )
 
 func main() {
 	query := flag.String("q", "", "execute one statement and exit")
 	strict := flag.Bool("strict-nulls", true, "use ANSI NULL semantics (off = constraint dialect)")
+	traceFlag := flag.Bool("trace", false, "collect per-statement spans and dump them as JSON lines to stderr at exit")
+	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics and session query stats to stdout at exit")
 	flag.Parse()
 
+	var (
+		col *obs.Collector
+		tr  obs.Tracer
+		reg *obs.Registry
+	)
+	if *traceFlag {
+		col = obs.NewCollector(0)
+		tr = col
+	}
+	if *metricsFlag {
+		reg = obs.Default
+	}
+
 	p := core.New()
+	p.Observe(tr, reg)
 	fmt.Fprintln(os.Stderr, "generating controller tables...")
 	if err := p.Generate(); err != nil {
 		fail(err)
 	}
 	p.DB.SetStrictNulls(*strict)
 	fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(p.DB.Names(), ", "))
+	defer func() {
+		if col != nil {
+			col.WriteJSONL(os.Stderr)
+		}
+		if reg != nil {
+			publishDBStats(reg, p)
+			reg.WriteMetrics(os.Stdout)
+		}
+	}()
 
 	exec := func(stmt string) {
 		res, err := p.DB.Exec(stmt)
@@ -85,6 +114,29 @@ func main() {
 	if strings.TrimSpace(buf.String()) != "" {
 		exec(buf.String())
 	}
+}
+
+// publishDBStats turns the session's aggregate query statistics into
+// registry counters so -metrics covers the SQL layer too.
+func publishDBStats(reg *obs.Registry, p *core.Pipeline) {
+	st := p.DB.Stats()
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"coherdb_sql_statements_total", "Statements executed this session.", st.Statements},
+		{"coherdb_sql_queries_total", "SELECT statements executed this session.", st.Queries},
+		{"coherdb_sql_rows_scanned_total", "Rows scanned by table scans.", st.RowsScanned},
+		{"coherdb_sql_rows_produced_total", "Rows produced (or affected) by statements.", st.RowsProduced},
+		{"coherdb_sql_hash_joins_total", "Joins executed with the hash strategy.", st.HashJoins},
+		{"coherdb_sql_loop_joins_total", "Joins executed with the nested-loop strategy.", st.LoopJoins},
+		{"coherdb_sql_pushdown_hits_total", "WHERE conjuncts pushed below a join.", st.PushdownHits},
+	} {
+		reg.Help(c.name, c.help)
+		reg.Counter(c.name).Add(c.v)
+	}
+	reg.Help("coherdb_sql_eval_seconds", "Total statement evaluation time.")
+	reg.Histogram("coherdb_sql_eval_seconds", nil).ObserveDuration(st.EvalTime)
 }
 
 func fail(err error) {

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/rel"
 	"coherdb/internal/sqlmini"
 )
@@ -85,6 +86,28 @@ func (s *Suite) Invariants() []Invariant { return append([]Invariant(nil), s.inv
 type Options struct {
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Tracer, when set, receives a "check.suite" span plus one
+	// "check.invariant" child span per invariant.
+	Tracer obs.Tracer
+	// Metrics, when set, accumulates a per-invariant duration histogram
+	// (coherdb_invariant_duration_seconds) and violation counter
+	// (coherdb_invariant_violations_total).
+	Metrics *obs.Registry
+}
+
+// observe reports one finished invariant check to metrics.
+func (o Options) observe(r Result) {
+	if o.Metrics == nil {
+		return
+	}
+	violations := 0
+	if r.Violations != nil {
+		violations = r.Violations.NumRows()
+	}
+	o.Metrics.Help("coherdb_invariant_duration_seconds", "Wall time of each invariant query.")
+	o.Metrics.Histogram("coherdb_invariant_duration_seconds", nil, obs.L("invariant", r.Invariant.Name)).ObserveDuration(r.Elapsed)
+	o.Metrics.Help("coherdb_invariant_violations_total", "Violating rows returned by each invariant query.")
+	o.Metrics.Counter("coherdb_invariant_violations_total", obs.L("invariant", r.Invariant.Name)).Add(int64(violations))
 }
 
 // Run checks every invariant against db, in parallel, and returns results
@@ -101,6 +124,7 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 	db.SetStrictNulls(true)
 	defer db.SetStrictNulls(false)
 
+	suite := obs.StartSpan(opts.Tracer, "check.suite", obs.Int("invariants", len(s.invs)), obs.Int("workers", workers))
 	results := make([]Result, len(s.invs))
 	var next int
 	var mu sync.Mutex
@@ -118,18 +142,33 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 					return
 				}
 				inv := s.invs[i]
+				sp := suite.Child("check.invariant", obs.String("invariant", inv.Name))
 				start := time.Now()
 				tab, err := db.Query(inv.SQL)
-				results[i] = Result{
+				r := Result{
 					Invariant:  inv,
 					Violations: tab,
 					Elapsed:    time.Since(start),
 					Err:        err,
 				}
+				if sp != nil {
+					violations := 0
+					if tab != nil {
+						violations = tab.NumRows()
+					}
+					sp.SetAttr(obs.Int("violations", violations))
+					if err != nil {
+						sp.SetAttr(obs.String("error", err.Error()))
+					}
+					sp.Finish()
+				}
+				opts.observe(r)
+				results[i] = r
 			}
 		}()
 	}
 	wg.Wait()
+	suite.Finish()
 	return results
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/rel"
 	"coherdb/internal/sqlmini"
 )
@@ -16,6 +17,8 @@ type Stats struct {
 	// Candidates is the number of candidate (partial or complete)
 	// assignments tested against constraints.
 	Candidates uint64
+	// Pruned is the number of candidates rejected by a constraint.
+	Pruned uint64
 	// Steps is the number of column-extension steps (incremental only).
 	Steps int
 }
@@ -27,6 +30,32 @@ type Options struct {
 	// MonolithicLimit caps the assignment-space size Monolithic will
 	// enumerate; 0 means the default of 2^28.
 	MonolithicLimit uint64
+	// Tracer, when set, receives one span per solve carrying the Stats.
+	Tracer obs.Tracer
+	// Metrics, when set, accumulates coherdb_solver_candidates_total and
+	// coherdb_solver_pruned_total counters labelled by controller.
+	Metrics *obs.Registry
+}
+
+// observe reports a finished solve to the tracer span and metrics.
+func (o Options) observe(span *obs.Span, controller string, stats Stats, err error) {
+	span.SetAttr(
+		obs.Int("steps", stats.Steps),
+		obs.Uint64("candidates", stats.Candidates),
+		obs.Uint64("pruned", stats.Pruned),
+		obs.Int("rows", stats.Rows),
+	)
+	if err != nil {
+		span.SetAttr(obs.String("error", err.Error()))
+	}
+	span.Finish()
+	if o.Metrics == nil {
+		return
+	}
+	o.Metrics.Help("coherdb_solver_candidates_total", "Candidate assignments tested against constraints.")
+	o.Metrics.Counter("coherdb_solver_candidates_total", obs.L("controller", controller)).Add(int64(stats.Candidates))
+	o.Metrics.Help("coherdb_solver_pruned_total", "Candidate assignments rejected by a constraint.")
+	o.Metrics.Counter("coherdb_solver_pruned_total", obs.L("controller", controller)).Add(int64(stats.Pruned))
 }
 
 func (o Options) workers() int {
@@ -54,8 +83,9 @@ func Solve(spec *Spec) (*rel.Table, Stats, error) {
 }
 
 // SolveOpts is Solve with explicit options.
-func SolveOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
-	var stats Stats
+func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) {
+	span := obs.StartSpan(opts.Tracer, "constraint.solve", obs.String("controller", spec.Name))
+	defer func() { opts.observe(span, spec.Name, stats, err) }()
 	ev := spec.evaluator()
 
 	// Schedule: constraint for column c fires at the first step where all
@@ -108,6 +138,7 @@ func SolveOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
 			return nil, stats, err
 		}
 		stats.Candidates += tested
+		stats.Pruned += tested - uint64(len(next))
 		cur = next
 		if len(cur) == 0 {
 			break // inconsistent constraints: empty table (paper §3)
@@ -222,8 +253,9 @@ func Monolithic(spec *Spec) (*rel.Table, Stats, error) {
 }
 
 // MonolithicOpts is Monolithic with explicit options.
-func MonolithicOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
-	var stats Stats
+func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) {
+	span := obs.StartSpan(opts.Tracer, "constraint.monolithic", obs.String("controller", spec.Name))
+	defer func() { opts.observe(span, spec.Name, stats, err) }()
 	space := spec.SpaceSize()
 	if space > opts.limit() {
 		return nil, stats, fmt.Errorf("%w: %d > %d", ErrSpaceLimit, space, opts.limit())
@@ -316,6 +348,7 @@ func MonolithicOpts(spec *Spec, opts Options) (*rel.Table, Stats, error) {
 	}
 	// Canonical order so Monolithic and Solve results compare equal.
 	stats.Rows = out.NumRows()
+	stats.Pruned = stats.Candidates - uint64(stats.Rows)
 	return out, stats, nil
 }
 

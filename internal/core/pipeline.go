@@ -22,6 +22,7 @@ import (
 	"coherdb/internal/constraint"
 	"coherdb/internal/deadlock"
 	"coherdb/internal/hwmap"
+	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
 	"coherdb/internal/rel"
 	"coherdb/internal/sqlmini"
@@ -45,6 +46,13 @@ type Options struct {
 	SkipMapping    bool
 	// Workers bounds parallelism in the phases that support it.
 	Workers int
+	// Tracer, when set, receives pipeline phase spans plus the spans of
+	// every instrumented layer below (SQL statements, solver, checks,
+	// deadlock analyses).
+	Tracer obs.Tracer
+	// Metrics, when set, accumulates the coherdb_* instrument families of
+	// every phase, renderable with obs.Registry.WriteMetrics.
+	Metrics *obs.Registry
 }
 
 // Report aggregates the pipeline outcome.
@@ -71,6 +79,12 @@ type Report struct {
 type Pipeline struct {
 	DB     *sqlmini.DB
 	Report *Report
+	// Workers bounds parallelism in the phases that support it.
+	Workers int
+	// Tracer and Metrics observe every phase; install them with Observe
+	// so the database's statement tracer is wired too.
+	Tracer  obs.Tracer
+	Metrics *obs.Registry
 }
 
 // New creates a pipeline with an empty database.
@@ -85,11 +99,37 @@ func New() *Pipeline {
 	}
 }
 
+// Observe installs a tracer and metrics registry on the pipeline and on
+// its database's statement executor. Either may be nil.
+func (p *Pipeline) Observe(t obs.Tracer, m *obs.Registry) {
+	p.Tracer, p.Metrics = t, m
+	p.DB.SetTracer(t)
+}
+
+// phase starts timing a pipeline phase. The returned func must be
+// deferred: it records the phase's Elapsed even when the phase fails,
+// finishes the phase span, and observes the phase-duration histogram.
+func (p *Pipeline) phase(name string) func() {
+	start := time.Now()
+	span := obs.StartSpan(p.Tracer, "pipeline."+name)
+	return func() {
+		d := time.Since(start)
+		p.Report.Elapsed[name] = d
+		span.Finish()
+		if p.Metrics != nil {
+			p.Metrics.Help("coherdb_phase_duration_seconds", "Wall time of each pipeline phase.")
+			p.Metrics.Histogram("coherdb_phase_duration_seconds", nil, obs.L("phase", name)).ObserveDuration(d)
+		}
+	}
+}
+
 // Run executes the full methodology and returns the report. The pipeline
 // fails (with a partial report) if an invariant is violated, the final
 // assignment still has cycles, or the mapping cannot be verified.
 func Run(opts Options) (*Pipeline, error) {
 	p := New()
+	p.Workers = opts.Workers
+	p.Observe(opts.Tracer, opts.Metrics)
 	if err := p.Generate(); err != nil {
 		return p, err
 	}
@@ -99,7 +139,7 @@ func Run(opts Options) (*Pipeline, error) {
 		}
 	}
 	if !opts.SkipDeadlock {
-		if err := p.CheckDeadlocks(opts.Assignments); err != nil {
+		if err := p.CheckDeadlocks(opts.Assignments, opts.Workers); err != nil {
 			return p, err
 		}
 	}
@@ -113,23 +153,25 @@ func Run(opts Options) (*Pipeline, error) {
 
 // Generate builds all eight controller tables into the database.
 func (p *Pipeline) Generate() error {
-	start := time.Now()
-	stats, err := protocol.GenerateAll(p.DB)
+	defer p.phase("generate")()
+	stats, err := protocol.GenerateAllOpts(p.DB, constraint.Options{
+		Workers: p.Workers,
+		Tracer:  p.Tracer,
+		Metrics: p.Metrics,
+	})
 	if err != nil {
 		return err
 	}
 	p.Report.GenStats = stats
-	p.Report.Elapsed["generate"] = time.Since(start)
 	return nil
 }
 
 // CheckInvariants runs the ~50-invariant static suite.
 func (p *Pipeline) CheckInvariants(workers int) error {
-	start := time.Now()
-	results := check.ProtocolSuite().Run(p.DB, check.Options{Workers: workers})
+	defer p.phase("invariants")()
+	results := check.ProtocolSuite().Run(p.DB, check.Options{Workers: workers, Tracer: p.Tracer, Metrics: p.Metrics})
 	p.Report.Invariants = results
 	p.Report.InvariantSummary = check.Summarize(results)
-	p.Report.Elapsed["invariants"] = time.Since(start)
 	if p.Report.InvariantSummary.Failed > 0 || p.Report.InvariantSummary.Errors > 0 {
 		return fmt.Errorf("%w: %s", ErrInvariantsFailed, p.Report.InvariantSummary)
 	}
@@ -137,9 +179,10 @@ func (p *Pipeline) CheckInvariants(workers int) error {
 }
 
 // CheckDeadlocks analyzes the channel-assignment sequence; the last
-// assignment must be cycle free.
-func (p *Pipeline) CheckDeadlocks(order []string) error {
-	start := time.Now()
+// assignment must be cycle free. workers bounds composition parallelism
+// (0 means the analyzer's default).
+func (p *Pipeline) CheckDeadlocks(order []string, workers int) error {
+	defer p.phase("deadlock")()
 	if len(order) == 0 {
 		order = protocol.AssignmentNames()
 	}
@@ -156,12 +199,15 @@ func (p *Pipeline) CheckDeadlocks(order []string) error {
 		}
 		assignments[name] = v
 	}
-	reports, err := deadlock.AnalyzeStory(tables, assignments, order, deadlock.DefaultOptions())
+	dopts := deadlock.DefaultOptions()
+	dopts.Workers = workers
+	dopts.Tracer = p.Tracer
+	dopts.Metrics = p.Metrics
+	reports, err := deadlock.AnalyzeStory(tables, assignments, order, dopts)
 	if err != nil {
 		return err
 	}
 	p.Report.Deadlock = reports
-	p.Report.Elapsed["deadlock"] = time.Since(start)
 	final := reports[order[len(order)-1]]
 	if final.Deadlocked() {
 		return fmt.Errorf("%w: %v", ErrStillDeadlocked, final.Cycles)
@@ -172,7 +218,7 @@ func (p *Pipeline) CheckDeadlocks(order []string) error {
 // MapToHardware builds ED, partitions it into the nine implementation
 // tables and verifies the reconstruction.
 func (p *Pipeline) MapToHardware() error {
-	start := time.Now()
+	defer p.phase("mapping")()
 	d, ok := p.DB.Table(protocol.DirectoryTable)
 	if !ok {
 		return fmt.Errorf("core: table D not generated yet")
@@ -190,11 +236,10 @@ func (p *Pipeline) MapToHardware() error {
 	p.Report.Mapping = m
 	// The implementation-detail rows must satisfy the Fig. 5 queue and
 	// feedback discipline.
-	p.Report.ImplChecks = check.ImplementationSuite().Run(p.DB, check.Options{})
+	p.Report.ImplChecks = check.ImplementationSuite().Run(p.DB, check.Options{Workers: p.Workers, Tracer: p.Tracer, Metrics: p.Metrics})
 	if sum := check.Summarize(p.Report.ImplChecks); sum.Failed > 0 || sum.Errors > 0 {
 		return fmt.Errorf("%w: implementation tables: %s", ErrInvariantsFailed, sum)
 	}
-	p.Report.Elapsed["mapping"] = time.Since(start)
 	return nil
 }
 
@@ -279,4 +324,42 @@ func (p *Pipeline) Summarize(w io.Writer) {
 			fmt.Fprintf(w, "  implementation checks: %s\n", check.Summarize(r.ImplChecks))
 		}
 	}
+	if len(r.Elapsed) > 0 {
+		fmt.Fprintf(w, "== phase costs ==\n")
+		var total time.Duration
+		for _, d := range r.Elapsed {
+			total += d
+		}
+		for _, name := range phaseOrder(r.Elapsed) {
+			d := r.Elapsed[name]
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(d) / float64(total)
+			}
+			fmt.Fprintf(w, "  %-12s %10.1fms %5.1f%%\n", name, float64(d.Microseconds())/1000, pct)
+		}
+		fmt.Fprintf(w, "  %-12s %10.1fms\n", "total", float64(total.Microseconds())/1000)
+	}
+}
+
+// phaseOrder lists the recorded phases in pipeline order, then any
+// unknown ones alphabetically.
+func phaseOrder(elapsed map[string]time.Duration) []string {
+	known := []string{"generate", "invariants", "deadlock", "mapping"}
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range known {
+		if _, ok := elapsed[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range elapsed {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
 }

@@ -109,8 +109,11 @@ func TestWriteTables(t *testing.T) {
 
 func TestPhaseErrors(t *testing.T) {
 	p := New()
-	if err := p.CheckDeadlocks(nil); err == nil {
+	if err := p.CheckDeadlocks(nil, 0); err == nil {
 		t.Fatal("deadlock phase before generation must error")
+	}
+	if p.Report.Elapsed["deadlock"] <= 0 {
+		t.Fatal("failed phase must still record its elapsed time")
 	}
 	if err := p.MapToHardware(); err == nil {
 		t.Fatal("mapping before generation must error")

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/rel"
 )
 
@@ -25,6 +26,16 @@ type Options struct {
 	Closure bool
 	// Workers bounds composition parallelism; 0 means a sensible default.
 	Workers int
+	// Label names the channel assignment in spans and metrics; empty
+	// means the V table's own name. AnalyzeStory sets it per assignment.
+	Label string
+	// Tracer, when set, receives one "deadlock.analyze" span per analysis
+	// carrying the Stats.
+	Tracer obs.Tracer
+	// Metrics, when set, records graph-size gauges (coherdb_vcg_nodes,
+	// coherdb_vcg_edges, coherdb_vcg_cycles) and a cycle-search duration
+	// histogram, labelled by assignment.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's final configuration.
@@ -37,7 +48,12 @@ type Stats struct {
 	ComposedRows   int
 	ProtocolRows   int
 	Rounds         int
-	Elapsed        time.Duration
+	// Nodes and Edges are the virtual channel graph size; Cycles the
+	// number of elementary cycles found in it.
+	Nodes, Edges, Cycles int
+	Elapsed              time.Duration
+	// CycleElapsed is the portion of Elapsed spent in cycle search.
+	CycleElapsed time.Duration
 }
 
 // Report is the outcome of one deadlock analysis.
@@ -58,8 +74,19 @@ func (r *Report) ProtocolTable() *rel.Table {
 
 // Analyze runs the §4.1 method over the given controller tables and channel
 // assignment.
-func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (*Report, error) {
+func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (_ *Report, err error) {
 	start := time.Now()
+	label := opts.Label
+	if label == "" {
+		label = v.Name()
+	}
+	span := obs.StartSpan(opts.Tracer, "deadlock.analyze", obs.String("assignment", label))
+	defer func() {
+		if err != nil {
+			span.SetAttr(obs.String("error", err.Error()))
+		}
+		span.Finish()
+	}()
 	assign, err := NewAssignment(v)
 	if err != nil {
 		return nil, err
@@ -168,13 +195,43 @@ func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (*Report, err
 	stats.ProtocolRows = len(protocol)
 
 	g := NewVCG(protocol)
+	cycleStart := time.Now()
+	cycles := g.Cycles()
+	stats.CycleElapsed = time.Since(cycleStart)
+	stats.Nodes = len(g.Nodes())
+	stats.Edges = len(g.Edges())
+	stats.Cycles = len(cycles)
 	stats.Elapsed = time.Since(start)
+	span.SetAttr(
+		obs.Int("protocol_rows", stats.ProtocolRows),
+		obs.Int("nodes", stats.Nodes),
+		obs.Int("edges", stats.Edges),
+		obs.Int("cycles", stats.Cycles),
+		obs.Duration("cycle_elapsed", stats.CycleElapsed),
+	)
+	opts.observe(label, stats)
 	return &Report{
 		Graph:    g,
-		Cycles:   g.Cycles(),
+		Cycles:   cycles,
 		Protocol: protocol,
 		Stats:    stats,
 	}, nil
+}
+
+// observe reports a finished analysis to the metrics registry.
+func (o Options) observe(label string, stats Stats) {
+	if o.Metrics == nil {
+		return
+	}
+	l := obs.L("assignment", label)
+	o.Metrics.Help("coherdb_vcg_nodes", "Virtual channel graph node count per assignment.")
+	o.Metrics.Gauge("coherdb_vcg_nodes", l).Set(int64(stats.Nodes))
+	o.Metrics.Help("coherdb_vcg_edges", "Virtual channel graph edge count per assignment.")
+	o.Metrics.Gauge("coherdb_vcg_edges", l).Set(int64(stats.Edges))
+	o.Metrics.Help("coherdb_vcg_cycles", "Elementary cycles found per assignment.")
+	o.Metrics.Gauge("coherdb_vcg_cycles", l).Set(int64(stats.Cycles))
+	o.Metrics.Help("coherdb_cycle_search_duration_seconds", "Wall time of VCG cycle search.")
+	o.Metrics.Histogram("coherdb_cycle_search_duration_seconds", nil, l).ObserveDuration(stats.CycleElapsed)
 }
 
 // AnalyzeStory runs the analysis over a sequence of named assignments and
@@ -187,7 +244,9 @@ func AnalyzeStory(controllers []*rel.Table, assignments map[string]*rel.Table, o
 		if !ok {
 			return nil, fmt.Errorf("deadlock: assignment %q missing", name)
 		}
-		rep, err := Analyze(controllers, v, opts)
+		po := opts
+		po.Label = name
+		rep, err := Analyze(controllers, v, po)
 		if err != nil {
 			return nil, fmt.Errorf("deadlock: analyzing %q: %w", name, err)
 		}

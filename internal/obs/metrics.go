@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.n.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a settable integer metric (sizes, occupancies). Safe for
+// concurrent use.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// DurationBuckets are the default histogram bucket upper bounds for
+// durations in seconds, spanning 10µs to 10s.
+var DurationBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution metric. Safe for concurrent
+// use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// metricKind tags what a registry entry is.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	kind   metricKind
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format. Instruments are created on first use and
+// returned on subsequent calls with the same name and labels. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by name + rendered labels
+	help    map[string]string  // metric family name -> help text
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric), help: make(map[string]string)}
+}
+
+// Default is the process-wide registry used by the package-level helpers
+// and the CLI -metrics flags.
+var Default = NewRegistry()
+
+// Help sets the HELP text for a metric family.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+func labelKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (r *Registry) get(name string, kind metricKind, labels []Label) *metric {
+	key := labelKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[key]
+	if !ok {
+		m = &metric{name: name, kind: kind, labels: append([]Label(nil), labels...)}
+		r.metrics[key] = m
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", key))
+	}
+	return m
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	m := r.get(name, kindCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	m := r.get(name, kindGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket upper bounds and labels. A nil bounds slice means
+// DurationBuckets. Bounds are fixed at first creation.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	m := r.get(name, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.h == nil {
+		if bounds == nil {
+			bounds = DurationBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		m.h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+	}
+	return m.h
+}
+
+// WriteMetrics renders every instrument in the Prometheus text exposition
+// format, sorted by metric family and label set: # HELP / # TYPE headers
+// followed by one sample line per series (histograms expand into
+// _bucket/_sum/_count).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	r.mu.Lock()
+	families := map[string][]*metric{}
+	kinds := map[string]metricKind{}
+	for _, m := range r.metrics {
+		families[m.name] = append(families[m.name], m)
+		kinds[m.name] = m.kind
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms := families[name]
+		sort.Slice(ms, func(i, j int) bool {
+			return labelKey(ms[i].name, ms[i].labels) < labelKey(ms[j].name, ms[j].labels)
+		})
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kindName(kinds[name])); err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := writeMetric(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func kindName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series renders name plus the label set (with extra labels appended) as
+// a sample series name.
+func series(name string, labels []Label, extra ...Label) string {
+	return labelKey(name, append(append([]Label(nil), labels...), extra...))
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		var v int64
+		if m.c != nil {
+			v = m.c.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", series(m.name, m.labels), v)
+		return err
+	case kindGauge:
+		var v int64
+		if m.g != nil {
+			v = m.g.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", series(m.name, m.labels), v)
+		return err
+	default:
+		h := m.h
+		if h == nil {
+			return nil
+		}
+		h.mu.Lock()
+		bounds := append([]float64(nil), h.bounds...)
+		counts := append([]uint64(nil), h.counts...)
+		count, sum := h.count, h.sum
+		h.mu.Unlock()
+		var cum uint64
+		for i, b := range bounds {
+			cum += counts[i]
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, L("le", le)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(bounds)]
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, L("le", "+Inf")), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", series(m.name+"_sum", m.labels), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_count", m.labels), count)
+		return err
+	}
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return "0"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteMetrics renders the Default registry.
+func WriteMetrics(w io.Writer) error { return Default.WriteMetrics(w) }

@@ -14,6 +14,12 @@ import (
 // db, registers the protocol predicates, and returns per-table solve
 // statistics keyed by table name.
 func GenerateAll(db *sqlmini.DB) (map[string]constraint.Stats, error) {
+	return GenerateAllOpts(db, constraint.Options{})
+}
+
+// GenerateAllOpts is GenerateAll with explicit solver options (workers,
+// tracer, metrics), forwarded to every per-controller solve.
+func GenerateAllOpts(db *sqlmini.DB, opts constraint.Options) (map[string]constraint.Stats, error) {
 	RegisterFuncs(db.Register)
 	builders := SpecBuilders()
 	type result struct {
@@ -33,7 +39,7 @@ func GenerateAll(db *sqlmini.DB) (map[string]constraint.Stats, error) {
 				results[i] = result{name: name, err: err}
 				return
 			}
-			tab, stats, err := constraint.Solve(spec)
+			tab, stats, err := constraint.SolveOpts(spec, opts)
 			results[i] = result{name: name, tab: tab, stats: stats, err: err}
 		}(i, sb.Name, sb.Build)
 	}

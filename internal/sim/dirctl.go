@@ -45,6 +45,7 @@ func newDirCtl(s *System, tab *rel.Table) (*dirCtl, error) {
 	if err != nil {
 		return nil, err
 	}
+	core.hits = &s.stats.Transitions
 	return &dirCtl{
 		sys:  s,
 		core: core,

@@ -34,6 +34,7 @@ func newMemCtl(s *System, tab *rel.Table) (*memCtl, error) {
 	if err != nil {
 		return nil, err
 	}
+	core.hits = &s.stats.Transitions
 	return &memCtl{sys: s, core: core, firstSeen: make(map[Message]int)}, nil
 }
 

@@ -84,7 +84,7 @@ func (s *System) Apply(a Action) (bool, error) {
 		}
 		if done {
 			ch.Pop()
-			s.stats.Delivered++
+			s.countDelivered(a.Chan)
 		}
 		return done, nil
 	default:

@@ -38,10 +38,12 @@ func newNodeCtl(s *System, id int, cacheTab, mshrTab *rel.Table) (*nodeCtl, erro
 	if err != nil {
 		return nil, err
 	}
+	cc.hits = &s.stats.Transitions
 	mc, err := newTableCore(mshrTab, mshrInputs)
 	if err != nil {
 		return nil, err
 	}
+	mc.hits = &s.stats.Transitions
 	return &nodeCtl{
 		sys:         s,
 		id:          id,

@@ -1,0 +1,22 @@
+package sim
+
+import "coherdb/internal/obs"
+
+// PublishMetrics records a run's statistics into reg as Prometheus-style
+// counters: per-channel delivered messages, controller state transitions,
+// steps and retries. A nil registry is a no-op.
+func (s Stats) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("coherdb_sim_messages_delivered_total", "Messages delivered per virtual channel.")
+	for ch, n := range s.DeliveredPerChannel {
+		reg.Counter("coherdb_sim_messages_delivered_total", obs.L("channel", ch)).Add(int64(n))
+	}
+	reg.Help("coherdb_sim_transitions_total", "Controller table-row firings across all entities.")
+	reg.Counter("coherdb_sim_transitions_total").Add(int64(s.Transitions))
+	reg.Help("coherdb_sim_steps_total", "Simulation steps executed.")
+	reg.Counter("coherdb_sim_steps_total").Add(int64(s.Steps))
+	reg.Help("coherdb_sim_retries_total", "Operations re-issued after an abort.")
+	reg.Counter("coherdb_sim_retries_total").Add(int64(s.Retries))
+}

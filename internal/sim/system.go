@@ -96,6 +96,11 @@ type Stats struct {
 	Blocked      int
 	Retries      int
 	OpsCompleted int
+	// DeliveredPerChannel breaks Delivered down by virtual channel (the
+	// unnamed internal/dedicated paths count under "internal").
+	DeliveredPerChannel map[string]int
+	// Transitions counts controller table-row firings across all entities.
+	Transitions int
 	// OpLatencySum and OpLatencyMax aggregate issue-to-completion times
 	// (in steps) over completed remote transactions.
 	OpLatencySum int
@@ -302,6 +307,18 @@ func (s *System) entityFor(id EntityID) interface{ process(Message) (bool, error
 	return nil
 }
 
+// countDelivered records one delivery on the named channel.
+func (s *System) countDelivered(name string) {
+	if name == "" {
+		name = "internal"
+	}
+	if s.stats.DeliveredPerChannel == nil {
+		s.stats.DeliveredPerChannel = map[string]int{}
+	}
+	s.stats.DeliveredPerChannel[name]++
+	s.stats.Delivered++
+}
+
 // Run executes until completion, deadlock or the step limit.
 func (s *System) Run() (*Result, error) {
 	starvation := s.cfg.StarvationLimit
@@ -352,7 +369,7 @@ func (s *System) Run() (*Result, error) {
 						break
 					}
 					ch.Pop()
-					s.stats.Delivered++
+					s.countDelivered(name)
 					progress = true
 					s.tracef("deliver %s", msg)
 				}
@@ -364,7 +381,7 @@ func (s *System) Run() (*Result, error) {
 			}
 			if done {
 				ch.Pop()
-				s.stats.Delivered++
+				s.countDelivered(name)
 				progress = true
 				s.tracef("deliver %s", msg)
 			}

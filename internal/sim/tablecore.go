@@ -18,6 +18,9 @@ type tableCore struct {
 	// index on the first input column (typically inmsg) to avoid scanning
 	// the whole table for every lookup.
 	byFirst map[string][]int
+	// hits, when set, is incremented on every successful match — wired to
+	// the owning System's Stats.Transitions.
+	hits *int
 }
 
 func newTableCore(tab *rel.Table, inCols []string) (*tableCore, error) {
@@ -67,6 +70,9 @@ func (tc *tableCore) match(binding map[string]rel.Value) (rel.Row, bool) {
 	}
 	if best < 0 {
 		return rel.Row{}, false
+	}
+	if tc.hits != nil {
+		*tc.hits++
 	}
 	return tc.tab.Row(best), true
 }

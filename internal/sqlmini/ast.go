@@ -214,6 +214,12 @@ type SelectStmt struct {
 	UnionAll bool
 }
 
+// ExplainStmt is EXPLAIN SELECT ...: it reports the query plan (scans,
+// join strategies, estimated row counts) without executing the query.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
 // CreateStmt is CREATE TABLE name (cols) or CREATE TABLE name AS SELECT.
 type CreateStmt struct {
 	Name string
@@ -248,9 +254,10 @@ type UpdateStmt struct {
 	Where Expr
 }
 
-func (*SelectStmt) stmtNode() {}
-func (*CreateStmt) stmtNode() {}
-func (*DropStmt) stmtNode()   {}
-func (*InsertStmt) stmtNode() {}
-func (*DeleteStmt) stmtNode() {}
-func (*UpdateStmt) stmtNode() {}
+func (*SelectStmt) stmtNode()  {}
+func (*ExplainStmt) stmtNode() {}
+func (*CreateStmt) stmtNode()  {}
+func (*DropStmt) stmtNode()    {}
+func (*InsertStmt) stmtNode()  {}
+func (*DeleteStmt) stmtNode()  {}
+func (*UpdateStmt) stmtNode()  {}

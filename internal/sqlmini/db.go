@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/rel"
 )
 
@@ -27,6 +29,14 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*rel.Table
 	eval   Evaluator
+
+	// tracer, when set, receives one span per executed statement with the
+	// per-statement QueryStats as attributes.
+	tracer obs.Tracer
+	// stats aggregates per-statement work; cur is the statement being
+	// executed (guarded by mu, which exec holds exclusively).
+	stats DBStats
+	cur   *QueryStats
 }
 
 // NewDB creates an empty database with the standard function registry
@@ -60,6 +70,22 @@ func (db *DB) SetStrictNulls(strict bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.eval.NullEq = !strict
+}
+
+// SetTracer installs (or, with nil, removes) a tracer: every statement
+// then emits one "sql.stmt" span carrying its QueryStats — rows scanned
+// and produced, join strategies, pushdown hits and eval time.
+func (db *DB) SetTracer(t obs.Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+}
+
+// Stats returns a snapshot of the aggregate statement statistics.
+func (db *DB) Stats() DBStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
 }
 
 // Register installs fn as a SQL-callable scalar function. The paper
@@ -130,7 +156,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	return db.exec(stmt, strings.TrimSpace(src))
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at
@@ -172,11 +198,58 @@ func (db *DB) QueryEmpty(src string) (bool, error) {
 
 // ExecStmt executes an already-parsed statement.
 func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
+	return db.exec(stmt, "")
+}
+
+// exec runs one statement under the exclusive lock, recording QueryStats
+// (and a span, when a tracer is installed).
+func (db *DB) exec(stmt Stmt, src string) (res *Result, err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	qs := &QueryStats{Kind: stmtKind(stmt), Statement: src}
+	db.cur = qs
+	span := obs.StartSpan(db.tracer, "sql.stmt", obs.String("kind", qs.Kind))
+	if src != "" {
+		span.SetAttr(obs.String("statement", src))
+	}
+	start := time.Now()
+	defer func() {
+		db.cur = nil
+		qs.Elapsed = time.Since(start)
+		if res != nil && res.Table != nil {
+			qs.addProduced(res.Table.NumRows())
+		} else if res != nil {
+			qs.addProduced(res.Affected)
+		}
+		db.stats.fold(qs)
+		if span != nil {
+			span.SetAttr(
+				obs.Int("rows_scanned", qs.RowsScanned),
+				obs.Int("rows_produced", qs.RowsProduced),
+				obs.Int("hash_joins", qs.HashJoins),
+				obs.Int("loop_joins", qs.LoopJoins),
+				obs.Int("pushdown_hits", qs.PushdownHits),
+			)
+			if err != nil {
+				span.SetAttr(obs.String("error", err.Error()))
+			}
+			span.Finish()
+		}
+	}()
+	return db.execLocked(stmt)
+}
+
+// execLocked dispatches a statement; the caller holds db.mu exclusively.
+func (db *DB) execLocked(stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		t, err := db.execSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: t}, nil
+	case *ExplainStmt:
+		t, err := db.explainSelect(s.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +339,7 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
+	db.cur.addScanned(t.NumRows())
 	var evalErr error
 	n := t.DeleteWhere(func(r rel.Row) bool {
 		if evalErr != nil {
@@ -297,6 +371,7 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 			return nil, fmt.Errorf("%w: %s in table %q", ErrUnknownColumn, c, s.Table)
 		}
 	}
+	db.cur.addScanned(t.NumRows())
 	n := 0
 	for i := 0; i < t.NumRows(); i++ {
 		env := rowEnv{row: t.Row(i)}

@@ -126,17 +126,43 @@ func renameTo(from, to []string) map[string]string {
 }
 
 func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
+	// WHERE conjuncts that reference a single table are pushed below the
+	// joins and applied while scanning that table (predicate pushdown);
+	// the residue is evaluated against the joined frame as usual.
+	where := s.Where
+	var pushed map[int][]Expr
+	if where != nil && len(s.From)+len(s.Joins) > 1 {
+		var err error
+		pushed, where, err = db.planPushdown(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	applyPushed := func(g *frame, si int) (*frame, error) {
+		cs := pushed[si]
+		if len(cs) == 0 {
+			return g, nil
+		}
+		db.cur.addPushdown(len(cs))
+		return db.filterFrame(g, cs)
+	}
 	// FROM clause: build the working frame.
 	var f *frame
 	if len(s.From) == 0 {
 		f = &frame{rows: [][]rel.Value{{}}} // one empty row for FROM-less SELECT
 	}
+	si := 0
 	for _, ref := range s.From {
 		t, ok := db.tables[ref.Name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 		}
-		g := frameOf(t, ref.Alias)
+		db.cur.addScanned(t.NumRows())
+		g, err := applyPushed(frameOf(t, ref.Alias), si)
+		if err != nil {
+			return nil, err
+		}
+		si++
 		if f == nil {
 			f = g
 		} else {
@@ -148,26 +174,25 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
 		}
-		g := frameOf(t, j.Ref.Alias)
+		db.cur.addScanned(t.NumRows())
+		g, err := applyPushed(frameOf(t, j.Ref.Alias), si)
+		if err != nil {
+			return nil, err
+		}
+		si++
 		joined, err := db.join(f, g, j.On)
 		if err != nil {
 			return nil, err
 		}
 		f = joined
 	}
-	// WHERE.
-	if s.Where != nil {
-		kept := f.rows[:0:0]
-		for _, row := range f.rows {
-			ok, err := db.eval.True(s.Where, frameEnv{f: f, row: row})
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, row)
-			}
+	// WHERE (residue after pushdown).
+	if where != nil {
+		filtered, err := db.filterFrame(f, splitAnd(where))
+		if err != nil {
+			return nil, err
 		}
-		f = &frame{aliases: f.aliases, names: f.names, rows: kept}
+		f = filtered
 	}
 	// GROUP BY aggregation; aggregates without GROUP BY treat the whole
 	// input as one group.
@@ -635,25 +660,170 @@ func (db *DB) projection(items []SelectItem, f *frame) ([]string, []Expr, error)
 	return cols, exprs, nil
 }
 
+// filterFrame keeps the rows satisfying every conjunct.
+func (db *DB) filterFrame(f *frame, conjuncts []Expr) (*frame, error) {
+	kept := f.rows[:0:0]
+	for _, row := range f.rows {
+		env := frameEnv{f: f, row: row}
+		ok := true
+		for _, c := range conjuncts {
+			t, err := db.eval.True(c, env)
+			if err != nil {
+				return nil, err
+			}
+			if !t {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	return &frame{aliases: f.aliases, names: f.names, rows: kept}, nil
+}
+
+// schemaFrame builds a rowless frame carrying only a table's column
+// schema, for resolution during planning (pushdown, EXPLAIN).
+func schemaFrame(t *rel.Table, alias string) *frame {
+	if alias == "" {
+		alias = t.Name()
+	}
+	f := &frame{}
+	for _, c := range t.Columns() {
+		f.aliases = append(f.aliases, alias)
+		f.names = append(f.names, c)
+	}
+	return f
+}
+
+// colRefs collects every column reference in an expression.
+func colRefs(e Expr, out *[]Col) {
+	switch x := e.(type) {
+	case Col:
+		*out = append(*out, x)
+	case Unary:
+		colRefs(x.X, out)
+	case Binary:
+		colRefs(x.L, out)
+		colRefs(x.R, out)
+	case InList:
+		colRefs(x.X, out)
+		for _, s := range x.Set {
+			colRefs(s, out)
+		}
+	case IsNull:
+		colRefs(x.X, out)
+	case Between:
+		colRefs(x.X, out)
+		colRefs(x.Lo, out)
+		colRefs(x.Hi, out)
+	case Ternary:
+		colRefs(x.Cond, out)
+		colRefs(x.Then, out)
+		colRefs(x.Else, out)
+	case Case:
+		for _, w := range x.Whens {
+			colRefs(w.Cond, out)
+			colRefs(w.Val, out)
+		}
+		if x.Else != nil {
+			colRefs(x.Else, out)
+		}
+	case Call:
+		for _, a := range x.Args {
+			colRefs(a, out)
+		}
+	}
+}
+
+// selectSources lists the schema frames of a SELECT's table sources in
+// execution order (FROM refs, then JOIN refs).
+func (db *DB) selectSources(s *SelectStmt) ([]*frame, error) {
+	var out []*frame
+	for _, ref := range s.From {
+		t, ok := db.tables[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
+		}
+		out = append(out, schemaFrame(t, ref.Alias))
+	}
+	for _, j := range s.Joins {
+		t, ok := db.tables[j.Ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
+		}
+		out = append(out, schemaFrame(t, j.Ref.Alias))
+	}
+	return out, nil
+}
+
+// planPushdown splits the WHERE clause into conjuncts that reference
+// exactly one table source (pushed: source index -> conjuncts, applied
+// while scanning) and the residual conjunction evaluated after the joins.
+// Conjuncts with no column references, ambiguous references, or references
+// spanning sources stay in the residue.
+func (db *DB) planPushdown(s *SelectStmt) (map[int][]Expr, Expr, error) {
+	sources, err := db.selectSources(s)
+	if err != nil {
+		return nil, s.Where, err
+	}
+	pushed := map[int][]Expr{}
+	var residue Expr
+	for _, c := range splitAnd(s.Where) {
+		var cols []Col
+		colRefs(c, &cols)
+		target := -1
+		ok := len(cols) > 0
+		for _, col := range cols {
+			si := -1
+			for i, src := range sources {
+				if src.resolve(col.Qualifier, col.Name) >= 0 {
+					if si >= 0 {
+						si = -1 // resolvable in two sources: not pushable
+						break
+					}
+					si = i
+				}
+			}
+			if si < 0 || (target >= 0 && si != target) {
+				ok = false
+				break
+			}
+			target = si
+		}
+		if ok && target >= 0 {
+			pushed[target] = append(pushed[target], c)
+			continue
+		}
+		if residue == nil {
+			residue = c
+		} else {
+			residue = Binary{Op: "AND", L: residue, R: c}
+		}
+	}
+	return pushed, residue, nil
+}
+
 // join combines f with g under the ON condition. When the condition is a
 // conjunction of cross-side column equalities a hash join is used; otherwise
 // a filtered nested-loop cross product.
 type joinPair struct{ li, ri int }
 
-func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
+// hashJoinPairs reports whether the ON condition is a conjunction of
+// cross-side column equalities, and if so returns the column index pairs —
+// the hash-join eligibility test, shared with EXPLAIN.
+func hashJoinPairs(f, g *frame, on Expr) ([]joinPair, bool) {
 	var pairs []joinPair
-	hashable := true
 	for _, c := range splitAnd(on) {
 		b, ok := c.(Binary)
 		if !ok || b.Op != "=" {
-			hashable = false
-			break
+			return nil, false
 		}
 		lc, lok := b.L.(Col)
 		rc, rok := b.R.(Col)
 		if !lok || !rok {
-			hashable = false
-			break
+			return nil, false
 		}
 		li, ri := f.resolve(lc.Qualifier, lc.Name), g.resolve(rc.Qualifier, rc.Name)
 		if li < 0 || ri < 0 {
@@ -661,16 +831,21 @@ func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
 			li, ri = f.resolve(rc.Qualifier, rc.Name), g.resolve(lc.Qualifier, lc.Name)
 		}
 		if li < 0 || ri < 0 {
-			hashable = false
-			break
+			return nil, false
 		}
 		pairs = append(pairs, joinPair{li: li, ri: ri})
 	}
+	return pairs, len(pairs) > 0
+}
+
+func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
+	pairs, hashable := hashJoinPairs(f, g, on)
 	out := &frame{
 		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
 		names:   append(append([]string(nil), f.names...), g.names...),
 	}
-	if hashable && len(pairs) > 0 {
+	if hashable {
+		db.cur.addHashJoin()
 		buckets := make(map[string][]int, len(g.rows))
 		for i, row := range g.rows {
 			key, ok := joinKey(row, pairs, func(p joinPair) int { return p.ri })
@@ -694,6 +869,7 @@ func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
 		return out, nil
 	}
 	// Nested loop with ON filter.
+	db.cur.addLoopJoin()
 	for _, a := range f.rows {
 		for _, b := range g.rows {
 			row := make([]rel.Value, 0, len(a)+len(b))

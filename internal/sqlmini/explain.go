@@ -1,0 +1,200 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"coherdb/internal/rel"
+)
+
+// EXPLAIN SELECT support: explainSelect renders the plan the executor
+// would follow — scans with pushed-down predicates, join strategy (hash
+// vs nested-loop), residual filters, grouping, sorting and UNION
+// combination — as a relation, without executing the query. Estimated
+// cardinalities use coarse textbook rules: a filter keeps a third of its
+// input per conjunct, a hash join produces max(left, right) rows, a
+// nested-loop join a third of the cross product, grouping a quarter of
+// its input.
+
+// estFilter shrinks an estimate by one third per conjunct, never
+// estimating below one row for a non-empty input.
+func estFilter(est, conjuncts int) int {
+	if est == 0 {
+		return 0
+	}
+	for ; conjuncts > 0; conjuncts-- {
+		est /= 3
+	}
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+// andString renders conjuncts joined with AND.
+func andString(cs []Expr) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// planRow appends one step to the plan table.
+func planRow(out *rel.Table, op, target string, est int, detail string) error {
+	return out.InsertRow([]rel.Value{
+		rel.I(int64(out.NumRows() + 1)),
+		rel.S(op),
+		rel.S(target),
+		rel.I(int64(est)),
+		rel.S(detail),
+	})
+}
+
+// explainSelect builds the plan table for a SELECT (including its UNION
+// chain) without executing it.
+func (db *DB) explainSelect(s *SelectStmt) (*rel.Table, error) {
+	out, err := rel.NewTable("plan", "step", "op", "target", "est_rows", "detail")
+	if err != nil {
+		return nil, err
+	}
+	est, err := db.explainBranch(out, s)
+	if err != nil {
+		return nil, err
+	}
+	for u, all := s.Union, s.UnionAll; u != nil; u, all = u.Union, u.UnionAll {
+		branch := *u
+		branch.Union = nil
+		be, err := db.explainBranch(out, &branch)
+		if err != nil {
+			return nil, err
+		}
+		est += be
+		detail := "DISTINCT"
+		if all {
+			detail = "ALL"
+		}
+		if err := planRow(out, "union", "", est, detail); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// explainBranch appends the plan steps for one SELECT branch and returns
+// its estimated output cardinality.
+func (db *DB) explainBranch(out *rel.Table, s *SelectStmt) (int, error) {
+	type source struct {
+		alias string
+		fr    *frame
+		rows  int
+		on    Expr // nil for FROM refs (cross product)
+	}
+	var srcs []source
+	for _, ref := range s.From {
+		t, ok := db.tables[ref.Name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
+		}
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Name
+		}
+		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, ref.Alias), rows: t.NumRows()})
+	}
+	for _, j := range s.Joins {
+		t, ok := db.tables[j.Ref.Name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
+		}
+		alias := j.Ref.Alias
+		if alias == "" {
+			alias = j.Ref.Name
+		}
+		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, j.Ref.Alias), rows: t.NumRows(), on: j.On})
+	}
+	// Same pushdown decision the executor makes.
+	where := s.Where
+	var pushed map[int][]Expr
+	if where != nil && len(srcs) > 1 {
+		var err error
+		pushed, where, err = db.planPushdown(s)
+		if err != nil {
+			return 0, err
+		}
+	}
+	est := 1 // FROM-less SELECT produces one row
+	var cum *frame
+	for i, sc := range srcs {
+		e := sc.rows
+		detail := ""
+		if cs := pushed[i]; len(cs) > 0 {
+			detail = "pushdown: " + andString(cs)
+			e = estFilter(e, len(cs))
+		}
+		if err := planRow(out, "scan", sc.alias, e, detail); err != nil {
+			return 0, err
+		}
+		if cum == nil {
+			cum, est = sc.fr, e
+			continue
+		}
+		switch pairs, hashable := hashJoinPairs(cum, sc.fr, sc.on); {
+		case sc.on == nil:
+			est *= e
+			if err := planRow(out, "cross", sc.alias, est, "cross product"); err != nil {
+				return 0, err
+			}
+		case hashable:
+			est = max(est, e)
+			if err := planRow(out, "join", sc.alias, est, fmt.Sprintf("hash, %d key(s)", len(pairs))); err != nil {
+				return 0, err
+			}
+		default:
+			est = estFilter(est*e, 1)
+			if err := planRow(out, "join", sc.alias, est, "nested-loop: "+sc.on.String()); err != nil {
+				return 0, err
+			}
+		}
+		cum = &frame{
+			aliases: append(append([]string(nil), cum.aliases...), sc.fr.aliases...),
+			names:   append(append([]string(nil), cum.names...), sc.fr.names...),
+		}
+	}
+	if where != nil {
+		cs := splitAnd(where)
+		est = estFilter(est, len(cs))
+		if err := planRow(out, "filter", "", est, andString(cs)); err != nil {
+			return 0, err
+		}
+	}
+	switch {
+	case len(s.GroupBy) > 0:
+		est = max(1, est/4)
+		if err := planRow(out, "group", "", est, fmt.Sprintf("%d key(s)", len(s.GroupBy))); err != nil {
+			return 0, err
+		}
+	case hasAggregates(s.Items):
+		est = 1
+		if err := planRow(out, "aggregate", "", est, ""); err != nil {
+			return 0, err
+		}
+	}
+	if s.Distinct {
+		if err := planRow(out, "distinct", "", est, ""); err != nil {
+			return 0, err
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if err := planRow(out, "sort", "", est, fmt.Sprintf("%d key(s)", len(s.OrderBy))); err != nil {
+			return 0, err
+		}
+	}
+	if s.Limit >= 0 {
+		est = min(est, s.Limit)
+		if err := planRow(out, "limit", "", est, fmt.Sprintf("LIMIT %d", s.Limit)); err != nil {
+			return 0, err
+		}
+	}
+	return est, nil
+}

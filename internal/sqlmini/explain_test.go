@@ -1,0 +1,138 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// planLines renders a plan table as "op|target|est_rows|detail" lines for
+// golden comparison.
+func planLines(t *testing.T, p *rel.Table) []string {
+	t.Helper()
+	want := []string{"step", "op", "target", "est_rows", "detail"}
+	if got := p.Columns(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("plan columns %v, want %v", got, want)
+	}
+	var out []string
+	for i := 0; i < p.NumRows(); i++ {
+		if s := p.Get(i, "step"); s.Int() != int64(i+1) {
+			t.Fatalf("row %d has step %s", i, s)
+		}
+		out = append(out, fmt.Sprintf("%s|%s|%d|%s",
+			p.Get(i, "op").Str(), p.Get(i, "target").Str(),
+			p.Get(i, "est_rows").Int(), p.Get(i, "detail").Str()))
+	}
+	return out
+}
+
+func checkPlan(t *testing.T, db *DB, query string, want []string) {
+	t.Helper()
+	res, err := db.Exec(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := planLines(t, res.Table)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("plan for %s:\n%s\nwant:\n%s",
+			query, strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestExplainHashJoinWithPushdown(t *testing.T) {
+	db := newTestDB(t)
+	// Both WHERE conjuncts reference a single table, so both are pushed
+	// below the hash join; no residual filter remains.
+	checkPlan(t, db,
+		`EXPLAIN SELECT D.inmsg FROM D JOIN V ON D.inmsg = V.m WHERE D.dirst = 'SI' AND V.d = 'home'`,
+		[]string{
+			`scan|D|2|pushdown: (D.dirst = 'SI')`,
+			`scan|V|1|pushdown: (V.d = 'home')`,
+			`join|V|2|hash, 1 key(s)`,
+		})
+}
+
+func TestExplainNestedLoopJoin(t *testing.T) {
+	db := newTestDB(t)
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg <> V.m`,
+		[]string{
+			`scan|D|6|`,
+			`scan|V|5|`,
+			`join|V|10|nested-loop: (D.inmsg <> V.m)`,
+		})
+}
+
+func TestExplainCrossWithResidue(t *testing.T) {
+	db := newTestDB(t)
+	// The cross-source comparison cannot be pushed; it stays as a residual
+	// filter above the cross product.
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D, V WHERE D.inmsg = V.m AND D.dirst = 'SI'`,
+		[]string{
+			`scan|D|2|pushdown: (D.dirst = 'SI')`,
+			`scan|V|5|`,
+			`cross|V|10|cross product`,
+			`filter||3|(D.inmsg = V.m)`,
+		})
+}
+
+func TestExplainSingleTableShape(t *testing.T) {
+	db := newTestDB(t)
+	checkPlan(t, db,
+		`EXPLAIN SELECT DISTINCT inmsg FROM D WHERE dirst = 'SI' ORDER BY inmsg DESC LIMIT 1`,
+		[]string{
+			`scan|D|6|`,
+			`filter||2|(dirst = 'SI')`,
+			`distinct||2|`,
+			`sort||2|1 key(s)`,
+			`limit||1|LIMIT 1`,
+		})
+}
+
+func TestExplainGroupAndUnion(t *testing.T) {
+	db := newTestDB(t)
+	checkPlan(t, db,
+		`EXPLAIN SELECT dirst, COUNT(*) FROM D GROUP BY dirst
+		 UNION ALL SELECT m, COUNT(*) FROM V GROUP BY m`,
+		[]string{
+			`scan|D|6|`,
+			`group||1|1 key(s)`,
+			`scan|V|5|`,
+			`group||1|1 key(s)`,
+			`union||2|ALL`,
+		})
+}
+
+func TestExplainAggregateWithoutGroup(t *testing.T) {
+	db := newTestDB(t)
+	checkPlan(t, db,
+		`EXPLAIN SELECT COUNT(*) FROM D`,
+		[]string{
+			`scan|D|6|`,
+			`aggregate||1|`,
+		})
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg = V.m`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.RowsScanned != 0 || st.HashJoins != 0 {
+		t.Errorf("EXPLAIN scanned %d rows, ran %d hash joins; want 0", st.RowsScanned, st.HashJoins)
+	}
+	if st.LastQuery.Kind != "EXPLAIN" {
+		t.Errorf("LastQuery.Kind = %q, want EXPLAIN", st.LastQuery.Kind)
+	}
+}
+
+func TestExplainUnknownTable(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`EXPLAIN SELECT * FROM nope`); err == nil {
+		t.Fatal("want error for unknown table")
+	}
+}

@@ -120,6 +120,12 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.cur().Kind == TokKeyword && p.cur().Text == "SELECT":
 		return p.parseSelect()
+	case p.acceptKeyword("EXPLAIN"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel}, nil
 	case p.acceptKeyword("CREATE"):
 		return p.parseCreate()
 	case p.acceptKeyword("DROP"):

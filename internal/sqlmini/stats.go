@@ -1,0 +1,113 @@
+package sqlmini
+
+import "time"
+
+// QueryStats describes the work one statement did: the paper's invariant
+// queries are claimed to be "fast enough to run on every revision", and
+// these numbers say where each statement's time went.
+type QueryStats struct {
+	// Kind is the statement verb: SELECT, EXPLAIN, CREATE, INSERT,
+	// DELETE, UPDATE, DROP.
+	Kind string
+	// Statement is the source text, when the statement came in as text
+	// (empty for pre-parsed ExecStmt calls).
+	Statement string
+	// RowsScanned counts base-table rows read while building the working
+	// frames (and rows examined by DELETE/UPDATE).
+	RowsScanned int
+	// RowsProduced counts result rows (SELECT) or affected rows (DML).
+	RowsProduced int
+	// HashJoins and LoopJoins count JOIN ... ON clauses by the strategy
+	// the executor chose: equality conjunctions hash, everything else
+	// falls back to a filtered nested loop.
+	HashJoins, LoopJoins int
+	// PushdownHits counts WHERE conjuncts that were pushed below a join
+	// and applied while scanning a single base table.
+	PushdownHits int
+	// Elapsed is the statement's total evaluation time.
+	Elapsed time.Duration
+}
+
+// Nil-tolerant accumulators so the executor can record without guarding
+// every call site (db.cur is nil outside an instrumented statement).
+
+func (q *QueryStats) addScanned(n int) {
+	if q != nil {
+		q.RowsScanned += n
+	}
+}
+
+func (q *QueryStats) addProduced(n int) {
+	if q != nil {
+		q.RowsProduced += n
+	}
+}
+
+func (q *QueryStats) addHashJoin() {
+	if q != nil {
+		q.HashJoins++
+	}
+}
+
+func (q *QueryStats) addLoopJoin() {
+	if q != nil {
+		q.LoopJoins++
+	}
+}
+
+func (q *QueryStats) addPushdown(n int) {
+	if q != nil {
+		q.PushdownHits += n
+	}
+}
+
+// DBStats aggregates QueryStats over the life of a DB.
+type DBStats struct {
+	// Statements counts every executed statement; Queries counts the
+	// SELECTs among them.
+	Statements, Queries int64
+	// RowsScanned, RowsProduced, HashJoins, LoopJoins and PushdownHits
+	// sum the per-statement numbers.
+	RowsScanned, RowsProduced          int64
+	HashJoins, LoopJoins, PushdownHits int64
+	// EvalTime is the total statement evaluation time.
+	EvalTime time.Duration
+	// LastQuery is the most recent statement's stats.
+	LastQuery QueryStats
+}
+
+func (s *DBStats) fold(q *QueryStats) {
+	s.Statements++
+	if q.Kind == "SELECT" {
+		s.Queries++
+	}
+	s.RowsScanned += int64(q.RowsScanned)
+	s.RowsProduced += int64(q.RowsProduced)
+	s.HashJoins += int64(q.HashJoins)
+	s.LoopJoins += int64(q.LoopJoins)
+	s.PushdownHits += int64(q.PushdownHits)
+	s.EvalTime += q.Elapsed
+	s.LastQuery = *q
+}
+
+// stmtKind names the statement verb for stats and spans.
+func stmtKind(stmt Stmt) string {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return "SELECT"
+	case *ExplainStmt:
+		return "EXPLAIN"
+	case *CreateStmt:
+		return "CREATE"
+	case *DropStmt:
+		return "DROP"
+	case *InsertStmt:
+		return "INSERT"
+	case *DeleteStmt:
+		return "DELETE"
+	case *UpdateStmt:
+		return "UPDATE"
+	default:
+		return "UNKNOWN"
+	}
+}

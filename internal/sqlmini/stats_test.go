@@ -1,0 +1,126 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"coherdb/internal/obs"
+)
+
+func TestQueryStatsJoinAndPushdown(t *testing.T) {
+	db := newTestDB(t)
+	base := db.Stats() // setup INSERTs count toward RowsProduced
+	res, err := db.Query(`SELECT D.inmsg FROM D JOIN V ON D.inmsg = V.m WHERE D.dirst = 'SI' AND V.s = 'local'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	st.RowsProduced -= base.RowsProduced
+	if st.RowsScanned != 11 { // 6 from D + 5 from V
+		t.Errorf("RowsScanned = %d, want 11", st.RowsScanned)
+	}
+	if st.HashJoins != 1 || st.LoopJoins != 0 {
+		t.Errorf("joins hash=%d loop=%d, want 1/0", st.HashJoins, st.LoopJoins)
+	}
+	if st.PushdownHits != 2 {
+		t.Errorf("PushdownHits = %d, want 2", st.PushdownHits)
+	}
+	if st.RowsProduced != int64(res.NumRows()) {
+		t.Errorf("RowsProduced = %d, want %d", st.RowsProduced, res.NumRows())
+	}
+	if st.Queries != 1 {
+		t.Errorf("Queries = %d, want 1", st.Queries)
+	}
+	if st.EvalTime <= 0 {
+		t.Errorf("EvalTime = %v, want > 0", st.EvalTime)
+	}
+}
+
+// Pushdown is an optimization, not a semantics change: a pushable and a
+// non-pushable phrasing of the same predicate must agree.
+func TestPushdownPreservesSemantics(t *testing.T) {
+	db := newTestDB(t)
+	pushed, err := db.Query(`SELECT D.inmsg, V.v FROM D JOIN V ON D.inmsg = V.m WHERE D.dirst = 'MESI'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CASE over both sides cannot be pushed; same rows must survive.
+	residual, err := db.Query(`SELECT D.inmsg, V.v FROM D JOIN V ON D.inmsg = V.m
+		WHERE CASE WHEN V.m = D.inmsg THEN D.dirst ELSE NULL END = 'MESI'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed.NumRows() == 0 {
+		t.Fatal("expected at least one matching row")
+	}
+	eq, err := pushed.EqualRows(residual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("pushed plan:\n%s\nresidual plan:\n%s", pushed, residual)
+	}
+}
+
+func TestLoopJoinCounted(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query(`SELECT * FROM D JOIN V ON D.inmsg <> V.m`); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.LoopJoins != 1 || st.HashJoins != 0 {
+		t.Errorf("joins hash=%d loop=%d, want 0/1", st.HashJoins, st.LoopJoins)
+	}
+}
+
+func TestStatsCountStatements(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.ExecScript(`
+		CREATE TABLE s (a, b);
+		INSERT INTO s VALUES (1, 2), (3, 4);
+		UPDATE s SET b = 5 WHERE a = 1;
+		DELETE FROM s WHERE a = 3;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	// newTestDB ran 4 statements; the script above runs 4 more.
+	if st.Statements != 8 {
+		t.Errorf("Statements = %d, want 8", st.Statements)
+	}
+	if st.Queries != 0 {
+		t.Errorf("Queries = %d, want 0", st.Queries)
+	}
+	// UPDATE and DELETE each scan the 2-row table.
+	if st.RowsScanned != 4 {
+		t.Errorf("RowsScanned = %d, want 4", st.RowsScanned)
+	}
+}
+
+func TestTracerEmitsStatementSpans(t *testing.T) {
+	db := newTestDB(t)
+	c := obs.NewCollector(16)
+	db.SetTracer(c)
+	if _, err := db.Query(`SELECT * FROM D WHERE dirst = 'SI'`); err != nil {
+		t.Fatal(err)
+	}
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "sql.stmt" {
+		t.Errorf("span name %q", sp.Name)
+	}
+	attrs := map[string]string{}
+	for _, a := range sp.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["kind"] != "SELECT" {
+		t.Errorf("kind attr = %q", attrs["kind"])
+	}
+	if attrs["rows_scanned"] != "6" {
+		t.Errorf("rows_scanned attr = %q", attrs["rows_scanned"])
+	}
+	if sp.End.Before(sp.Start) {
+		t.Error("span never finished")
+	}
+}

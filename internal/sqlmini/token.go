@@ -4,7 +4,9 @@
 //
 // The dialect covers what the paper uses: CREATE TABLE (optionally AS
 // SELECT), DROP TABLE, INSERT, DELETE, UPDATE, and SELECT with DISTINCT,
-// multi-table FROM, JOIN ... ON, WHERE, ORDER BY, LIMIT and UNION [ALL].
+// multi-table FROM, JOIN ... ON, WHERE, ORDER BY, LIMIT and UNION [ALL],
+// plus EXPLAIN SELECT, which reports the query plan (scans, pushed-down
+// predicates, join strategy, estimated row counts) without executing.
 // Expressions include =, <>, comparisons, IN, BETWEEN, IS [NOT] NULL,
 // AND/OR/NOT, CASE, registered Go functions (e.g. isrequest), and the
 // paper's ternary constraint form "cond ? then : else".
@@ -71,5 +73,5 @@ var keywords = map[string]bool{
 	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
 	"BETWEEN": true, "ASC": true, "DESC": true, "IF": true,
 	"EXISTS": true, "COUNT": true, "GROUP": true, "HAVING": true,
-	"MIN": true, "MAX": true,
+	"MIN": true, "MAX": true, "EXPLAIN": true,
 }
