@@ -36,6 +36,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-invariant results and VCG details")
 	traceFlag := flag.Bool("trace", false, "collect spans (phases, solves, statements) and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
+	workers := flag.Int("workers", 0, "bound parallelism in generation, checking and deadlock analysis (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *messages {
@@ -65,6 +66,7 @@ func main() {
 	}
 
 	p := core.New()
+	p.Workers = *workers
 	p.Observe(tr, reg)
 	if err := p.Generate(); err != nil {
 		fail(err)
@@ -78,7 +80,7 @@ func main() {
 	runAll := !*invariants && !*deadlocks
 
 	if *invariants || runAll {
-		results := check.ProtocolSuite().Run(p.DB, check.Options{Tracer: tr, Metrics: reg})
+		results := check.ProtocolSuite().Run(p.DB, check.Options{Workers: *workers, Tracer: tr, Metrics: reg})
 		sum := check.Summarize(results)
 		fmt.Println(sum)
 		for _, r := range results {
@@ -125,6 +127,7 @@ func main() {
 				continue
 			}
 			dopts := deadlock.DefaultOptions()
+			dopts.Workers = *workers
 			dopts.Label = name
 			dopts.Tracer = tr
 			dopts.Metrics = reg

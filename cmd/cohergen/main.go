@@ -43,6 +43,7 @@ func main() {
 	exportSpec := flag.String("export-spec", "", "write a controller's database input (schema + constraints) to stdout: D, M, C, N, R, IO, INT, SY")
 	traceFlag := flag.Bool("trace", false, "collect per-solve spans and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style solver metrics to stdout at exit")
+	workers := flag.Int("workers", 0, "bound solver and check parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var (
@@ -67,13 +68,13 @@ func main() {
 	}()
 
 	if *compare {
-		if err := runCompare(tr, reg); err != nil {
+		if err := runCompare(tr, reg, *workers); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *specPath != "" {
-		if err := runSpecFile(*specPath, tr, reg); err != nil {
+		if err := runSpecFile(*specPath, tr, reg, *workers); err != nil {
 			fail(err)
 		}
 		return
@@ -102,6 +103,7 @@ func main() {
 	}
 
 	p := core.New()
+	p.Workers = *workers
 	p.Observe(tr, reg)
 	start := time.Now()
 	if err := p.Generate(); err != nil {
@@ -138,12 +140,12 @@ func main() {
 // runCompare reproduces the §3 timing claim's shape on the Fig. 3 fragment:
 // the incremental solver prunes early and stays fast; the monolithic
 // conjunction enumerates the full cross product.
-func runCompare(tr obs.Tracer, reg *obs.Registry) error {
+func runCompare(tr obs.Tracer, reg *obs.Registry, workers int) error {
 	spec, err := protocol.Figure3FragmentSpec(1)
 	if err != nil {
 		return err
 	}
-	opts := constraint.Options{Tracer: tr, Metrics: reg}
+	opts := constraint.Options{Workers: workers, Tracer: tr, Metrics: reg}
 	t0 := time.Now()
 	inc, si, err := constraint.SolveOpts(spec, opts)
 	if err != nil {
@@ -171,7 +173,7 @@ func runCompare(tr obs.Tracer, reg *obs.Registry) error {
 
 // runSpecFile parses a textual database input, solves it, prints the
 // resulting table and runs its static checks.
-func runSpecFile(path string, tr obs.Tracer, reg *obs.Registry) error {
+func runSpecFile(path string, tr obs.Tracer, reg *obs.Registry, workers int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -182,7 +184,7 @@ func runSpecFile(path string, tr obs.Tracer, reg *obs.Registry) error {
 		return err
 	}
 	protocol.RegisterFuncs(sf.Spec.RegisterFunc)
-	tab, stats, err := constraint.SolveOpts(sf.Spec, constraint.Options{Tracer: tr, Metrics: reg})
+	tab, stats, err := constraint.SolveOpts(sf.Spec, constraint.Options{Workers: workers, Tracer: tr, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -194,7 +196,7 @@ func runSpecFile(path string, tr obs.Tracer, reg *obs.Registry) error {
 	db := sqlmini.NewDB()
 	protocol.RegisterFuncs(db.Register)
 	db.PutTable(tab)
-	results := check.SuiteFrom(sf.Checks).Run(db, check.Options{Tracer: tr, Metrics: reg})
+	results := check.SuiteFrom(sf.Checks).Run(db, check.Options{Workers: workers, Tracer: tr, Metrics: reg})
 	failed := 0
 	for _, r := range results {
 		status := "ok"

@@ -174,7 +174,10 @@ func (s *Spec) Constrain(col, expr string) error {
 	if !s.HasColumn(col) {
 		return fmt.Errorf("%w: %q in spec %q", ErrNoColumn, col, s.Name)
 	}
-	e, err := sqlmini.ParseExpr(expr)
+	// The constraint vocabulary is fixed per protocol and re-parsed on
+	// every solver run; the cached parse shares an immutable tree, and
+	// ResolveSymbols builds new nodes rather than mutating it.
+	e, err := sqlmini.ParseExprCached(expr)
 	if err != nil {
 		return fmt.Errorf("constraint for %s.%s: %w", s.Name, col, err)
 	}

@@ -100,10 +100,13 @@ func New() *Pipeline {
 }
 
 // Observe installs a tracer and metrics registry on the pipeline and on
-// its database's statement executor. Either may be nil.
+// its database's statement executor, which then also exports the
+// coherdb_sql_* counters (statements, plan-cache hits, index usage).
+// Either may be nil.
 func (p *Pipeline) Observe(t obs.Tracer, m *obs.Registry) {
 	p.Tracer, p.Metrics = t, m
 	p.DB.SetTracer(t)
+	p.DB.SetMetrics(m)
 }
 
 // phase starts timing a pipeline phase. The returned func must be

@@ -29,7 +29,8 @@ func AnalyzeSQL(controllers []*rel.Table, v *rel.Table, db *sqlmini.DB) (*Report
 	if _, err := NewAssignment(v); err != nil {
 		return nil, err
 	}
-	db.DropTable("V")
+	// PutTable replaces in place; same-schema replacement keeps the DB's
+	// cached query plans valid across repeated analyses.
 	db.PutTable(v.Clone().SetName("V"))
 
 	// 1. Individual controller dependency tables, one SELECT per output
@@ -41,7 +42,6 @@ func AnalyzeSQL(controllers []*rel.Table, v *rel.Table, db *sqlmini.DB) (*Report
 		if err != nil {
 			return nil, err
 		}
-		db.DropTable(t.Name())
 		db.PutTable(t)
 		name := t.Name() + "_deps"
 		var branches []string

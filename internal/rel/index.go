@@ -3,10 +3,12 @@ package rel
 import "fmt"
 
 // Index is a hash index over one or more columns of a table, mapping each
-// distinct key to the row numbers holding it. An index is a snapshot: it is
-// built over the rows present at construction time and is not maintained
-// under mutation. The deadlock analyzer builds indexes over dependency-table
-// assignment columns to make pairwise composition near-linear.
+// distinct key to the row numbers holding it. An index obtained from
+// BuildIndex is a snapshot over the rows present at construction time; an
+// index obtained from Table.IndexOn is persistent — the table maintains it
+// across inserts and drops it on any other mutation. The deadlock analyzer
+// and the sqlmini executor both rely on indexes to make equality lookups
+// and pairwise composition near-linear.
 type Index struct {
 	t       *Table
 	cols    []string
@@ -14,10 +16,20 @@ type Index struct {
 	buckets map[string][]int
 }
 
-// BuildIndex constructs a hash index over the given columns.
+// BuildIndex constructs a hash index over the given columns. The column
+// list must be non-empty and free of duplicates; errors name the offending
+// column and table.
 func BuildIndex(t *Table, cols ...string) (*Index, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("rel: index on table %q needs at least one column", t.name)
+	}
 	idx := make([]int, len(cols))
+	seen := make(map[string]struct{}, len(cols))
 	for k, c := range cols {
+		if _, dup := seen[c]; dup {
+			return nil, fmt.Errorf("%w: %q indexed twice in table %q", ErrDupColumn, c, t.name)
+		}
+		seen[c] = struct{}{}
 		j := t.ColIndex(c)
 		if j < 0 {
 			return nil, fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, c, t.name)
@@ -54,8 +66,16 @@ func (ix *Index) LookupRows(vals ...Value) []Row {
 	return out
 }
 
-// Distinct returns the number of distinct keys in the index.
+// Distinct returns the number of distinct keys in the index — the
+// cardinality estimate the query planner divides row counts by.
 func (ix *Index) Distinct() int { return len(ix.buckets) }
+
+// add appends row i (already present in the table) to the index, for
+// incremental maintenance of Table.IndexOn caches on insert.
+func (ix *Index) add(i int) {
+	k := ix.t.RowKey(i, ix.colIdx)
+	ix.buckets[k] = append(ix.buckets[k], i)
+}
 
 func keyOf(vals []Value) string {
 	n := 0

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Common errors returned by table operations.
@@ -24,6 +25,13 @@ type Table struct {
 	cols []string
 	pos  map[string]int
 	rows [][]Value
+
+	// idxMu serializes lazy index construction by concurrent readers.
+	// Mutators do not take it: a table must not be mutated concurrently
+	// with reads (sqlmini.DB enforces this with its reader/writer lock),
+	// and that same exclusion covers the index cache.
+	idxMu   sync.Mutex
+	indexes map[string]*Index
 }
 
 // NewTable creates an empty table with the given column names.
@@ -86,6 +94,7 @@ func (t *Table) Insert(vals ...Value) error {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(vals), len(t.cols), t.name)
 	}
 	t.rows = append(t.rows, append([]Value(nil), vals...))
+	t.maintainInsert()
 	return nil
 }
 
@@ -103,6 +112,7 @@ func (t *Table) InsertRow(row []Value) error {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(row), len(t.cols), t.name)
 	}
 	t.rows = append(t.rows, row)
+	t.maintainInsert()
 	return nil
 }
 
@@ -131,6 +141,7 @@ func (t *Table) Set(i int, name string, v Value) error {
 		return fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, name, t.name)
 	}
 	t.rows[i][j] = v
+	t.invalidateIndexes()
 	return nil
 }
 
@@ -147,6 +158,9 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		}
 	}
 	t.rows = kept
+	if removed > 0 {
+		t.invalidateIndexes()
+	}
 	return removed
 }
 
@@ -190,6 +204,7 @@ func (t *Table) SortBy(cols ...string) error {
 		}
 		idx[k] = j
 	}
+	t.invalidateIndexes()
 	sort.SliceStable(t.rows, func(a, b int) bool {
 		ra, rb := t.rows[a], t.rows[b]
 		for _, j := range idx {
@@ -205,6 +220,7 @@ func (t *Table) SortBy(cols ...string) error {
 // SortAll sorts rows in place by every column left to right, giving a
 // canonical order used by EqualRows.
 func (t *Table) SortAll() {
+	t.invalidateIndexes()
 	sort.SliceStable(t.rows, func(a, b int) bool {
 		ra, rb := t.rows[a], t.rows[b]
 		for j := range ra {
@@ -214,6 +230,51 @@ func (t *Table) SortAll() {
 		}
 		return false
 	})
+}
+
+// IndexOn returns a persistent hash index over the given columns, building
+// it on first use and caching it on the table. Cached indexes are
+// maintained incrementally on Insert/InsertRow and dropped wholesale on
+// Set, DeleteWhere, SortBy and SortAll, so a lookup never serves stale
+// rows. Tables produced by Rename or Prefix share their source's row
+// storage but not its index cache; such views must not be mutated.
+// Concurrent IndexOn calls are safe; mutation requires the same external
+// exclusion the table already demands.
+func (t *Table) IndexOn(cols ...string) (*Index, error) {
+	key := strings.Join(cols, "\x1f")
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if ix, ok := t.indexes[key]; ok {
+		return ix, nil
+	}
+	ix, err := BuildIndex(t, cols...)
+	if err != nil {
+		return nil, err
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]*Index)
+	}
+	t.indexes[key] = ix
+	return ix, nil
+}
+
+// maintainInsert appends the just-inserted last row to every cached index.
+func (t *Table) maintainInsert() {
+	if t.indexes == nil {
+		return
+	}
+	i := len(t.rows) - 1
+	for _, ix := range t.indexes {
+		ix.add(i)
+	}
+}
+
+// invalidateIndexes drops the cached indexes after a mutation that moves
+// or rewrites rows; they rebuild lazily on the next IndexOn.
+func (t *Table) invalidateIndexes() {
+	if t.indexes != nil {
+		t.indexes = nil
+	}
 }
 
 // Row is a lightweight accessor for one row of a table.

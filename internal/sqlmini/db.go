@@ -20,7 +20,9 @@ var (
 
 // DB is a catalog of named tables plus a function registry — the "central
 // database" of the paper in which all controller tables live. It is safe for
-// concurrent use.
+// concurrent use: SELECT and EXPLAIN run under a shared reader lock, so the
+// invariant suite's workers query in parallel, while DML/DDL statements are
+// exclusive.
 //
 // By default the DB evaluates expressions in the paper's constraint dialect
 // (NULL is an ordinary dontcare/noop domain value, so col = NULL holds when
@@ -29,14 +31,39 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*rel.Table
 	eval   Evaluator
+	// schemaEpoch counts catalog shape changes — a table created, dropped,
+	// or replaced with a different column list. Cached plans carry the
+	// epoch they were built under and rebuild when it moves; data-only
+	// changes never bump it, because plan validity depends only on schemas
+	// (row freshness is handled by the tables' persistent indexes).
+	schemaEpoch uint64
 
 	// tracer, when set, receives one span per executed statement with the
-	// per-statement QueryStats as attributes.
-	tracer obs.Tracer
-	// stats aggregates per-statement work; cur is the statement being
-	// executed (guarded by mu, which exec holds exclusively).
-	stats DBStats
-	cur   *QueryStats
+	// per-statement QueryStats as attributes; metrics, when set, receives
+	// the coherdb_sql_* counters.
+	tracer  obs.Tracer
+	metrics *obs.Registry
+
+	// statsMu guards the aggregate stats separately from mu, so folding a
+	// read-only statement's stats does not serialize concurrent readers.
+	statsMu sync.Mutex
+	stats   DBStats
+
+	// planMu guards the plan cache: parse trees and physical plans keyed
+	// by trimmed statement text (see plan.go).
+	planMu sync.Mutex
+	plans  map[string]*planEntry
+}
+
+// run is the context of one executing statement: the DB, a snapshot of its
+// evaluator, the statement's stats sink, the plan-cache entry when the
+// statement came in as text, and the schema epoch plans are tagged with.
+type run struct {
+	db    *DB
+	ev    Evaluator
+	qs    *QueryStats
+	entry *planEntry
+	epoch uint64
 }
 
 // NewDB creates an empty database with the standard function registry
@@ -45,6 +72,7 @@ func NewDB() *DB {
 	db := &DB{
 		tables: make(map[string]*rel.Table),
 		eval:   Evaluator{Funcs: make(map[string]Func), NullEq: true},
+		plans:  make(map[string]*planEntry),
 	}
 	db.eval.Funcs["typename"] = func(args []rel.Value) (rel.Value, error) {
 		if len(args) != 1 {
@@ -65,7 +93,9 @@ func NewDB() *DB {
 }
 
 // SetStrictNulls switches between ANSI SQL NULL semantics (true) and the
-// paper's constraint dialect (false, the default).
+// paper's constraint dialect (false, the default). Cached plans survive the
+// toggle: index-backed scans are planned only for non-NULL literals, whose
+// equality is identical in both dialects.
 func (db *DB) SetStrictNulls(strict bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -74,17 +104,33 @@ func (db *DB) SetStrictNulls(strict bool) {
 
 // SetTracer installs (or, with nil, removes) a tracer: every statement
 // then emits one "sql.stmt" span carrying its QueryStats — rows scanned
-// and produced, join strategies, pushdown hits and eval time.
+// and produced, join strategies, index and plan-cache use, eval time.
 func (db *DB) SetTracer(t obs.Tracer) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.tracer = t
 }
 
+// SetMetrics installs (or, with nil, removes) a metrics registry: every
+// statement then bumps the coherdb_sql_* counters — statements by verb,
+// plan-cache hits and misses, index scans and index joins.
+func (db *DB) SetMetrics(m *obs.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.metrics = m
+	if m != nil {
+		m.Help("coherdb_sql_statements_total", "Executed SQL statements by verb.")
+		m.Help("coherdb_sql_plan_cache_hits_total", "Statements served from the plan cache without re-parsing.")
+		m.Help("coherdb_sql_plan_cache_misses_total", "Statements parsed and planned fresh.")
+		m.Help("coherdb_sql_index_scans_total", "Table scans answered from a persistent hash index.")
+		m.Help("coherdb_sql_index_joins_total", "Joins that probed a persistent index instead of building a hash table.")
+	}
+}
+
 // Stats returns a snapshot of the aggregate statement statistics.
 func (db *DB) Stats() DBStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	return db.stats
 }
 
@@ -96,11 +142,32 @@ func (db *DB) Register(name string, fn Func) {
 	db.eval.Funcs[name] = fn
 }
 
-// PutTable installs (or replaces) a table under its own name.
+// PutTable installs (or replaces) a table under its own name. Cached plans
+// are invalidated only when the name is new or the column list changed;
+// replacing a table with an identically-shaped revision (the pipeline does
+// this on every protocol revision) keeps every plan.
 func (db *DB) PutTable(t *rel.Table) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	old, ok := db.tables[t.Name()]
+	if !ok || !sameSchema(old, t) {
+		db.schemaEpoch++
+	}
 	db.tables[t.Name()] = t
+}
+
+// sameSchema reports whether two tables have the same column list in the
+// same order.
+func sameSchema(a, b *rel.Table) bool {
+	if a.NumCols() != b.NumCols() {
+		return false
+	}
+	for i, c := range a.Columns() {
+		if b.ColIndex(c) != i {
+			return false
+		}
+	}
+	return true
 }
 
 // Table returns the named table.
@@ -125,7 +192,10 @@ func (db *DB) DropTable(name string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	_, ok := db.tables[name]
-	delete(db.tables, name)
+	if ok {
+		delete(db.tables, name)
+		db.schemaEpoch++
+	}
 	return ok
 }
 
@@ -150,13 +220,18 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes a single statement.
+// Exec executes a single statement, parsing it through the plan cache: a
+// statement text seen before reuses its parse tree and physical plan.
 func (db *DB) Exec(src string) (*Result, error) {
-	stmt, err := ParseStatement(src)
+	entry, hit, err := db.lookupPlan(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.exec(stmt, strings.TrimSpace(src))
+	pc := "miss"
+	if hit {
+		pc = "hit"
+	}
+	return db.execute(entry.stmt, entry, strings.TrimSpace(src), pc)
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at
@@ -181,7 +256,7 @@ func (db *DB) Query(src string) (*rel.Table, error) {
 		return nil, err
 	}
 	if res.Table == nil {
-		return nil, fmt.Errorf("sqlmini: statement %q is not a query", strings.TrimSpace(src))
+		return nil, errNotQuery(strings.TrimSpace(src))
 	}
 	return res.Table, nil
 }
@@ -196,109 +271,149 @@ func (db *DB) QueryEmpty(src string) (bool, error) {
 	return t.Empty(), nil
 }
 
-// ExecStmt executes an already-parsed statement.
-func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
-	return db.exec(stmt, "")
+func errNotQuery(src string) error {
+	return fmt.Errorf("sqlmini: statement %q is not a query", src)
 }
 
-// exec runs one statement under the exclusive lock, recording QueryStats
-// (and a span, when a tracer is installed).
-func (db *DB) exec(stmt Stmt, src string) (res *Result, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	qs := &QueryStats{Kind: stmtKind(stmt), Statement: src}
-	db.cur = qs
+// ExecStmt executes an already-parsed statement. It bypasses the plan
+// cache (there is no text key); plans are built per execution.
+func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
+	return db.execute(stmt, nil, "", "")
+}
+
+// execute runs one statement, recording QueryStats (and a span and
+// counters, when a tracer or registry is installed). SELECT and EXPLAIN
+// take the shared lock so queries run in parallel; everything else is
+// exclusive.
+func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *Result, err error) {
+	qs := &QueryStats{Kind: stmtKind(stmt), Statement: src, PlanCache: planCache}
+	if qs.Kind == "SELECT" || qs.Kind == "EXPLAIN" {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	} else {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
+	r := &run{db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch}
 	span := obs.StartSpan(db.tracer, "sql.stmt", obs.String("kind", qs.Kind))
 	if src != "" {
 		span.SetAttr(obs.String("statement", src))
 	}
 	start := time.Now()
 	defer func() {
-		db.cur = nil
 		qs.Elapsed = time.Since(start)
 		if res != nil && res.Table != nil {
 			qs.addProduced(res.Table.NumRows())
 		} else if res != nil {
 			qs.addProduced(res.Affected)
 		}
+		db.statsMu.Lock()
 		db.stats.fold(qs)
+		db.statsMu.Unlock()
+		db.observe(qs)
 		if span != nil {
 			span.SetAttr(
 				obs.Int("rows_scanned", qs.RowsScanned),
 				obs.Int("rows_produced", qs.RowsProduced),
 				obs.Int("hash_joins", qs.HashJoins),
 				obs.Int("loop_joins", qs.LoopJoins),
+				obs.Int("index_joins", qs.IndexJoins),
+				obs.Int("index_scans", qs.IndexScans),
 				obs.Int("pushdown_hits", qs.PushdownHits),
 			)
+			if qs.PlanCache != "" {
+				span.SetAttr(obs.String("plan_cache", qs.PlanCache))
+			}
 			if err != nil {
 				span.SetAttr(obs.String("error", err.Error()))
 			}
 			span.Finish()
 		}
 	}()
-	return db.execLocked(stmt)
+	return r.dispatch(stmt)
 }
 
-// execLocked dispatches a statement; the caller holds db.mu exclusively.
-func (db *DB) execLocked(stmt Stmt) (*Result, error) {
+// observe bumps the statement counters on the installed registry.
+func (db *DB) observe(qs *QueryStats) {
+	m := db.metrics
+	if m == nil {
+		return
+	}
+	m.Counter("coherdb_sql_statements_total", obs.L("kind", qs.Kind)).Inc()
+	switch qs.PlanCache {
+	case "hit":
+		m.Counter("coherdb_sql_plan_cache_hits_total").Inc()
+	case "miss":
+		m.Counter("coherdb_sql_plan_cache_misses_total").Inc()
+	}
+	m.Counter("coherdb_sql_index_scans_total").Add(int64(qs.IndexScans))
+	m.Counter("coherdb_sql_index_joins_total").Add(int64(qs.IndexJoins))
+}
+
+// dispatch routes a statement to its executor. The caller holds db.mu in
+// the mode execute chose.
+func (r *run) dispatch(stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		t, err := db.execSelect(s)
+		t, err := r.execSelect(s)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Table: t}, nil
 	case *ExplainStmt:
-		t, err := db.explainSelect(s.Query)
+		t, err := r.explainSelect(s.Query)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Table: t}, nil
 	case *CreateStmt:
-		return db.execCreate(s)
+		return r.execCreate(s)
 	case *DropStmt:
-		if _, ok := db.tables[s.Name]; !ok {
+		if _, ok := r.db.tables[s.Name]; !ok {
 			if s.IfExists {
 				return &Result{}, nil
 			}
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Name)
 		}
-		delete(db.tables, s.Name)
+		delete(r.db.tables, s.Name)
+		r.db.schemaEpoch++
 		return &Result{}, nil
 	case *InsertStmt:
-		return db.execInsert(s)
+		return r.execInsert(s)
 	case *DeleteStmt:
-		return db.execDelete(s)
+		return r.execDelete(s)
 	case *UpdateStmt:
-		return db.execUpdate(s)
+		return r.execUpdate(s)
 	default:
 		return nil, fmt.Errorf("sqlmini: unhandled statement %T", stmt)
 	}
 }
 
-func (db *DB) execCreate(s *CreateStmt) (*Result, error) {
-	if _, dup := db.tables[s.Name]; dup {
+func (r *run) execCreate(s *CreateStmt) (*Result, error) {
+	if _, dup := r.db.tables[s.Name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrTableExist, s.Name)
 	}
 	if s.As != nil {
-		t, err := db.execSelect(s.As)
+		t, err := r.execSelect(s.As)
 		if err != nil {
 			return nil, err
 		}
 		t.SetName(s.Name)
-		db.tables[s.Name] = t
+		r.db.tables[s.Name] = t
+		r.db.schemaEpoch++
 		return &Result{Table: t, Affected: t.NumRows()}, nil
 	}
 	t, err := rel.NewTable(s.Name, s.Cols...)
 	if err != nil {
 		return nil, err
 	}
-	db.tables[s.Name] = t
+	r.db.tables[s.Name] = t
+	r.db.schemaEpoch++
 	return &Result{}, nil
 }
 
-func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
-	t, ok := db.tables[s.Table]
+func (r *run) execInsert(s *InsertStmt) (*Result, error) {
+	t, ok := r.db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
@@ -321,7 +436,7 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 		}
 		row := make([]rel.Value, t.NumCols())
 		for i, e := range rexprs {
-			v, err := db.eval.Eval(e, emptyEnv)
+			v, err := r.ev.Eval(e, emptyEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -334,21 +449,21 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 	return &Result{Affected: len(s.Rows)}, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
-	t, ok := db.tables[s.Table]
+func (r *run) execDelete(s *DeleteStmt) (*Result, error) {
+	t, ok := r.db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
-	db.cur.addScanned(t.NumRows())
+	r.qs.addScanned(t.NumRows())
 	var evalErr error
-	n := t.DeleteWhere(func(r rel.Row) bool {
+	n := t.DeleteWhere(func(row rel.Row) bool {
 		if evalErr != nil {
 			return false
 		}
 		if s.Where == nil {
 			return true
 		}
-		ok, err := db.eval.True(s.Where, rowEnv{row: r})
+		ok, err := r.ev.True(s.Where, rowEnv{row: row})
 		if err != nil {
 			evalErr = err
 			return false
@@ -361,8 +476,8 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
-	t, ok := db.tables[s.Table]
+func (r *run) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, ok := r.db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
@@ -371,12 +486,12 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 			return nil, fmt.Errorf("%w: %s in table %q", ErrUnknownColumn, c, s.Table)
 		}
 	}
-	db.cur.addScanned(t.NumRows())
+	r.qs.addScanned(t.NumRows())
 	n := 0
 	for i := 0; i < t.NumRows(); i++ {
 		env := rowEnv{row: t.Row(i)}
 		if s.Where != nil {
-			ok, err := db.eval.True(s.Where, env)
+			ok, err := r.ev.True(s.Where, env)
 			if err != nil {
 				return nil, err
 			}
@@ -387,7 +502,7 @@ func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
 		// Evaluate all RHS before assigning, so SET a=b, b=a swaps.
 		vals := make([]rel.Value, len(s.Exprs))
 		for k, e := range s.Exprs {
-			v, err := db.eval.Eval(e, env)
+			v, err := r.ev.Eval(e, env)
 			if err != nil {
 				return nil, err
 			}

@@ -25,6 +25,12 @@ type Env interface {
 	Lookup(qualifier, name string) (rel.Value, bool)
 }
 
+// posEnv is implemented by Envs that expose positional row access, letting
+// plan-bound column references (boundCol) skip name resolution entirely.
+type posEnv interface {
+	At(i int) (rel.Value, bool)
+}
+
 // MapEnv is an Env backed by a map from column name to value; qualifiers are
 // ignored. Used by the constraint solver, where a candidate row is a simple
 // name→value binding.
@@ -89,6 +95,18 @@ func (ev *Evaluator) Eval(e Expr, env Env) (rel.Value, error) {
 		v, ok := env.Lookup(x.Qualifier, x.Name)
 		if !ok {
 			return rel.Null(), fmt.Errorf("%w: %s", ErrUnknownColumn, x.String())
+		}
+		return v, nil
+	case boundCol:
+		if re, ok := env.(posEnv); ok {
+			if v, ok := re.At(x.Idx); ok {
+				return v, nil
+			}
+		}
+		// Non-positional Env, or a stale position: resolve by name.
+		v, ok := env.Lookup(x.Qualifier, x.Name)
+		if !ok {
+			return rel.Null(), fmt.Errorf("%w: %s", ErrUnknownColumn, x.Col.String())
 		}
 		return v, nil
 	case Unary:
@@ -329,6 +347,8 @@ func collectCols(e Expr, out map[string]struct{}) {
 	switch x := e.(type) {
 	case Lit:
 	case Col:
+		out[x.Name] = struct{}{}
+	case boundCol:
 		out[x.Name] = struct{}{}
 	case Unary:
 		collectCols(x.X, out)

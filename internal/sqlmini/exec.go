@@ -13,17 +13,21 @@ type frame struct {
 	aliases []string
 	names   []string
 	rows    [][]rel.Value
+	// base is the backing table when the frame is an untransformed whole-
+	// table scan — the precondition for probing the table's persistent
+	// indexes with frame row positions. Any filter, join or index-reduced
+	// scan clears it.
+	base *rel.Table
+	// memo caches column resolution (including misses and ambiguities):
+	// per-row expression evaluation resolves the same handful of names
+	// over and over, and the linear scan over wide controller tables
+	// dominates filter cost without it. Frames are single-goroutine.
+	memo map[[2]string]int
 }
 
 func frameOf(t *rel.Table, alias string) *frame {
-	if alias == "" {
-		alias = t.Name()
-	}
-	f := &frame{}
-	for _, c := range t.Columns() {
-		f.aliases = append(f.aliases, alias)
-		f.names = append(f.names, c)
-	}
+	f := schemaFrame(t, alias)
+	f.base = t
 	f.rows = make([][]rel.Value, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
 		f.rows[i] = t.RawRow(i)
@@ -31,9 +35,28 @@ func frameOf(t *rel.Table, alias string) *frame {
 	return f
 }
 
+// pristine reports whether the frame is still the whole backing table, so
+// index row numbers and frame row positions coincide.
+func (f *frame) pristine() bool {
+	return f.base != nil && len(f.rows) == f.base.NumRows()
+}
+
 // resolve finds the column position for a (possibly qualified) name.
 // It returns -1 when absent or ambiguous.
 func (f *frame) resolve(q, name string) int {
+	key := [2]string{q, name}
+	if i, ok := f.memo[key]; ok {
+		return i
+	}
+	i := f.resolveScan(q, name)
+	if f.memo == nil {
+		f.memo = make(map[[2]string]int, 8)
+	}
+	f.memo[key] = i
+	return i
+}
+
+func (f *frame) resolveScan(q, name string) int {
 	found := -1
 	for i := range f.names {
 		if f.names[i] != name {
@@ -84,20 +107,36 @@ func (e frameEnv) Lookup(q, name string) (rel.Value, bool) {
 	return e.row[i], true
 }
 
-func (db *DB) execSelect(s *SelectStmt) (*rel.Table, error) {
-	out, err := db.execSelectOne(s)
+// At implements posEnv for plan-bound column references. An out-of-range
+// position (a plan from another schema epoch, which branchPlans prevents)
+// reports absence so evaluation falls back to name resolution.
+func (e frameEnv) At(i int) (rel.Value, bool) {
+	if i < 0 || i >= len(e.row) {
+		return rel.Null(), false
+	}
+	return e.row[i], true
+}
+
+func (r *run) execSelect(s *SelectStmt) (*rel.Table, error) {
+	plans, err := r.plansFor(s)
 	if err != nil {
 		return nil, err
 	}
+	out, err := r.execSelectOne(s, r.planAt(plans, 0, s))
+	if err != nil {
+		return nil, err
+	}
+	bi := 1
 	for u, all := s.Union, s.UnionAll; u != nil; u, all = u.Union, u.UnionAll {
 		// Each branch's own Union chain is cleared before execution to
 		// avoid double-processing; we walk the chain here instead.
 		branch := *u
 		branch.Union = nil
-		bt, err := db.execSelectOne(&branch)
+		bt, err := r.execSelectOne(&branch, r.planAt(plans, bi, &branch))
 		if err != nil {
 			return nil, err
 		}
+		bi++
 		if bt.NumCols() != out.NumCols() {
 			return nil, fmt.Errorf("%w: UNION branches have %d and %d columns", rel.ErrSchema, out.NumCols(), bt.NumCols())
 		}
@@ -117,6 +156,20 @@ func (db *DB) execSelect(s *SelectStmt) (*rel.Table, error) {
 	return out, nil
 }
 
+// planAt returns the i-th cached branch plan; a length mismatch (which
+// cannot happen for plans built from the same UNION chain) falls back to
+// planning the branch fresh so the WHERE clause is never lost.
+func (r *run) planAt(plans []*branchPlan, i int, branch *SelectStmt) *branchPlan {
+	if i < len(plans) && plans[i] != nil {
+		return plans[i]
+	}
+	bp, err := r.planBranch(branch)
+	if err != nil {
+		return &branchPlan{residue: branch.Where}
+	}
+	return bp
+}
+
 func renameTo(from, to []string) map[string]string {
 	m := make(map[string]string, len(from))
 	for i := range from {
@@ -125,40 +178,17 @@ func renameTo(from, to []string) map[string]string {
 	return m
 }
 
-func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
-	// WHERE conjuncts that reference a single table are pushed below the
-	// joins and applied while scanning that table (predicate pushdown);
-	// the residue is evaluated against the joined frame as usual.
-	where := s.Where
-	var pushed map[int][]Expr
-	if where != nil && len(s.From)+len(s.Joins) > 1 {
-		var err error
-		pushed, where, err = db.planPushdown(s)
-		if err != nil {
-			return nil, err
-		}
-	}
-	applyPushed := func(g *frame, si int) (*frame, error) {
-		cs := pushed[si]
-		if len(cs) == 0 {
-			return g, nil
-		}
-		db.cur.addPushdown(len(cs))
-		return db.filterFrame(g, cs)
-	}
-	// FROM clause: build the working frame.
+func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error) {
+	// FROM clause: build the working frame. Each source is scanned per its
+	// cached srcPlan — through a persistent index when the planner found an
+	// equality conjunct, with remaining pushed conjuncts filtered in place.
 	var f *frame
 	if len(s.From) == 0 {
 		f = &frame{rows: [][]rel.Value{{}}} // one empty row for FROM-less SELECT
 	}
 	si := 0
 	for _, ref := range s.From {
-		t, ok := db.tables[ref.Name]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
-		}
-		db.cur.addScanned(t.NumRows())
-		g, err := applyPushed(frameOf(t, ref.Alias), si)
+		g, err := r.scanSource(ref, plan.src(si))
 		if err != nil {
 			return nil, err
 		}
@@ -170,25 +200,20 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 		}
 	}
 	for _, j := range s.Joins {
-		t, ok := db.tables[j.Ref.Name]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
-		}
-		db.cur.addScanned(t.NumRows())
-		g, err := applyPushed(frameOf(t, j.Ref.Alias), si)
+		g, err := r.scanSource(j.Ref, plan.src(si))
 		if err != nil {
 			return nil, err
 		}
 		si++
-		joined, err := db.join(f, g, j.On)
+		joined, err := r.join(f, g, j.On)
 		if err != nil {
 			return nil, err
 		}
 		f = joined
 	}
 	// WHERE (residue after pushdown).
-	if where != nil {
-		filtered, err := db.filterFrame(f, splitAnd(where))
+	if plan != nil && plan.residue != nil {
+		filtered, err := r.filterFrame(f, splitAnd(plan.residue))
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +222,7 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 	// GROUP BY aggregation; aggregates without GROUP BY treat the whole
 	// input as one group.
 	if len(s.GroupBy) > 0 || (hasAggregates(s.Items) && !isCountStar(s.Items)) {
-		return db.execGrouped(s, f)
+		return r.execGrouped(s, f)
 	}
 	// COUNT(*) aggregate.
 	if isCountStar(s.Items) {
@@ -210,7 +235,7 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 		return t, nil
 	}
 	// Projection list.
-	cols, exprs, err := db.projection(s.Items, f)
+	cols, exprs, err := projection(s.Items, f)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +248,7 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 		env := frameEnv{f: f, row: row}
 		vals := make([]rel.Value, len(exprs))
 		for i, e := range exprs {
-			v, err := db.eval.Eval(e, env)
+			v, err := r.ev.Eval(e, env)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +258,7 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 		if len(s.OrderBy) > 0 {
 			keys = make([]rel.Value, len(s.OrderBy))
 			for i, k := range s.OrderBy {
-				v, err := db.eval.Eval(k.Expr, orderEnv{frame: env, cols: cols, vals: vals})
+				v, err := r.ev.Eval(k.Expr, orderEnv{frame: env, cols: cols, vals: vals})
 				if err != nil {
 					return nil, err
 				}
@@ -245,13 +270,13 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 	if s.Distinct {
 		seen := make(map[string]struct{}, len(rows))
 		kept := rows[:0]
-		for _, r := range rows {
-			k := rowKeyOf(r.vals)
+		for _, row := range rows {
+			k := rowKeyOf(row.vals)
 			if _, dup := seen[k]; dup {
 				continue
 			}
 			seen[k] = struct{}{}
-			kept = append(kept, r)
+			kept = append(kept, row)
 		}
 		rows = kept
 	}
@@ -276,18 +301,57 @@ func (db *DB) execSelectOne(s *SelectStmt) (*rel.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range rows {
-		if err := out.InsertRow(r.vals); err != nil {
+	for _, row := range rows {
+		if err := out.InsertRow(row.vals); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
+// scanSource materializes one table source per its srcPlan: an index
+// lookup on the planned equality conjuncts when present, a whole-table
+// scan otherwise, followed by the remaining pushed filters.
+func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
+	t, ok := r.db.tables[ref.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
+	}
+	if len(sp.eqCols) > 0 {
+		ix, err := t.IndexOn(sp.eqCols...)
+		if err == nil {
+			matched := ix.Lookup(sp.eqVals...)
+			r.qs.addIndexScan()
+			r.qs.addScanned(len(matched))
+			r.qs.addPushdown(len(sp.eqCols) + len(sp.filters))
+			f := schemaFrame(t, ref.Alias)
+			f.rows = make([][]rel.Value, len(matched))
+			for i, ri := range matched {
+				f.rows[i] = t.RawRow(ri)
+			}
+			if len(sp.filters) > 0 {
+				return r.filterFrame(f, sp.filters)
+			}
+			return f, nil
+		}
+		// The index could not be built (it cannot for planner-produced
+		// column lists, which are resolved and deduplicated): apply the
+		// equality conjuncts as ordinary filters instead.
+		sp.filters = append(eqExprs(sp), sp.filters...)
+	}
+	r.qs.addScanned(t.NumRows())
+	f := frameOf(t, ref.Alias)
+	if len(sp.filters) > 0 {
+		r.qs.addPushdown(len(sp.filters))
+		return r.filterFrame(f, sp.filters)
+	}
+	return f, nil
+}
+
 // execGrouped evaluates a GROUP BY query: rows are bucketed by the group
 // expressions; each bucket yields one output row, with COUNT(*) bound to
 // the bucket size for the select list and the HAVING filter.
-func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
+func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	type group struct {
 		rows [][]rel.Value
 	}
@@ -297,7 +361,7 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 		env := frameEnv{f: f, row: row}
 		key := ""
 		for _, ge := range s.GroupBy {
-			v, err := db.eval.Eval(ge, env)
+			v, err := r.ev.Eval(ge, env)
 			if err != nil {
 				return nil, err
 			}
@@ -311,7 +375,7 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 		}
 		g.rows = append(g.rows, row)
 	}
-	cols, exprs, err := db.projection(s.Items, f)
+	cols, exprs, err := projection(s.Items, f)
 	if err != nil {
 		return nil, err
 	}
@@ -323,11 +387,11 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 		g := groups[key]
 		env := frameEnv{f: f, row: g.rows[0]}
 		if s.Having != nil {
-			h, err := db.rewriteAggs(s.Having, f, g.rows)
+			h, err := r.rewriteAggs(s.Having, f, g.rows)
 			if err != nil {
 				return nil, err
 			}
-			keep, err := db.eval.True(h, env)
+			keep, err := r.ev.True(h, env)
 			if err != nil {
 				return nil, err
 			}
@@ -337,11 +401,11 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 		}
 		vals := make([]rel.Value, len(exprs))
 		for i, e := range exprs {
-			re, err := db.rewriteAggs(e, f, g.rows)
+			re, err := r.rewriteAggs(e, f, g.rows)
 			if err != nil {
 				return nil, err
 			}
-			v, err := db.eval.Eval(re, env)
+			v, err := r.ev.Eval(re, env)
 			if err != nil {
 				return nil, err
 			}
@@ -363,7 +427,7 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 			k := keyed{row: out.RawRow(i), keys: make([]rel.Value, len(s.OrderBy))}
 			env := groupOutEnv{cols: cols, vals: out.RawRow(i)}
 			for j, key := range s.OrderBy {
-				v, err := db.eval.Eval(key.Expr, env)
+				v, err := r.ev.Eval(key.Expr, env)
 				if err != nil {
 					return nil, err
 				}
@@ -412,7 +476,7 @@ func (db *DB) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 // rewriteAggs replaces aggregate calls (count_star, agg_min, agg_max) in
 // an expression with literals computed over the group's rows, so the
 // remaining expression evaluates against the group's representative row.
-func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
+func (r *run) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 	switch x := e.(type) {
 	case Call:
 		switch x.Name {
@@ -424,7 +488,7 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 			}
 			best := rel.Null()
 			for _, row := range rows {
-				v, err := db.eval.Eval(x.Args[0], frameEnv{f: f, row: row})
+				v, err := r.ev.Eval(x.Args[0], frameEnv{f: f, row: row})
 				if err != nil {
 					return nil, err
 				}
@@ -441,7 +505,7 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 		}
 		args := make([]Expr, len(x.Args))
 		for i, a := range x.Args {
-			ra, err := db.rewriteAggs(a, f, rows)
+			ra, err := r.rewriteAggs(a, f, rows)
 			if err != nil {
 				return nil, err
 			}
@@ -449,29 +513,29 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 		}
 		return Call{Name: x.Name, Args: args}, nil
 	case Unary:
-		rx, err := db.rewriteAggs(x.X, f, rows)
+		rx, err := r.rewriteAggs(x.X, f, rows)
 		if err != nil {
 			return nil, err
 		}
 		return Unary{Op: x.Op, X: rx}, nil
 	case Binary:
-		l, err := db.rewriteAggs(x.L, f, rows)
+		l, err := r.rewriteAggs(x.L, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.rewriteAggs(x.R, f, rows)
+		rr, err := r.rewriteAggs(x.R, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		return Binary{Op: x.Op, L: l, R: r}, nil
+		return Binary{Op: x.Op, L: l, R: rr}, nil
 	case InList:
-		rx, err := db.rewriteAggs(x.X, f, rows)
+		rx, err := r.rewriteAggs(x.X, f, rows)
 		if err != nil {
 			return nil, err
 		}
 		set := make([]Expr, len(x.Set))
 		for i, sx := range x.Set {
-			rs, err := db.rewriteAggs(sx, f, rows)
+			rs, err := r.rewriteAggs(sx, f, rows)
 			if err != nil {
 				return nil, err
 			}
@@ -479,35 +543,35 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 		}
 		return InList{X: rx, Set: set, Negate: x.Negate}, nil
 	case IsNull:
-		rx, err := db.rewriteAggs(x.X, f, rows)
+		rx, err := r.rewriteAggs(x.X, f, rows)
 		if err != nil {
 			return nil, err
 		}
 		return IsNull{X: rx, Negate: x.Negate}, nil
 	case Between:
-		rx, err := db.rewriteAggs(x.X, f, rows)
+		rx, err := r.rewriteAggs(x.X, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		lo, err := db.rewriteAggs(x.Lo, f, rows)
+		lo, err := r.rewriteAggs(x.Lo, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := db.rewriteAggs(x.Hi, f, rows)
+		hi, err := r.rewriteAggs(x.Hi, f, rows)
 		if err != nil {
 			return nil, err
 		}
 		return Between{X: rx, Lo: lo, Hi: hi, Negate: x.Negate}, nil
 	case Ternary:
-		c, err := db.rewriteAggs(x.Cond, f, rows)
+		c, err := r.rewriteAggs(x.Cond, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		tn, err := db.rewriteAggs(x.Then, f, rows)
+		tn, err := r.rewriteAggs(x.Then, f, rows)
 		if err != nil {
 			return nil, err
 		}
-		el, err := db.rewriteAggs(x.Else, f, rows)
+		el, err := r.rewriteAggs(x.Else, f, rows)
 		if err != nil {
 			return nil, err
 		}
@@ -515,11 +579,11 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 	case Case:
 		whens := make([]When, len(x.Whens))
 		for i, w := range x.Whens {
-			c, err := db.rewriteAggs(w.Cond, f, rows)
+			c, err := r.rewriteAggs(w.Cond, f, rows)
 			if err != nil {
 				return nil, err
 			}
-			v, err := db.rewriteAggs(w.Val, f, rows)
+			v, err := r.rewriteAggs(w.Val, f, rows)
 			if err != nil {
 				return nil, err
 			}
@@ -528,7 +592,7 @@ func (db *DB) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
 		var els Expr
 		if x.Else != nil {
 			var err error
-			els, err = db.rewriteAggs(x.Else, f, rows)
+			els, err = r.rewriteAggs(x.Else, f, rows)
 			if err != nil {
 				return nil, err
 			}
@@ -621,7 +685,7 @@ func isCountStar(items []SelectItem) bool {
 
 // projection expands the select list into output column names and the
 // expressions producing them.
-func (db *DB) projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
+func projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
 	var cols []string
 	var exprs []Expr
 	for _, it := range items {
@@ -661,13 +725,13 @@ func (db *DB) projection(items []SelectItem, f *frame) ([]string, []Expr, error)
 }
 
 // filterFrame keeps the rows satisfying every conjunct.
-func (db *DB) filterFrame(f *frame, conjuncts []Expr) (*frame, error) {
+func (r *run) filterFrame(f *frame, conjuncts []Expr) (*frame, error) {
 	kept := f.rows[:0:0]
 	for _, row := range f.rows {
 		env := frameEnv{f: f, row: row}
 		ok := true
 		for _, c := range conjuncts {
-			t, err := db.eval.True(c, env)
+			t, err := r.ev.True(c, env)
 			if err != nil {
 				return nil, err
 			}
@@ -680,7 +744,8 @@ func (db *DB) filterFrame(f *frame, conjuncts []Expr) (*frame, error) {
 			kept = append(kept, row)
 		}
 	}
-	return &frame{aliases: f.aliases, names: f.names, rows: kept}, nil
+	// Same schema, so the resolution memo carries over.
+	return &frame{aliases: f.aliases, names: f.names, rows: kept, memo: f.memo}, nil
 }
 
 // schemaFrame builds a rowless frame carrying only a table's column
@@ -702,6 +767,8 @@ func colRefs(e Expr, out *[]Col) {
 	switch x := e.(type) {
 	case Col:
 		*out = append(*out, x)
+	case boundCol:
+		*out = append(*out, x.Col)
 	case Unary:
 		colRefs(x.X, out)
 	case Binary:
@@ -739,70 +806,23 @@ func colRefs(e Expr, out *[]Col) {
 
 // selectSources lists the schema frames of a SELECT's table sources in
 // execution order (FROM refs, then JOIN refs).
-func (db *DB) selectSources(s *SelectStmt) ([]*frame, error) {
+func (r *run) selectSources(s *SelectStmt) ([]*frame, error) {
 	var out []*frame
 	for _, ref := range s.From {
-		t, ok := db.tables[ref.Name]
+		t, ok := r.db.tables[ref.Name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 		}
 		out = append(out, schemaFrame(t, ref.Alias))
 	}
 	for _, j := range s.Joins {
-		t, ok := db.tables[j.Ref.Name]
+		t, ok := r.db.tables[j.Ref.Name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
 		}
 		out = append(out, schemaFrame(t, j.Ref.Alias))
 	}
 	return out, nil
-}
-
-// planPushdown splits the WHERE clause into conjuncts that reference
-// exactly one table source (pushed: source index -> conjuncts, applied
-// while scanning) and the residual conjunction evaluated after the joins.
-// Conjuncts with no column references, ambiguous references, or references
-// spanning sources stay in the residue.
-func (db *DB) planPushdown(s *SelectStmt) (map[int][]Expr, Expr, error) {
-	sources, err := db.selectSources(s)
-	if err != nil {
-		return nil, s.Where, err
-	}
-	pushed := map[int][]Expr{}
-	var residue Expr
-	for _, c := range splitAnd(s.Where) {
-		var cols []Col
-		colRefs(c, &cols)
-		target := -1
-		ok := len(cols) > 0
-		for _, col := range cols {
-			si := -1
-			for i, src := range sources {
-				if src.resolve(col.Qualifier, col.Name) >= 0 {
-					if si >= 0 {
-						si = -1 // resolvable in two sources: not pushable
-						break
-					}
-					si = i
-				}
-			}
-			if si < 0 || (target >= 0 && si != target) {
-				ok = false
-				break
-			}
-			target = si
-		}
-		if ok && target >= 0 {
-			pushed[target] = append(pushed[target], c)
-			continue
-		}
-		if residue == nil {
-			residue = c
-		} else {
-			residue = Binary{Op: "AND", L: residue, R: c}
-		}
-	}
-	return pushed, residue, nil
 }
 
 // join combines f with g under the ON condition. When the condition is a
@@ -838,53 +858,156 @@ func hashJoinPairs(f, g *frame, on Expr) ([]joinPair, bool) {
 	return pairs, len(pairs) > 0
 }
 
-func (db *DB) join(f, g *frame, on Expr) (*frame, error) {
+// join output is always f-major: left rows in scan order, each followed by
+// its matches. Every strategy below preserves that order.
+func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 	pairs, hashable := hashJoinPairs(f, g, on)
 	out := &frame{
 		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
 		names:   append(append([]string(nil), f.names...), g.names...),
 	}
-	if hashable {
-		db.cur.addHashJoin()
-		buckets := make(map[string][]int, len(g.rows))
-		for i, row := range g.rows {
-			key, ok := joinKey(row, pairs, func(p joinPair) int { return p.ri })
+	if !hashable {
+		// Nested loop with ON filter.
+		r.qs.addLoopJoin()
+		for _, a := range f.rows {
+			for _, b := range g.rows {
+				row := make([]rel.Value, 0, len(a)+len(b))
+				row = append(row, a...)
+				row = append(row, b...)
+				ok, err := r.ev.True(on, frameEnv{f: out, row: row})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out.rows = append(out.rows, row)
+				}
+			}
+		}
+		return out, nil
+	}
+	r.qs.addHashJoin()
+	// Index nested-loop: when one side is a pristine base-table scan, its
+	// persistent index replaces the build phase entirely. Probe the side
+	// with fewer rows. IndexOn only fails for duplicated join columns
+	// (ON f.a = g.m AND f.b = g.m); the ad-hoc hash below covers that.
+	if g.pristine() && (!f.pristine() || len(f.rows) <= len(g.rows)) {
+		cols := make([]string, len(pairs))
+		for k, p := range pairs {
+			cols[k] = g.names[p.ri]
+		}
+		if ix, err := g.base.IndexOn(cols...); err == nil {
+			r.qs.addIndexJoin()
+			vals := make([]rel.Value, len(pairs))
+			for _, a := range f.rows {
+				ok := true
+				for k, p := range pairs {
+					if a[p.li].IsNull() {
+						ok = false // NULL keys never match
+						break
+					}
+					vals[k] = a[p.li]
+				}
+				if !ok {
+					continue
+				}
+				for _, j := range ix.Lookup(vals...) {
+					row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
+					row = append(row, a...)
+					row = append(row, g.rows[j]...)
+					out.rows = append(out.rows, row)
+				}
+			}
+			return out, nil
+		}
+	}
+	if f.pristine() {
+		cols := make([]string, len(pairs))
+		for k, p := range pairs {
+			cols[k] = f.names[p.li]
+		}
+		if ix, err := f.base.IndexOn(cols...); err == nil {
+			r.qs.addIndexJoin()
+			// Probe with g's rows, bucketing matches per f row so the
+			// output stays f-major.
+			matches := make([][]int, len(f.rows))
+			vals := make([]rel.Value, len(pairs))
+			for j, b := range g.rows {
+				ok := true
+				for k, p := range pairs {
+					if b[p.ri].IsNull() {
+						ok = false
+						break
+					}
+					vals[k] = b[p.ri]
+				}
+				if !ok {
+					continue
+				}
+				for _, i := range ix.Lookup(vals...) {
+					matches[i] = append(matches[i], j)
+				}
+			}
+			emitMatches(out, f, g, matches)
+			return out, nil
+		}
+	}
+	// Ad-hoc hash join, building the table on the smaller input.
+	if len(f.rows) <= len(g.rows) {
+		buckets := make(map[string][]int, len(f.rows))
+		for i, row := range f.rows {
+			key, ok := joinKey(row, pairs, func(p joinPair) int { return p.li })
 			if !ok {
 				continue // NULL keys never match
 			}
 			buckets[key] = append(buckets[key], i)
 		}
-		for _, a := range f.rows {
-			key, ok := joinKey(a, pairs, func(p joinPair) int { return p.li })
+		matches := make([][]int, len(f.rows))
+		for j, b := range g.rows {
+			key, ok := joinKey(b, pairs, func(p joinPair) int { return p.ri })
 			if !ok {
 				continue
 			}
-			for _, j := range buckets[key] {
-				row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
-				row = append(row, a...)
-				row = append(row, g.rows[j]...)
-				out.rows = append(out.rows, row)
+			for _, i := range buckets[key] {
+				matches[i] = append(matches[i], j)
 			}
 		}
+		emitMatches(out, f, g, matches)
 		return out, nil
 	}
-	// Nested loop with ON filter.
-	db.cur.addLoopJoin()
+	buckets := make(map[string][]int, len(g.rows))
+	for i, row := range g.rows {
+		key, ok := joinKey(row, pairs, func(p joinPair) int { return p.ri })
+		if !ok {
+			continue
+		}
+		buckets[key] = append(buckets[key], i)
+	}
 	for _, a := range f.rows {
-		for _, b := range g.rows {
-			row := make([]rel.Value, 0, len(a)+len(b))
+		key, ok := joinKey(a, pairs, func(p joinPair) int { return p.li })
+		if !ok {
+			continue
+		}
+		for _, j := range buckets[key] {
+			row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
 			row = append(row, a...)
-			row = append(row, b...)
-			ok, err := db.eval.True(on, frameEnv{f: out, row: row})
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out.rows = append(out.rows, row)
-			}
+			row = append(row, g.rows[j]...)
+			out.rows = append(out.rows, row)
 		}
 	}
 	return out, nil
+}
+
+// emitMatches appends f-major joined rows: for each f row in order, its
+// matching g rows.
+func emitMatches(out *frame, f, g *frame, matches [][]int) {
+	for i, a := range f.rows {
+		for _, j := range matches[i] {
+			row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
+			row = append(row, a...)
+			row = append(row, g.rows[j]...)
+			out.rows = append(out.rows, row)
+		}
+	}
 }
 
 func joinKey(row []rel.Value, pairs []joinPair, side func(joinPair) int) (string, bool) {

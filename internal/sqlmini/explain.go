@@ -8,13 +8,16 @@ import (
 )
 
 // EXPLAIN SELECT support: explainSelect renders the plan the executor
-// would follow — scans with pushed-down predicates, join strategy (hash
-// vs nested-loop), residual filters, grouping, sorting and UNION
-// combination — as a relation, without executing the query. Estimated
-// cardinalities use coarse textbook rules: a filter keeps a third of its
-// input per conjunct, a hash join produces max(left, right) rows, a
-// nested-loop join a third of the cross product, grouping a quarter of
-// its input.
+// would follow — index scans and scans with pushed-down predicates, join
+// strategy (index nested-loop vs hash vs nested-loop) with the hash build
+// side, residual filters, grouping, sorting and UNION combination — as a
+// relation, without executing the query. Estimated cardinalities use
+// coarse textbook rules: an index scan keeps rows/distinct-keys, a filter
+// keeps a third of its input per conjunct, a hash join produces
+// max(left, right) rows, a nested-loop join a third of the cross product,
+// grouping a quarter of its input. The hash build side shown here is the
+// estimate-based choice; the executor decides from actual row counts and
+// can differ when the estimates are off.
 
 // estFilter shrinks an estimate by one third per conjunct, never
 // estimating below one row for a non-empty input.
@@ -31,6 +34,15 @@ func estFilter(est, conjuncts int) int {
 	return est
 }
 
+// estIndexJoin estimates index nested-loop output: the cross product
+// shrunk by the indexed side's distinct key count.
+func estIndexJoin(l, r, distinct int) int {
+	if l == 0 || r == 0 {
+		return 0
+	}
+	return max(1, l*r/max(1, distinct))
+}
+
 // andString renders conjuncts joined with AND.
 func andString(cs []Expr) string {
 	parts := make([]string, len(cs))
@@ -38,6 +50,25 @@ func andString(cs []Expr) string {
 		parts[i] = c.String()
 	}
 	return strings.Join(parts, " AND ")
+}
+
+// eqExprs reconstructs a srcPlan's index-equality conjuncts as
+// expressions, for rendering (and for the executor's no-index fallback).
+func eqExprs(sp srcPlan) []Expr {
+	out := make([]Expr, len(sp.eqCols))
+	for i, c := range sp.eqCols {
+		out[i] = Binary{Op: "=", L: Col{Name: c}, R: Lit{Val: sp.eqVals[i]}}
+	}
+	return out
+}
+
+// indexScanDetail renders "index(col, ...) = (val, ...)".
+func indexScanDetail(sp srcPlan) string {
+	vals := make([]string, len(sp.eqVals))
+	for i, v := range sp.eqVals {
+		vals[i] = Lit{Val: v}.String()
+	}
+	return fmt.Sprintf("index(%s) = (%s)", strings.Join(sp.eqCols, ","), strings.Join(vals, ","))
 }
 
 // planRow appends one step to the plan table.
@@ -52,23 +83,30 @@ func planRow(out *rel.Table, op, target string, est int, detail string) error {
 }
 
 // explainSelect builds the plan table for a SELECT (including its UNION
-// chain) without executing it.
-func (db *DB) explainSelect(s *SelectStmt) (*rel.Table, error) {
+// chain) without executing it, from the same cached branch plans the
+// executor uses.
+func (r *run) explainSelect(s *SelectStmt) (*rel.Table, error) {
 	out, err := rel.NewTable("plan", "step", "op", "target", "est_rows", "detail")
 	if err != nil {
 		return nil, err
 	}
-	est, err := db.explainBranch(out, s)
+	plans, err := r.plansFor(s)
 	if err != nil {
 		return nil, err
 	}
+	est, err := r.explainBranch(out, s, r.planAt(plans, 0, s))
+	if err != nil {
+		return nil, err
+	}
+	bi := 1
 	for u, all := s.Union, s.UnionAll; u != nil; u, all = u.Union, u.UnionAll {
 		branch := *u
 		branch.Union = nil
-		be, err := db.explainBranch(out, &branch)
+		be, err := r.explainBranch(out, &branch, r.planAt(plans, bi, &branch))
 		if err != nil {
 			return nil, err
 		}
+		bi++
 		est += be
 		detail := "DISTINCT"
 		if all {
@@ -83,16 +121,17 @@ func (db *DB) explainSelect(s *SelectStmt) (*rel.Table, error) {
 
 // explainBranch appends the plan steps for one SELECT branch and returns
 // its estimated output cardinality.
-func (db *DB) explainBranch(out *rel.Table, s *SelectStmt) (int, error) {
+func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (int, error) {
 	type source struct {
 		alias string
 		fr    *frame
+		t     *rel.Table
 		rows  int
 		on    Expr // nil for FROM refs (cross product)
 	}
 	var srcs []source
 	for _, ref := range s.From {
-		t, ok := db.tables[ref.Name]
+		t, ok := r.db.tables[ref.Name]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 		}
@@ -100,10 +139,10 @@ func (db *DB) explainBranch(out *rel.Table, s *SelectStmt) (int, error) {
 		if alias == "" {
 			alias = ref.Name
 		}
-		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, ref.Alias), rows: t.NumRows()})
+		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, ref.Alias), t: t, rows: t.NumRows()})
 	}
 	for _, j := range s.Joins {
-		t, ok := db.tables[j.Ref.Name]
+		t, ok := r.db.tables[j.Ref.Name]
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
 		}
@@ -111,58 +150,110 @@ func (db *DB) explainBranch(out *rel.Table, s *SelectStmt) (int, error) {
 		if alias == "" {
 			alias = j.Ref.Name
 		}
-		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, j.Ref.Alias), rows: t.NumRows(), on: j.On})
-	}
-	// Same pushdown decision the executor makes.
-	where := s.Where
-	var pushed map[int][]Expr
-	if where != nil && len(srcs) > 1 {
-		var err error
-		pushed, where, err = db.planPushdown(s)
-		if err != nil {
-			return 0, err
-		}
+		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, j.Ref.Alias), t: t, rows: t.NumRows(), on: j.On})
 	}
 	est := 1 // FROM-less SELECT produces one row
 	var cum *frame
+	// cumBase/cumAlias track the left side while it is still one pristine
+	// whole-table scan — the executor's precondition for probing the left
+	// table's persistent index.
+	var cumBase *rel.Table
+	var cumAlias string
 	for i, sc := range srcs {
+		sp := plan.src(i)
 		e := sc.rows
-		detail := ""
-		if cs := pushed[i]; len(cs) > 0 {
-			detail = "pushdown: " + andString(cs)
-			e = estFilter(e, len(cs))
+		var err error
+		switch {
+		case len(sp.eqCols) > 0:
+			ix, ixErr := sc.t.IndexOn(sp.eqCols...)
+			if ixErr != nil {
+				// Mirrors the executor's fallback: the equalities run as
+				// ordinary pushed filters.
+				e = estFilter(e, len(sp.eqCols)+len(sp.filters))
+				err = planRow(out, "scan", sc.alias, e, "pushdown: "+andString(append(eqExprs(sp), sp.filters...)))
+				break
+			}
+			if e > 0 {
+				e = max(1, e/max(1, ix.Distinct()))
+			}
+			detail := indexScanDetail(sp)
+			if len(sp.filters) > 0 {
+				e = estFilter(e, len(sp.filters))
+				detail += "; filter: " + andString(sp.filters)
+			}
+			err = planRow(out, "indexscan", sc.alias, e, detail)
+		case len(sp.filters) > 0:
+			e = estFilter(e, len(sp.filters))
+			err = planRow(out, "scan", sc.alias, e, "pushdown: "+andString(sp.filters))
+		default:
+			err = planRow(out, "scan", sc.alias, e, "")
 		}
-		if err := planRow(out, "scan", sc.alias, e, detail); err != nil {
+		if err != nil {
 			return 0, err
 		}
 		if cum == nil {
 			cum, est = sc.fr, e
+			if sp.pristine() {
+				cumBase, cumAlias = sc.t, sc.alias
+			}
 			continue
 		}
-		switch pairs, hashable := hashJoinPairs(cum, sc.fr, sc.on); {
+		pairs, hashable := hashJoinPairs(cum, sc.fr, sc.on)
+		switch {
 		case sc.on == nil:
 			est *= e
-			if err := planRow(out, "cross", sc.alias, est, "cross product"); err != nil {
-				return 0, err
-			}
+			err = planRow(out, "cross", sc.alias, est, "cross product")
 		case hashable:
-			est = max(est, e)
-			if err := planRow(out, "join", sc.alias, est, fmt.Sprintf("hash, %d key(s)", len(pairs))); err != nil {
-				return 0, err
+			done := false
+			// Same strategy order as run.join, with estimates standing in
+			// for actual row counts.
+			if sp.pristine() && (cumBase == nil || est <= e) {
+				cols := make([]string, len(pairs))
+				for k, p := range pairs {
+					cols[k] = sc.fr.names[p.ri]
+				}
+				if ix, ixErr := sc.t.IndexOn(cols...); ixErr == nil {
+					est = estIndexJoin(est, e, ix.Distinct())
+					err = planRow(out, "join", sc.alias, est,
+						fmt.Sprintf("index nested-loop via %s(%s)", sc.alias, strings.Join(cols, ",")))
+					done = true
+				}
+			}
+			if !done && cumBase != nil {
+				cols := make([]string, len(pairs))
+				for k, p := range pairs {
+					cols[k] = cum.names[p.li]
+				}
+				if ix, ixErr := cumBase.IndexOn(cols...); ixErr == nil {
+					est = estIndexJoin(est, e, ix.Distinct())
+					err = planRow(out, "join", sc.alias, est,
+						fmt.Sprintf("index nested-loop via %s(%s)", cumAlias, strings.Join(cols, ",")))
+					done = true
+				}
+			}
+			if !done {
+				build := "right"
+				if est < e {
+					build = "left"
+				}
+				est = max(est, e)
+				err = planRow(out, "join", sc.alias, est, fmt.Sprintf("hash, %d key(s), build=%s", len(pairs), build))
 			}
 		default:
 			est = estFilter(est*e, 1)
-			if err := planRow(out, "join", sc.alias, est, "nested-loop: "+sc.on.String()); err != nil {
-				return 0, err
-			}
+			err = planRow(out, "join", sc.alias, est, "nested-loop: "+sc.on.String())
 		}
+		if err != nil {
+			return 0, err
+		}
+		cumBase = nil
 		cum = &frame{
 			aliases: append(append([]string(nil), cum.aliases...), sc.fr.aliases...),
 			names:   append(append([]string(nil), cum.names...), sc.fr.names...),
 		}
 	}
-	if where != nil {
-		cs := splitAnd(where)
+	if plan != nil && plan.residue != nil {
+		cs := splitAnd(plan.residue)
 		est = estFilter(est, len(cs))
 		if err := planRow(out, "filter", "", est, andString(cs)); err != nil {
 			return 0, err

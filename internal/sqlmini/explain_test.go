@@ -43,14 +43,28 @@ func checkPlan(t *testing.T, db *DB, query string, want []string) {
 
 func TestExplainHashJoinWithPushdown(t *testing.T) {
 	db := newTestDB(t)
-	// Both WHERE conjuncts reference a single table, so both are pushed
-	// below the hash join; no residual filter remains.
+	// Both WHERE conjuncts are column-equals-literal, so both become index
+	// scans; the join then hashes the two reduced inputs (neither side is
+	// a whole-table scan, so no persistent index applies).
 	checkPlan(t, db,
 		`EXPLAIN SELECT D.inmsg FROM D JOIN V ON D.inmsg = V.m WHERE D.dirst = 'SI' AND V.d = 'home'`,
 		[]string{
-			`scan|D|2|pushdown: (D.dirst = 'SI')`,
-			`scan|V|1|pushdown: (V.d = 'home')`,
-			`join|V|2|hash, 1 key(s)`,
+			`indexscan|D|1|index(dirst) = ('SI')`,
+			`indexscan|V|1|index(d) = ('home')`,
+			`join|V|1|hash, 1 key(s), build=right`,
+		})
+}
+
+func TestExplainIndexJoin(t *testing.T) {
+	db := newTestDB(t)
+	// Both sides are pristine whole-table scans; the left is larger, so
+	// the executor indexes the left table and probes it with right rows.
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg = V.m`,
+		[]string{
+			`scan|D|6|`,
+			`scan|V|5|`,
+			`join|V|7|index nested-loop via D(inmsg)`,
 		})
 }
 
@@ -72,22 +86,22 @@ func TestExplainCrossWithResidue(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT * FROM D, V WHERE D.inmsg = V.m AND D.dirst = 'SI'`,
 		[]string{
-			`scan|D|2|pushdown: (D.dirst = 'SI')`,
+			`indexscan|D|1|index(dirst) = ('SI')`,
 			`scan|V|5|`,
-			`cross|V|10|cross product`,
-			`filter||3|(D.inmsg = V.m)`,
+			`cross|V|5|cross product`,
+			`filter||1|(D.inmsg = V.m)`,
 		})
 }
 
 func TestExplainSingleTableShape(t *testing.T) {
 	db := newTestDB(t)
+	// Single-table selects get the same index treatment as join inputs.
 	checkPlan(t, db,
 		`EXPLAIN SELECT DISTINCT inmsg FROM D WHERE dirst = 'SI' ORDER BY inmsg DESC LIMIT 1`,
 		[]string{
-			`scan|D|6|`,
-			`filter||2|(dirst = 'SI')`,
-			`distinct||2|`,
-			`sort||2|1 key(s)`,
+			`indexscan|D|1|index(dirst) = ('SI')`,
+			`distinct||1|`,
+			`sort||1|1 key(s)`,
 			`limit||1|LIMIT 1`,
 		})
 }

@@ -12,15 +12,25 @@ type QueryStats struct {
 	// Statement is the source text, when the statement came in as text
 	// (empty for pre-parsed ExecStmt calls).
 	Statement string
+	// PlanCache is "hit" when the statement reused a cached parse+plan,
+	// "miss" when it was parsed and planned fresh, and "" for pre-parsed
+	// ExecStmt calls that bypass the cache.
+	PlanCache string
 	// RowsScanned counts base-table rows read while building the working
-	// frames (and rows examined by DELETE/UPDATE).
+	// frames (and rows examined by DELETE/UPDATE). An index scan counts
+	// only the rows its bucket returned.
 	RowsScanned int
 	// RowsProduced counts result rows (SELECT) or affected rows (DML).
 	RowsProduced int
 	// HashJoins and LoopJoins count JOIN ... ON clauses by the strategy
 	// the executor chose: equality conjunctions hash, everything else
-	// falls back to a filtered nested loop.
-	HashJoins, LoopJoins int
+	// falls back to a filtered nested loop. IndexJoins counts the hash
+	// joins that probed a persistent base-table index instead of
+	// building an ad-hoc hash table.
+	HashJoins, LoopJoins, IndexJoins int
+	// IndexScans counts table scans answered from a persistent index on
+	// pushed-down equality conjuncts.
+	IndexScans int
 	// PushdownHits counts WHERE conjuncts that were pushed below a join
 	// and applied while scanning a single base table.
 	PushdownHits int
@@ -29,7 +39,8 @@ type QueryStats struct {
 }
 
 // Nil-tolerant accumulators so the executor can record without guarding
-// every call site (db.cur is nil outside an instrumented statement).
+// every call site (the stats pointer is nil outside an instrumented
+// statement).
 
 func (q *QueryStats) addScanned(n int) {
 	if q != nil {
@@ -55,6 +66,18 @@ func (q *QueryStats) addLoopJoin() {
 	}
 }
 
+func (q *QueryStats) addIndexJoin() {
+	if q != nil {
+		q.IndexJoins++
+	}
+}
+
+func (q *QueryStats) addIndexScan() {
+	if q != nil {
+		q.IndexScans++
+	}
+}
+
 func (q *QueryStats) addPushdown(n int) {
 	if q != nil {
 		q.PushdownHits += n
@@ -66,10 +89,14 @@ type DBStats struct {
 	// Statements counts every executed statement; Queries counts the
 	// SELECTs among them.
 	Statements, Queries int64
-	// RowsScanned, RowsProduced, HashJoins, LoopJoins and PushdownHits
-	// sum the per-statement numbers.
-	RowsScanned, RowsProduced          int64
-	HashJoins, LoopJoins, PushdownHits int64
+	// RowsScanned, RowsProduced, HashJoins, LoopJoins, IndexJoins,
+	// IndexScans and PushdownHits sum the per-statement numbers.
+	RowsScanned, RowsProduced                      int64
+	HashJoins, LoopJoins, IndexJoins, IndexScans   int64
+	PushdownHits                                   int64
+	// PlanCacheHits and PlanCacheMisses count text statements served
+	// from (resp. inserted into) the plan cache.
+	PlanCacheHits, PlanCacheMisses int64
 	// EvalTime is the total statement evaluation time.
 	EvalTime time.Duration
 	// LastQuery is the most recent statement's stats.
@@ -85,7 +112,15 @@ func (s *DBStats) fold(q *QueryStats) {
 	s.RowsProduced += int64(q.RowsProduced)
 	s.HashJoins += int64(q.HashJoins)
 	s.LoopJoins += int64(q.LoopJoins)
+	s.IndexJoins += int64(q.IndexJoins)
+	s.IndexScans += int64(q.IndexScans)
 	s.PushdownHits += int64(q.PushdownHits)
+	switch q.PlanCache {
+	case "hit":
+		s.PlanCacheHits++
+	case "miss":
+		s.PlanCacheMisses++
+	}
 	s.EvalTime += q.Elapsed
 	s.LastQuery = *q
 }

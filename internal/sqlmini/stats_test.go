@@ -15,8 +15,13 @@ func TestQueryStatsJoinAndPushdown(t *testing.T) {
 	}
 	st := db.Stats()
 	st.RowsProduced -= base.RowsProduced
-	if st.RowsScanned != 11 { // 6 from D + 5 from V
-		t.Errorf("RowsScanned = %d, want 11", st.RowsScanned)
+	// Both equality conjuncts are answered from persistent indexes: the
+	// scan reads only the matching bucket rows (2 from D, 2 from V).
+	if st.RowsScanned != 4 {
+		t.Errorf("RowsScanned = %d, want 4", st.RowsScanned)
+	}
+	if st.IndexScans != 2 {
+		t.Errorf("IndexScans = %d, want 2", st.IndexScans)
 	}
 	if st.HashJoins != 1 || st.LoopJoins != 0 {
 		t.Errorf("joins hash=%d loop=%d, want 1/0", st.HashJoins, st.LoopJoins)
@@ -117,8 +122,11 @@ func TestTracerEmitsStatementSpans(t *testing.T) {
 	if attrs["kind"] != "SELECT" {
 		t.Errorf("kind attr = %q", attrs["kind"])
 	}
-	if attrs["rows_scanned"] != "6" {
+	if attrs["rows_scanned"] != "2" { // index scan on dirst = 'SI'
 		t.Errorf("rows_scanned attr = %q", attrs["rows_scanned"])
+	}
+	if attrs["index_scans"] != "1" {
+		t.Errorf("index_scans attr = %q", attrs["index_scans"])
 	}
 	if sp.End.Before(sp.Start) {
 		t.Error("span never finished")

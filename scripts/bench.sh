@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the SQL-layer benchmarks with -benchmem and emit a compact
+# JSON summary (name, ns/op, allocs/op) for revision-over-revision diffing.
+#
+# Usage:
+#   scripts/bench.sh                 # default pattern and output file
+#   scripts/bench.sh 'Benchmark.*'   # custom -bench pattern
+#   BENCH_OUT=out.json scripts/bench.sh
+#
+# The default pattern covers the planner-sensitive benchmarks: the invariant
+# suite (the paper's every-revision workload), the substrate SELECT/JOIN
+# microbenchmarks, and the prepared-statement floor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
+OUT="${BENCH_OUT:-BENCH_2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkSQLJoin   2422   495743 ns/op   171253 B/op   2531 allocs/op
+awk '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (out != "") out = out ",\n"
+    out = out sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? "null" : allocs)
+}
+END { printf "[\n%s\n]\n", out }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
