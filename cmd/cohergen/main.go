@@ -115,8 +115,9 @@ func main() {
 		for _, sb := range protocol.SpecBuilders() {
 			st := p.Report.GenStats[sb.Name]
 			t := p.DB.MustTable(sb.Name)
-			fmt.Printf("  %-4s %4d rows x %2d cols  (%7d candidates, %d steps)\n",
-				sb.Name, t.NumRows(), t.NumCols(), st.Candidates, st.Steps)
+			fmt.Printf("  %-4s %4d rows x %2d cols  (%7d candidates, %d memo hits, %d steps, compiled in %v)\n",
+				sb.Name, t.NumRows(), t.NumCols(), st.Candidates, st.MemoHits, st.Steps,
+				st.CompileTime.Round(time.Microsecond))
 		}
 	}
 	if *table != "" {

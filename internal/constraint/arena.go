@@ -1,0 +1,177 @@
+package constraint
+
+import (
+	"sync/atomic"
+
+	"coherdb/internal/rel"
+)
+
+// valueArena hands out row slices carved from chunks, replacing the
+// per-candidate make+copy that dominated the solver's allocation profile.
+// Rows stay valid forever (chunks are never reused), so accepted rows can
+// be stored directly in the result table. Chunks grow geometrically from
+// arenaChunkMin to arenaChunkMax, so the many short-lived per-worker
+// arenas (one per worker per extension step) waste at most about as much
+// as they use, while a busy arena still reaches ~270 table-D rows per
+// allocation. Not safe for concurrent use: each solver worker owns its
+// own arena.
+type valueArena struct {
+	buf  []rel.Value
+	next int // next chunk size in values
+}
+
+// Arena chunk sizing in values.
+const (
+	arenaChunkMin = 256
+	arenaChunkMax = 8192
+)
+
+// row returns a zeroed slice of n values with capacity exactly n, so an
+// accidental append can never clobber a neighbouring row.
+func (a *valueArena) row(n int) []rel.Value {
+	if len(a.buf) < n {
+		if a.next < arenaChunkMin {
+			a.next = arenaChunkMin
+		}
+		size := a.next
+		if size < n {
+			size = n
+		}
+		if a.next < arenaChunkMax {
+			a.next *= 2
+		}
+		a.buf = make([]rel.Value, size)
+	}
+	r := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return r
+}
+
+// reserve makes the next n values carve from a single exactly-sized chunk
+// when the current one is too small — for callers that know a batch's
+// total demand up front.
+func (a *valueArena) reserve(n int) {
+	if len(a.buf) < n {
+		a.buf = make([]rel.Value, n)
+	}
+}
+
+// groupTable maps projection keys to dense group ids without allocating
+// per key: key bytes live in one shared growing arena and the table is
+// open-addressed, so a solve's grouping cost is a handful of amortized
+// slice growths instead of one string allocation per distinct projection.
+type groupTable struct {
+	arena   []byte  // all key bytes, concatenated
+	offs    []int32 // per group: start of its key in arena
+	ends    []int32 // per group: end of its key in arena
+	slots   []int32 // open-addressed: group id + 1, 0 = empty
+	mask    uint64  // len(slots) - 1
+	entries int
+}
+
+func newGroupTable(hint int) *groupTable {
+	size := 16
+	for size < hint*2 {
+		size *= 2
+	}
+	return &groupTable{slots: make([]int32, size), mask: uint64(size - 1)}
+}
+
+func hashBytes(b []byte) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// intern returns the dense group id for key, adding it if new.
+func (t *groupTable) intern(key []byte) int32 {
+	h := hashBytes(key)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			g := int32(len(t.offs))
+			t.arena = append(t.arena, key...)
+			end := int32(len(t.arena))
+			t.offs = append(t.offs, end-int32(len(key)))
+			t.ends = append(t.ends, end)
+			t.slots[i] = g + 1
+			t.entries++
+			if uint64(t.entries)*4 > uint64(len(t.slots))*3 {
+				t.grow()
+			}
+			return g
+		}
+		g := s - 1
+		if k := t.arena[t.offs[g]:t.ends[g]]; string(k) == string(key) {
+			return g
+		}
+	}
+}
+
+func (t *groupTable) grow() {
+	slots := make([]int32, len(t.slots)*2)
+	mask := uint64(len(slots) - 1)
+	for g := range t.offs {
+		h := hashBytes(t.arena[t.offs[g]:t.ends[g]])
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(g) + 1
+	}
+	t.slots, t.mask = slots, mask
+}
+
+// batchCursor deals contiguous [lo, hi) batches of the index space [0, n)
+// to competing workers through one atomic counter. Compared to the static
+// per-worker split it replaces, workers that hit cheap (quickly pruned)
+// regions immediately steal the next batch instead of idling, and the
+// partitioning cannot lose indexes to integer division (the old
+// per = n/workers split degenerated when n < workers). Every index in
+// [0, n) is handed out exactly once; batch k covers
+// [k*batch, min((k+1)*batch, n)), so results collected per batch index
+// reassemble in deterministic input order.
+type batchCursor struct {
+	next  atomic.Uint64
+	n     uint64
+	batch uint64
+}
+
+// newBatchCursor sizes batches so each worker gets several turns (for
+// stealing to matter) without making the batch bookkeeping dominate.
+func newBatchCursor(n uint64, workers int) *batchCursor {
+	if workers < 1 {
+		workers = 1
+	}
+	batch := n / (uint64(workers) * 8)
+	if batch < 1 {
+		batch = 1
+	}
+	return &batchCursor{n: n, batch: batch}
+}
+
+// numBatches returns how many batches the cursor will deal.
+func (c *batchCursor) numBatches() int {
+	if c.n == 0 {
+		return 0
+	}
+	return int((c.n + c.batch - 1) / c.batch)
+}
+
+// grab claims the next batch. It returns the batch ordinal and its index
+// range; ok is false once the space is exhausted.
+func (c *batchCursor) grab() (idx int, lo, hi uint64, ok bool) {
+	l := c.next.Add(c.batch) - c.batch
+	if l >= c.n {
+		return 0, 0, 0, false
+	}
+	h := l + c.batch
+	if h > c.n {
+		h = c.n
+	}
+	return int(l / c.batch), l, h, true
+}

@@ -1,0 +1,181 @@
+package constraint
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// TestBatchCursorCoversEveryIndexOnce drains a batchCursor sequentially
+// and checks the dealt ranges partition [0, n) exactly — in particular for
+// n smaller than the worker count, where the old static per-worker
+// division (per = n/workers = 0) dropped every index.
+func TestBatchCursorCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 8}, {1, 8}, {3, 8}, {7, 8}, {8, 8}, {9, 8},
+		{100, 8}, {1000, 3}, {1 << 12, 16}, {5, 1}, {1, 1},
+	} {
+		t.Run(fmt.Sprintf("n=%d/workers=%d", tc.n, tc.workers), func(t *testing.T) {
+			c := newBatchCursor(uint64(tc.n), tc.workers)
+			seen := make([]int, tc.n)
+			batches := 0
+			lastIdx := -1
+			for {
+				idx, lo, hi, ok := c.grab()
+				if !ok {
+					break
+				}
+				batches++
+				if idx != lastIdx+1 {
+					t.Fatalf("batch ordinal %d after %d; sequential grabs must be dense", idx, lastIdx)
+				}
+				lastIdx = idx
+				if lo >= hi {
+					t.Fatalf("empty batch [%d, %d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			}
+			if batches != c.numBatches() {
+				t.Fatalf("grabbed %d batches, numBatches says %d", batches, c.numBatches())
+			}
+			for i, cnt := range seen {
+				if cnt != 1 {
+					t.Fatalf("index %d dealt %d times", i, cnt)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCursorConcurrent drains one cursor from many goroutines and
+// checks every index is still dealt exactly once.
+func TestBatchCursorConcurrent(t *testing.T) {
+	const n = 1 << 14
+	c := newBatchCursor(n, 8)
+	seen := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, lo, hi, ok := c.grab()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if seen[i] != 1 {
+			t.Fatalf("index %d dealt %d times", i, seen[i])
+		}
+	}
+}
+
+// TestMonolithicTinySpaceManyWorkers pins the worker-split bug: a space
+// smaller than the worker count must still enumerate every assignment
+// exactly once and agree with the incremental solver.
+func TestMonolithicTinySpaceManyWorkers(t *testing.T) {
+	s := NewSpec("tiny")
+	mustDo(t, s.AddColumn(Column{Name: "a", Values: []string{"1", "2", "3"}, NoNull: true}))
+	tab, stats, err := MonolithicOpts(s, Options{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3 (space < workers must not drop or duplicate)", tab.NumRows())
+	}
+	if stats.Candidates != 3 {
+		t.Fatalf("candidates = %d, want 3", stats.Candidates)
+	}
+	inc, _, err := SolveOpts(s, Options{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, err := tab.EqualRows(inc); err != nil || !eq {
+		t.Fatalf("monolithic and incremental disagree on tiny space: %v", err)
+	}
+}
+
+// TestGroupTableIntern checks dense ids, duplicate detection and growth
+// past the initial slot count.
+func TestGroupTableIntern(t *testing.T) {
+	gt := newGroupTable(0)
+	keys := make([][]byte, 300)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	for i, k := range keys {
+		if g := gt.intern(k); g != int32(i) {
+			t.Fatalf("intern(%q) = %d, want %d", k, g, i)
+		}
+	}
+	// Re-interning (even via a different backing array) hits the same ids.
+	for i := range keys {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if g := gt.intern(k); g != int32(i) {
+			t.Fatalf("re-intern(%q) = %d, want %d", k, g, i)
+		}
+	}
+	if gt.entries != len(keys) {
+		t.Fatalf("entries = %d, want %d", gt.entries, len(keys))
+	}
+}
+
+// TestConcurrentSolvesShareCompiledKernels solves one spec from many
+// goroutines at once: the compiled-kernel cache on the spec must be safe
+// to build and share concurrently (exercised under -race by bench.sh),
+// and every solve must produce identical rows.
+func TestConcurrentSolvesShareCompiledKernels(t *testing.T) {
+	spec := figure3Spec(t)
+	const goroutines = 8
+	tables := make([]*rel.Table, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tables[g], _, errs[g] = Solve(spec)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if eq, err := tables[0].EqualRows(tables[g]); err != nil || !eq {
+			t.Fatalf("solve %d disagrees with solve 0: %v", g, err)
+		}
+	}
+}
+
+// TestSolveStatsMemoAndCompile checks the new Stats fields: the readex
+// fragment's projection memo must fire (rows share referenced-column
+// projections), and compile time is measured on the first solve of a spec.
+func TestSolveStatsMemoAndCompile(t *testing.T) {
+	spec := figure3Spec(t)
+	_, stats, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemoHits == 0 {
+		t.Fatal("expected projection-memo hits on the readex fragment")
+	}
+	if stats.CompileTime <= 0 {
+		t.Fatal("first solve must report a positive CompileTime")
+	}
+	if stats.MemoHits > stats.Candidates {
+		t.Fatalf("memo hits %d exceed %d candidates", stats.MemoHits, stats.Candidates)
+	}
+}

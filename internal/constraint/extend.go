@@ -1,0 +1,272 @@
+package constraint
+
+import (
+	"sync"
+
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// extendStats reports one extension step's work.
+type extendStats struct {
+	tested   uint64 // candidate (row, value) pairs decided
+	memoHits uint64 // pairs decided from the projection memo
+}
+
+// extendCompiled extends every row in cur (width-1 values each) with every
+// value in domain, keeping extensions on which all fire predicates hold.
+// Output rows preserve input order: row i's surviving extensions precede
+// row i+1's, in domain order — the same order the sequential loop would
+// produce.
+//
+// The firing constraints only read the columns in refs (positions into the
+// extended row; the new column is position width-1). Their verdict for a
+// candidate therefore depends only on the row's projection onto the old
+// referenced columns plus the appended domain value — so rows are grouped
+// by that projection and each distinct (projection, value) pair is
+// evaluated once. The readex fragment has thousands of intermediate rows
+// but only dozens of distinct projections; work drops from
+// O(rows x domain) evaluations to O(groups x domain).
+func extendCompiled(cur [][]rel.Value, width int, domain []rel.Value, fire []compiledConstraint, refs []int, workers int) ([][]rel.Value, extendStats, error) {
+	var st extendStats
+	if len(cur) == 0 || len(domain) == 0 {
+		return nil, st, nil
+	}
+	dlen := len(domain)
+	st.tested = uint64(len(cur)) * uint64(dlen)
+
+	if len(fire) == 0 {
+		// Nothing to check: pure cross product.
+		next := crossExtend(cur, width, domain, workers)
+		return next, st, nil
+	}
+
+	// Group rows by their projection onto the referenced old columns. The
+	// new column (position width-1) contributes the domain sweep instead.
+	oldRefs := refs[:0:0]
+	for _, p := range refs {
+		if p < width-1 {
+			oldRefs = append(oldRefs, p)
+		}
+	}
+	groupOf := make([]int32, len(cur))
+	var reps []int32 // representative row per group
+	if len(oldRefs) == width-1 {
+		// The projection keeps every old column, and cur rows are distinct
+		// by construction (distinct extensions of distinct rows), so every
+		// row is its own group: skip the key table.
+		reps = make([]int32, len(cur))
+		for i := range cur {
+			groupOf[i] = int32(i)
+			reps[i] = int32(i)
+		}
+	} else {
+		keys := newGroupTable(len(cur) / 4)
+		var kb []byte
+		for i, row := range cur {
+			kb = kb[:0]
+			for _, p := range oldRefs {
+				kb = row[p].AppendKey(kb)
+				kb = append(kb, 0x1f)
+			}
+			g := keys.intern(kb)
+			if int(g) == len(reps) {
+				reps = append(reps, int32(i))
+			}
+			groupOf[i] = g
+		}
+	}
+	st.memoHits = uint64(len(cur)-len(reps)) * uint64(dlen)
+
+	// Evaluate each distinct (projection, value) pair once, in parallel.
+	verdicts := make([]bool, len(reps)*dlen)
+	if err := evalGroups(cur, width, domain, fire, reps, verdicts, workers); err != nil {
+		return nil, st, err
+	}
+
+	// Emit surviving extensions, work-stealing over row batches and
+	// reassembling in batch order for determinism.
+	next := emitExtensions(cur, width, domain, groupOf, verdicts, workers)
+	return next, st, nil
+}
+
+// evalGroups fills verdicts[g*len(domain)+di] for every group g and domain
+// index di by running the fire programs on the group's representative row
+// extended with domain[di]. Every firing program was sweep-compiled around
+// position width-1, so between NextRow calls (one per group) the subtrees
+// over earlier columns are evaluated once and served from the instance
+// cache for the rest of the domain sweep — for the protocol's rule-chain
+// constraints that is every rule condition.
+func evalGroups(cur [][]rel.Value, width int, domain []rel.Value, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
+	dlen := len(domain)
+	cursor := newBatchCursor(uint64(len(reps)), workers)
+	nw := workers
+	if nb := cursor.numBatches(); nw > nb {
+		nw = nb
+	}
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := make([]rel.Value, width)
+			insts := make([]*sqlmini.Instance, len(fire))
+			for i, c := range fire {
+				insts[i] = c.prog.Instance()
+			}
+			for {
+				_, lo, hi, ok := cursor.grab()
+				if !ok {
+					return
+				}
+				for g := lo; g < hi; g++ {
+					copy(scratch, cur[reps[g]])
+					base := int(g) * dlen
+					for _, in := range insts {
+						in.NextRow()
+					}
+					for di, v := range domain {
+						scratch[width-1] = v
+						pass := true
+						for i, c := range fire {
+							t, err := c.prog.Eval(insts[i], scratch)
+							if err != nil {
+								errs[w] = err
+								return
+							}
+							if !t {
+								pass = false
+								break
+							}
+						}
+						verdicts[base+di] = pass
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitExtensions materializes the surviving extensions from the verdict
+// table. Rows come from per-worker arenas (one chunk allocation per ~270
+// rows instead of one per row); batches reassemble in index order.
+func emitExtensions(cur [][]rel.Value, width int, domain []rel.Value, groupOf []int32, verdicts []bool, workers int) [][]rel.Value {
+	dlen := len(domain)
+	cursor := newBatchCursor(uint64(len(cur)), workers)
+	nb := cursor.numBatches()
+	nw := workers
+	if nw > nb {
+		nw = nb
+	}
+	perBatch := make([][][]rel.Value, nb)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arena valueArena
+			for {
+				idx, lo, hi, ok := cursor.grab()
+				if !ok {
+					return
+				}
+				// Count survivors first so the batch's rows come from one
+				// exactly-sized chunk and one output slice.
+				cnt := 0
+				for i := lo; i < hi; i++ {
+					base := int(groupOf[i]) * dlen
+					for _, pass := range verdicts[base : base+dlen] {
+						if pass {
+							cnt++
+						}
+					}
+				}
+				if cnt == 0 {
+					continue
+				}
+				arena.reserve(cnt * width)
+				out := make([][]rel.Value, 0, cnt)
+				for i := lo; i < hi; i++ {
+					row := cur[i]
+					base := int(groupOf[i]) * dlen
+					for di, pass := range verdicts[base : base+dlen] {
+						if !pass {
+							continue
+						}
+						nr := arena.row(width)
+						copy(nr, row)
+						nr[width-1] = domain[di]
+						out = append(out, nr)
+					}
+				}
+				perBatch[idx] = out
+			}
+		}()
+	}
+	wg.Wait()
+	return flattenBatches(perBatch)
+}
+
+// crossExtend is the unconstrained fast path: every extension survives.
+func crossExtend(cur [][]rel.Value, width int, domain []rel.Value, workers int) [][]rel.Value {
+	dlen := len(domain)
+	cursor := newBatchCursor(uint64(len(cur)), workers)
+	nb := cursor.numBatches()
+	nw := workers
+	if nw > nb {
+		nw = nb
+	}
+	perBatch := make([][][]rel.Value, nb)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arena valueArena
+			for {
+				idx, lo, hi, ok := cursor.grab()
+				if !ok {
+					return
+				}
+				arena.reserve(int(hi-lo) * dlen * width)
+				out := make([][]rel.Value, 0, (hi-lo)*uint64(dlen))
+				for i := lo; i < hi; i++ {
+					row := cur[i]
+					for _, v := range domain {
+						nr := arena.row(width)
+						copy(nr, row)
+						nr[width-1] = v
+						out = append(out, nr)
+					}
+				}
+				perBatch[idx] = out
+			}
+		}()
+	}
+	wg.Wait()
+	return flattenBatches(perBatch)
+}
+
+// flattenBatches concatenates per-batch row slices in batch order.
+func flattenBatches(perBatch [][][]rel.Value) [][]rel.Value {
+	total := 0
+	for _, b := range perBatch {
+		total += len(b)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([][]rel.Value, 0, total)
+	for _, b := range perBatch {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"coherdb/internal/obs"
 	"coherdb/internal/rel"
@@ -21,6 +22,14 @@ type Stats struct {
 	Pruned uint64
 	// Steps is the number of column-extension steps (incremental only).
 	Steps int
+	// MemoHits is the number of candidates whose constraint verdict was
+	// served by the projection memo instead of being evaluated: candidates
+	// sharing a referenced-column projection with an earlier candidate at
+	// the same step.
+	MemoHits uint64
+	// CompileTime is the one-off cost of lowering the column constraints
+	// into position-bound closures before the solve loop.
+	CompileTime time.Duration
 }
 
 // Options tunes the solvers.
@@ -33,7 +42,9 @@ type Options struct {
 	// Tracer, when set, receives one span per solve carrying the Stats.
 	Tracer obs.Tracer
 	// Metrics, when set, accumulates coherdb_solver_candidates_total and
-	// coherdb_solver_pruned_total counters labelled by controller.
+	// coherdb_solver_pruned_total counters labelled by controller, plus
+	// coherdb_solver_memo_hits_total and the
+	// coherdb_solver_compile_duration_seconds histogram.
 	Metrics *obs.Registry
 }
 
@@ -43,6 +54,8 @@ func (o Options) observe(span *obs.Span, controller string, stats Stats, err err
 		obs.Int("steps", stats.Steps),
 		obs.Uint64("candidates", stats.Candidates),
 		obs.Uint64("pruned", stats.Pruned),
+		obs.Uint64("memo_hits", stats.MemoHits),
+		obs.Duration("compile_time", stats.CompileTime),
 		obs.Int("rows", stats.Rows),
 	)
 	if err != nil {
@@ -56,6 +69,10 @@ func (o Options) observe(span *obs.Span, controller string, stats Stats, err err
 	o.Metrics.Counter("coherdb_solver_candidates_total", obs.L("controller", controller)).Add(int64(stats.Candidates))
 	o.Metrics.Help("coherdb_solver_pruned_total", "Candidate assignments rejected by a constraint.")
 	o.Metrics.Counter("coherdb_solver_pruned_total", obs.L("controller", controller)).Add(int64(stats.Pruned))
+	o.Metrics.Help("coherdb_solver_memo_hits_total", "Candidate verdicts served by the projection memo instead of evaluation.")
+	o.Metrics.Counter("coherdb_solver_memo_hits_total", obs.L("controller", controller)).Add(int64(stats.MemoHits))
+	o.Metrics.Help("coherdb_solver_compile_duration_seconds", "Time lowering column constraints into compiled kernels, per solve.")
+	o.Metrics.Histogram("coherdb_solver_compile_duration_seconds", nil, obs.L("controller", controller)).ObserveDuration(stats.CompileTime)
 }
 
 func (o Options) workers() int {
@@ -86,67 +103,57 @@ func Solve(spec *Spec) (*rel.Table, Stats, error) {
 func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) {
 	span := obs.StartSpan(opts.Tracer, "constraint.solve", obs.String("controller", spec.Name))
 	defer func() { opts.observe(span, spec.Name, stats, err) }()
-	ev := spec.evaluator()
 
-	// Schedule: constraint for column c fires at the first step where all
-	// referenced columns (and c itself) are available.
-	type pending struct {
-		col  string
-		expr sqlmini.Expr
-		refs map[string]struct{}
+	// Lower every column constraint once into a position-bound closure
+	// tree (cached on the spec across solves). Rows during the solve are
+	// prefixes of the full column order, so positions bound against the
+	// full spec stay valid at every step: a constraint only fires once all
+	// its referenced positions exist — exactly at the step its highest
+	// referenced column is added.
+	t0 := time.Now()
+	cc, err := spec.compiledConstraints()
+	stats.CompileTime = time.Since(t0)
+	if err != nil {
+		return nil, stats, err
 	}
-	var waiting []pending
-	for col, e := range spec.constraints {
-		refs := sqlmini.Columns(e)
-		refs[col] = struct{}{}
-		waiting = append(waiting, pending{col: col, expr: e, refs: refs})
+	fireAt := make([][]compiledConstraint, len(spec.cols))
+	for _, c := range cc {
+		fireAt[c.fire] = append(fireAt[c.fire], c)
 	}
 
-	names := make([]string, 0, len(spec.cols))
-	available := make(map[string]struct{}, len(spec.cols))
+	workers := opts.workers()
 
 	// cur holds the partial table's rows.
 	cur := [][]rel.Value{{}}
 
-	for _, col := range spec.cols {
+	for i, col := range spec.cols {
 		stats.Steps++
-		names = append(names, col.Name)
-		available[col.Name] = struct{}{}
 
-		// Constraints that become checkable at this step.
-		var fire []sqlmini.Expr
-		rest := waiting[:0]
-		for _, p := range waiting {
-			ready := true
-			for r := range p.refs {
-				if _, ok := available[r]; !ok {
-					ready = false
-					break
+		// Constraints that become checkable at this step, and the union of
+		// the row positions they read.
+		fire := fireAt[i]
+		var fireRefs []int
+		seenRef := make([]bool, i+1)
+		for _, c := range fire {
+			for _, pos := range c.refs {
+				if !seenRef[pos] {
+					seenRef[pos] = true
+					fireRefs = append(fireRefs, pos)
 				}
 			}
-			if ready {
-				fire = append(fire, p.expr)
-			} else {
-				rest = append(rest, p)
-			}
 		}
-		waiting = rest
 
-		domain := col.Domain()
-		next, tested, err := extendParallel(cur, names, domain, fire, ev, opts.workers())
+		next, est, err := extendCompiled(cur, i+1, col.Domain(), fire, fireRefs, workers)
 		if err != nil {
 			return nil, stats, err
 		}
-		stats.Candidates += tested
-		stats.Pruned += tested - uint64(len(next))
+		stats.Candidates += est.tested
+		stats.MemoHits += est.memoHits
+		stats.Pruned += est.tested - uint64(len(next))
 		cur = next
 		if len(cur) == 0 {
 			break // inconsistent constraints: empty table (paper §3)
 		}
-	}
-	if len(waiting) > 0 && len(cur) > 0 {
-		// Defensive: should be impossible since all columns were added.
-		return nil, stats, fmt.Errorf("constraint: %d constraints never became checkable", len(waiting))
 	}
 
 	out, err := rel.NewTable(spec.Name, spec.ColumnNames()...)
@@ -164,83 +171,6 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 	}
 	stats.Rows = out.NumRows()
 	return out, stats, nil
-}
-
-// extendParallel extends every row in cur with every value in domain,
-// keeping extensions that satisfy all fire constraints. Work is split
-// across workers by chunks of cur.
-func extendParallel(cur [][]rel.Value, names []string, domain []rel.Value, fire []sqlmini.Expr, ev *sqlmini.Evaluator, workers int) ([][]rel.Value, uint64, error) {
-	if len(cur) == 0 {
-		return nil, 0, nil
-	}
-	if workers > len(cur) {
-		workers = len(cur)
-	}
-	type result struct {
-		rows   [][]rel.Value
-		tested uint64
-		err    error
-	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	chunk := (len(cur) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo > len(cur) {
-			lo = len(cur)
-		}
-		hi := lo + chunk
-		if hi > len(cur) {
-			hi = len(cur)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			env := make(sqlmini.MapEnv, len(names))
-			var res result
-			for _, row := range cur[lo:hi] {
-				for i, n := range names[:len(names)-1] {
-					env[n] = row[i]
-				}
-				last := names[len(names)-1]
-				for _, v := range domain {
-					env[last] = v
-					res.tested++
-					ok := true
-					for _, e := range fire {
-						t, err := ev.True(e, env)
-						if err != nil {
-							res.err = err
-							results[w] = res
-							return
-						}
-						if !t {
-							ok = false
-							break
-						}
-					}
-					if ok {
-						nr := make([]rel.Value, len(row)+1)
-						copy(nr, row)
-						nr[len(row)] = v
-						res.rows = append(res.rows, nr)
-					}
-				}
-			}
-			results[w] = res
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var out [][]rel.Value
-	var tested uint64
-	for _, r := range results {
-		if r.err != nil {
-			return nil, tested, r.err
-		}
-		out = append(out, r.rows...)
-		tested += r.tested
-	}
-	return out, tested, nil
 }
 
 // Monolithic generates the controller table by enumerating the full cross
@@ -265,88 +195,100 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 	for i, c := range spec.cols {
 		domains[i] = c.Domain()
 	}
-	exprs := make([]sqlmini.Expr, 0, len(spec.constraints))
-	for _, e := range spec.constraints {
-		exprs = append(exprs, e)
+	t0 := time.Now()
+	cc, err := spec.compiledConstraints()
+	stats.CompileTime = time.Since(t0)
+	if err != nil {
+		return nil, stats, err
 	}
-	ev := spec.evaluator()
 
+	// Work-stealing enumeration of the assignment space: an atomic cursor
+	// deals index batches, so workers that land on quickly rejected
+	// regions steal more instead of idling, and the split cannot drop
+	// indexes however small the space is (the old static per-worker
+	// division collapsed to empty ranges when space < workers).
 	workers := opts.workers()
-	if uint64(workers) > space {
-		workers = int(space)
+	cursor := newBatchCursor(space, workers)
+	nb := cursor.numBatches()
+	if workers > nb {
+		workers = nb
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	type result struct {
-		rows   [][]rel.Value
-		tested uint64
-		err    error
-	}
-	results := make([]result, workers)
+	perBatch := make([][][]rel.Value, nb)
+	tested := make([]uint64, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
-	per := space / uint64(workers)
 	for w := 0; w < workers; w++ {
-		lo := uint64(w) * per
-		hi := lo + per
-		if w == workers-1 {
-			hi = space
-		}
 		wg.Add(1)
-		go func(w int, lo, hi uint64) {
+		go func(w int) {
 			defer wg.Done()
-			env := make(sqlmini.MapEnv, len(names))
+			var arena valueArena
 			row := make([]rel.Value, len(names))
-			var res result
-			for idx := lo; idx < hi; idx++ {
-				// Decode idx as a mixed-radix number over domains.
-				rem := idx
-				for i := len(domains) - 1; i >= 0; i-- {
-					d := domains[i]
-					row[i] = d[rem%uint64(len(d))]
-					rem /= uint64(len(d))
-				}
-				for i, n := range names {
-					env[n] = row[i]
-				}
-				res.tested++
-				ok := true
-				for _, e := range exprs {
-					t, err := ev.True(e, env)
-					if err != nil {
-						res.err = err
-						results[w] = res
-						return
-					}
-					if !t {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					res.rows = append(res.rows, append([]rel.Value(nil), row...))
-				}
+			// Per-worker program instances. Monolithic enumeration changes
+			// many columns between candidates, so the sweep cache is
+			// invalidated before every evaluation.
+			insts := make([]*sqlmini.Instance, len(cc))
+			for i, c := range cc {
+				insts[i] = c.prog.Instance()
 			}
-			results[w] = res
-		}(w, lo, hi)
+			for {
+				bi, lo, hi, ok := cursor.grab()
+				if !ok {
+					return
+				}
+				var out [][]rel.Value
+				for idx := lo; idx < hi; idx++ {
+					// Decode idx as a mixed-radix number over domains.
+					rem := idx
+					for i := len(domains) - 1; i >= 0; i-- {
+						d := domains[i]
+						row[i] = d[rem%uint64(len(d))]
+						rem /= uint64(len(d))
+					}
+					tested[w]++
+					ok := true
+					for i, c := range cc {
+						insts[i].NextRow()
+						t, err := c.prog.Eval(insts[i], row)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						if !t {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						nr := arena.row(len(names))
+						copy(nr, row)
+						out = append(out, nr)
+					}
+				}
+				perBatch[bi] = out
+			}
+		}(w)
 	}
 	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, stats, errs[w]
+		}
+		stats.Candidates += tested[w]
+	}
 	out, err := rel.NewTable(spec.Name, names...)
 	if err != nil {
 		return nil, stats, err
 	}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, stats, r.err
-		}
-		stats.Candidates += r.tested
-		for _, row := range r.rows {
-			if err := out.InsertRow(row); err != nil {
-				return nil, stats, err
-			}
+	// Batches flatten in index order, so Monolithic and Solve results
+	// compare equal row for row.
+	for _, row := range flattenBatches(perBatch) {
+		if err := out.InsertRow(row); err != nil {
+			return nil, stats, err
 		}
 	}
-	// Canonical order so Monolithic and Solve results compare equal.
 	stats.Rows = out.NumRows()
 	stats.Pruned = stats.Candidates - uint64(stats.Rows)
 	return out, stats, nil

@@ -17,6 +17,8 @@ package constraint
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"coherdb/internal/rel"
 	"coherdb/internal/sqlmini"
@@ -79,6 +81,12 @@ type Spec struct {
 	colIdx      map[string]int
 	constraints map[string]sqlmini.Expr
 	funcs       map[string]sqlmini.Func
+
+	// Compiled-kernel cache: the column constraints lowered to position-
+	// bound programs, built lazily on first solve and reused until the spec
+	// changes. Guarded by mu so concurrent solves of one spec share it.
+	mu       sync.Mutex
+	compiled []compiledConstraint
 }
 
 // NewSpec creates an empty specification for a controller table.
@@ -113,7 +121,15 @@ func (s *Spec) add(c Column) error {
 	}
 	s.colIdx[c.Name] = len(s.cols)
 	s.cols = append(s.cols, c)
+	s.invalidate()
 	return nil
+}
+
+// invalidate drops the compiled-kernel cache after a spec mutation.
+func (s *Spec) invalidate() {
+	s.mu.Lock()
+	s.compiled = nil
+	s.mu.Unlock()
 }
 
 // Columns returns the declared columns in order (inputs and outputs
@@ -160,6 +176,7 @@ func (s *Spec) HasColumn(name string) bool {
 // RegisterFunc makes fn callable from constraints (e.g. isrequest).
 func (s *Spec) RegisterFunc(name string, fn sqlmini.Func) {
 	s.funcs[name] = fn
+	s.invalidate()
 }
 
 // Constrain attaches the column constraint for col, given in the paper's
@@ -190,6 +207,7 @@ func (s *Spec) Constrain(col, expr string) error {
 		}
 	}
 	s.constraints[col] = resolved
+	s.invalidate()
 	return nil
 }
 
@@ -230,4 +248,73 @@ func (s *Spec) SpaceSize() uint64 {
 // dialect: NULL is an ordinary domain value).
 func (s *Spec) evaluator() *sqlmini.Evaluator {
 	return &sqlmini.Evaluator{Funcs: s.funcs, NullEq: true}
+}
+
+// Evaluator returns the spec's constraint-dialect evaluator (registered
+// functions, NULL as an ordinary domain value). Exposed so callers can
+// cross-check compiled constraint kernels against tree-walking evaluation.
+func (s *Spec) Evaluator() *sqlmini.Evaluator { return s.evaluator() }
+
+// ColumnIndex returns the position of every declared column in row order —
+// the binding the constraint compiler uses to lower column references to
+// positional loads.
+func (s *Spec) ColumnIndex() map[string]int {
+	out := make(map[string]int, len(s.colIdx))
+	for n, i := range s.colIdx {
+		out[n] = i
+	}
+	return out
+}
+
+// compiledConstraint is one column constraint lowered to a compiled
+// program, plus its scheduling metadata: the row positions it reads and
+// the step at which it becomes checkable.
+type compiledConstraint struct {
+	col  string
+	prog *sqlmini.Program
+	refs []int // row positions the constraint reads, own column included
+	fire int   // max referenced position: the step the constraint fires at
+}
+
+// compiledConstraints lowers every column constraint into a position-bound
+// closure program, cached on the spec until the next mutation. Each
+// program is sweep-compiled around the column added at its firing step, so
+// the incremental solver's domain sweep evaluates subtrees over earlier
+// columns once per candidate row instead of once per (row, value) pair.
+// The returned slice is shared and must not be mutated.
+func (s *Spec) compiledConstraints() ([]compiledConstraint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compiled != nil {
+		return s.compiled, nil
+	}
+	ev := s.evaluator()
+	out := make([]compiledConstraint, 0, len(s.constraints))
+	for col, e := range s.constraints {
+		cc := compiledConstraint{col: col}
+		names := sqlmini.Columns(e)
+		names[col] = struct{}{}
+		for n := range names {
+			p := s.colIdx[n]
+			cc.refs = append(cc.refs, p)
+			if p > cc.fire {
+				cc.fire = p
+			}
+		}
+		sort.Ints(cc.refs)
+		prog, err := ev.CompileSweep(e, s.colIdx, cc.fire)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: compiling constraint for %s.%s: %w", s.Name, col, err)
+		}
+		cc.prog = prog
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].fire != out[j].fire {
+			return out[i].fire < out[j].fire
+		}
+		return out[i].col < out[j].col
+	})
+	s.compiled = out
+	return out, nil
 }

@@ -298,7 +298,8 @@ func (p *Pipeline) Summarize(w io.Writer) {
 		if t != nil {
 			cols = t.NumCols()
 		}
-		fmt.Fprintf(w, "  %-4s %4d rows x %2d cols (%d candidates tested)\n", n, st.Rows, cols, st.Candidates)
+		fmt.Fprintf(w, "  %-4s %4d rows x %2d cols (%d candidates tested, %d memo hits, compiled in %v)\n",
+			n, st.Rows, cols, st.Candidates, st.MemoHits, st.CompileTime.Round(time.Microsecond))
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Fprintf(w, "== invariants ==\n  %s\n", r.InvariantSummary)

@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"coherdb/internal/constraint"
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// goldenSpecs gathers every controller spec the compiled kernels must stay
+// faithful on: the eight directory-protocol controllers plus the Fig. 3
+// fragment the solver benchmarks sweep.
+func goldenSpecs(t *testing.T) map[string]*constraint.Spec {
+	t.Helper()
+	out, err := BuildAllSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := Figure3FragmentSpec(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["figure3"] = fig3
+	return out
+}
+
+// TestCompiledConstraintsMatchInterpreter is the golden equivalence check
+// of the constraint-compilation layer: for every constraint of every
+// controller spec, the compiled predicate must agree with the tree-walking
+// Evaluator.True on randomly sampled environments drawn from the column
+// domains — including the sweep-compiled form driven the way the solver
+// drives it (one cache generation per base row, last referenced column
+// swept across its domain).
+func TestCompiledConstraintsMatchInterpreter(t *testing.T) {
+	const samples = 150
+	rng := rand.New(rand.NewSource(42))
+	for name, spec := range goldenSpecs(t) {
+		cols := spec.Columns()
+		colIdx := spec.ColumnIndex()
+		domains := make([][]rel.Value, len(cols))
+		for i, c := range cols {
+			domains[i] = c.Domain()
+		}
+		ev := spec.Evaluator()
+		for _, col := range spec.ColumnNames() {
+			e := spec.Constraint(col)
+			if e == nil {
+				continue
+			}
+			pred, err := ev.Compile(e, colIdx)
+			if err != nil {
+				t.Fatalf("%s.%s: compile: %v", name, col, err)
+			}
+			// Sweep compilation around the constraint's last referenced
+			// column, exactly as the solver schedules it.
+			sweep := colIdx[col]
+			for ref := range sqlmini.Columns(e) {
+				if p, ok := colIdx[ref]; ok && p > sweep {
+					sweep = p
+				}
+			}
+			prog, err := ev.CompileSweep(e, colIdx, sweep)
+			if err != nil {
+				t.Fatalf("%s.%s: compile sweep: %v", name, col, err)
+			}
+			inst := prog.Instance()
+
+			row := make([]rel.Value, len(cols))
+			env := make(sqlmini.MapEnv, len(cols))
+			for s := 0; s < samples; s++ {
+				for i := range cols {
+					row[i] = domains[i][rng.Intn(len(domains[i]))]
+					env[cols[i].Name] = row[i]
+				}
+				inst.NextRow()
+				for _, v := range domains[sweep] {
+					row[sweep] = v
+					env[cols[sweep].Name] = v
+					want, werr := ev.True(e, env)
+					got, gerr := pred(row)
+					if (werr == nil) != (gerr == nil) || got != want {
+						t.Fatalf("%s.%s on %v: interpreter (%v, %v), compiled (%v, %v)\nconstraint: %s",
+							name, col, row, want, werr, got, gerr, e)
+					}
+					sgot, serr := prog.Eval(inst, row)
+					if (werr == nil) != (serr == nil) || sgot != want {
+						t.Fatalf("%s.%s on %v: interpreter (%v, %v), sweep-compiled (%v, %v)\nconstraint: %s",
+							name, col, row, want, werr, sgot, serr, e)
+					}
+				}
+			}
+		}
+	}
+}

@@ -206,6 +206,26 @@ func (v Value) Key() string {
 	return "?"
 }
 
+// AppendKey appends the Key encoding of v to dst and returns it, letting
+// hot paths (the solver's projection memo, row hashing) build composite
+// keys without one allocation per value.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindString:
+		return append(append(dst, 's'), v.s...)
+	case KindInt:
+		return strconv.AppendInt(append(dst, 'i'), v.i, 10)
+	case KindBool:
+		if v.b {
+			return append(dst, 'b', '1')
+		}
+		return append(dst, 'b', '0')
+	}
+	return append(dst, '?')
+}
+
 // String renders the value for display: NULL prints as "NULL", strings print
 // bare, integers and booleans in their natural form.
 func (v Value) String() string {

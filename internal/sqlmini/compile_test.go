@@ -1,0 +1,209 @@
+package sqlmini
+
+import (
+	"errors"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// compileFixtureCols is the column layout the compiler tests bind against.
+var compileFixtureCols = map[string]int{"a": 0, "b": 1, "c": 2}
+
+// compileFixtureEnv views a positional row as a MapEnv for the interpreter.
+func compileFixtureEnv(row []rel.Value) MapEnv {
+	return MapEnv{"a": row[0], "b": row[1], "c": row[2]}
+}
+
+// fixtureEvaluator builds an evaluator with one registered function, in the
+// requested NULL dialect.
+func fixtureEvaluator(nullEq bool) *Evaluator {
+	return &Evaluator{
+		NullEq: nullEq,
+		Funcs: map[string]Func{
+			"isp": func(args []rel.Value) (rel.Value, error) {
+				return rel.B(args[0].Str() == "p"), nil
+			},
+		},
+	}
+}
+
+// compileTestExprs covers every operator the compiler lowers: comparisons,
+// boolean connectives, IN (literal and general), BETWEEN, IS NULL, ternary
+// chains, CASE, and function calls.
+var compileTestExprs = []string{
+	`a = "p"`,
+	`a <> "p"`,
+	`a < b`,
+	`a >= b`,
+	`a = b and b = c`,
+	`a = "p" or b = "q"`,
+	`not (a = "p")`,
+	`a in ("p", "q")`,
+	`a not in ("p", NULL)`,
+	`a in ("p", b)`,
+	`a is null`,
+	`b is not null`,
+	`a between "p" and "r"`,
+	`a not between b and c`,
+	`a = "p" ? b = "q" : c = "r"`,
+	`a = "p" ? b = "q" : a = "q" ? b = "r" : b = NULL`,
+	`case when a = "p" then b = "q" when a = "q" then c = "r" end`,
+	`case when a = "p" then b = "q" else b is null end`,
+	`isp(a)`,
+	`isp(a) and b = c`,
+	`a = NULL`,
+	`b <> NULL`,
+}
+
+// fixtureDomain is the value domain each column ranges over in the
+// exhaustive sweeps: NULL plus three strings.
+var fixtureDomain = []rel.Value{rel.Null(), rel.S("p"), rel.S("q"), rel.S("r")}
+
+// forEachFixtureRow calls fn with every row in the 3-column cross product
+// of fixtureDomain.
+func forEachFixtureRow(fn func(row []rel.Value)) {
+	for _, av := range fixtureDomain {
+		for _, bv := range fixtureDomain {
+			for _, cv := range fixtureDomain {
+				fn([]rel.Value{av, bv, cv})
+			}
+		}
+	}
+}
+
+// TestCompileAgreesWithInterpreter is the golden equivalence property at
+// unit level: over every operator form, dialect and 3-column env, Compile
+// and Evaluator.True agree exactly.
+func TestCompileAgreesWithInterpreter(t *testing.T) {
+	for _, nullEq := range []bool{false, true} {
+		ev := fixtureEvaluator(nullEq)
+		for _, src := range compileTestExprs {
+			e, err := ParseExpr(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			pred, err := ev.Compile(e, compileFixtureCols)
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			forEachFixtureRow(func(row []rel.Value) {
+				want, werr := ev.True(e, compileFixtureEnv(row))
+				got, gerr := pred(row)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%q (nullEq=%v) on %v: interpreter err %v, compiled err %v",
+						src, nullEq, row, werr, gerr)
+				}
+				if got != want {
+					t.Fatalf("%q (nullEq=%v) on %v: interpreter %v, compiled %v",
+						src, nullEq, row, want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestCompileSweepAgreesWithInterpreter drives the sweep-compiled form the
+// way the solver does — one NextRow per base row, then the last column
+// swept across the domain — and checks the cached evaluation still agrees
+// with the interpreter everywhere.
+func TestCompileSweepAgreesWithInterpreter(t *testing.T) {
+	for _, nullEq := range []bool{false, true} {
+		ev := fixtureEvaluator(nullEq)
+		for _, src := range compileTestExprs {
+			e, err := ParseExpr(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			prog, err := ev.CompileSweep(e, compileFixtureCols, 2)
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			in := prog.Instance()
+			for _, av := range fixtureDomain {
+				for _, bv := range fixtureDomain {
+					in.NextRow()
+					for _, cv := range fixtureDomain {
+						row := []rel.Value{av, bv, cv}
+						want, werr := ev.True(e, compileFixtureEnv(row))
+						got, gerr := prog.Eval(in, row)
+						if (werr == nil) != (gerr == nil) || got != want {
+							t.Fatalf("%q (nullEq=%v) on %v: interpreter (%v, %v), sweep-compiled (%v, %v)",
+								src, nullEq, row, want, werr, got, gerr)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompileUnknownColumnIsCompileTimeError(t *testing.T) {
+	ev := fixtureEvaluator(true)
+	e, err := ParseExpr(`ghost = "p"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Compile(e, compileFixtureCols); !errors.Is(err, ErrUnknownColumn) {
+		t.Fatalf("err = %v, want ErrUnknownColumn", err)
+	}
+}
+
+func TestCompileUnknownFuncIsCompileTimeError(t *testing.T) {
+	ev := fixtureEvaluator(true)
+	e, err := ParseExpr(`nosuch(a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Compile(e, compileFixtureCols); !errors.Is(err, ErrUnknownFunc) {
+		t.Fatalf("err = %v, want ErrUnknownFunc", err)
+	}
+}
+
+func TestCompiledPredShortRowErrors(t *testing.T) {
+	ev := fixtureEvaluator(true)
+	e, err := ParseExpr(`c = "p"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := ev.Compile(e, compileFixtureCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred([]rel.Value{rel.S("p")}); !errors.Is(err, ErrUnknownColumn) {
+		t.Fatalf("err = %v, want ErrUnknownColumn for out-of-range position", err)
+	}
+}
+
+// TestCompiledPredConcurrentUse runs one compiled predicate from many
+// goroutines; it must be safe because all mutable state lives in per-worker
+// Instances (and a plain Compile has none). Meant for -race runs.
+func TestCompiledPredConcurrentUse(t *testing.T) {
+	ev := fixtureEvaluator(true)
+	e, err := ParseExpr(`a = "p" ? b = "q" : b in ("q", "r")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := ev.Compile(e, compileFixtureCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				row := []rel.Value{rel.S("p"), rel.S("q"), fixtureDomain[i%len(fixtureDomain)]}
+				if ok, err := pred(row); err != nil || !ok {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -245,8 +245,15 @@ func (ev *Evaluator) evalBinary(x Binary, env Env) (rel.Value, error) {
 
 // compare applies a comparison operator under the configured NULL dialect.
 func (ev *Evaluator) compare(op string, l, r rel.Value) tri {
+	return compareVals(op, l, r, ev.NullEq)
+}
+
+// compareVals is the operator kernel shared by the tree-walking evaluator
+// and the compiled closures (compile.go): one comparison under the given
+// NULL dialect.
+func compareVals(op string, l, r rel.Value, nullEq bool) tri {
 	if l.IsNull() || r.IsNull() {
-		if ev.NullEq {
+		if nullEq {
 			// Constraint dialect: NULL is a plain domain value.
 			switch op {
 			case "=":

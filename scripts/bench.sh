@@ -1,24 +1,40 @@
 #!/bin/sh
-# bench.sh — run the SQL-layer benchmarks with -benchmem and emit a compact
-# JSON summary (name, ns/op, allocs/op) for revision-over-revision diffing.
+# bench.sh — gate the solver/SQL hot paths, then run the benchmarks with
+# -benchmem and emit a compact JSON summary (name, ns/op, allocs/op) for
+# revision-over-revision diffing.
 #
 # Usage:
 #   scripts/bench.sh                 # default pattern and output file
 #   scripts/bench.sh 'Benchmark.*'   # custom -bench pattern
 #   BENCH_OUT=out.json scripts/bench.sh
 #
-# The default pattern covers the planner-sensitive benchmarks: the invariant
-# suite (the paper's every-revision workload), the substrate SELECT/JOIN
-# microbenchmarks, and the prepared-statement floor.
+# Before benchmarking, the script fails loudly (non-zero exit) if `go vet`
+# or the race-detector run of the parallel solver tests fails — compiled
+# constraint kernels are shared across solver workers, so a racy kernel
+# must never produce a green benchmark report.
+#
+# The default pattern covers the generation-sensitive benchmarks (the
+# compiled-kernel solver on table D and the Fig. 3 incremental sweep)
+# plus the planner-sensitive ones: the invariant suite (the paper's
+# every-revision workload), the substrate SELECT/JOIN microbenchmarks,
+# and the prepared-statement floor.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
-OUT="${BENCH_OUT:-BENCH_2.json}"
+PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
+OUT="${BENCH_OUT:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== race-detector solver tests =="
+go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolveEqualsMonolithic|TestBatchCursor|TestCompiledPredConcurrentUse' \
+    ./internal/constraint/ ./internal/sqlmini/
+
+echo "== benchmarks =="
 go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$RAW"
 
 # Benchmark lines look like:
