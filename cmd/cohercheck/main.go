@@ -66,7 +66,7 @@ func main() {
 	}
 
 	p := core.New()
-	p.Workers = *workers
+	p.SetWorkers(*workers)
 	p.Observe(tr, reg)
 	if err := p.Generate(); err != nil {
 		fail(err)

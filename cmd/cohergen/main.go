@@ -103,7 +103,7 @@ func main() {
 	}
 
 	p := core.New()
-	p.Workers = *workers
+	p.SetWorkers(*workers)
 	p.Observe(tr, reg)
 	start := time.Now()
 	if err := p.Generate(); err != nil {

@@ -27,6 +27,8 @@ import (
 func main() {
 	query := flag.String("q", "", "execute one statement and exit")
 	strict := flag.Bool("strict-nulls", true, "use ANSI NULL semantics (off = constraint dialect)")
+	workers := flag.Int("workers", 0, "bound within-query morsel parallelism (0 = shared pool size, 1 = serial)")
+	morsel := flag.Int("morsel", 0, "rows per parallel scan batch (0 = default 1024)")
 	traceFlag := flag.Bool("trace", false, "collect per-statement spans and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics and session query stats to stdout at exit")
 	flag.Parse()
@@ -51,6 +53,10 @@ func main() {
 		fail(err)
 	}
 	p.DB.SetStrictNulls(*strict)
+	p.DB.SetWorkers(*workers)
+	if *morsel > 0 {
+		p.DB.SetMorselSize(*morsel)
+	}
 	fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(p.DB.Names(), ", "))
 	defer func() {
 		if col != nil {

@@ -13,11 +13,10 @@ package check
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"coherdb/internal/obs"
+	"coherdb/internal/pool"
 	"coherdb/internal/rel"
 	"coherdb/internal/sqlmini"
 )
@@ -84,7 +83,8 @@ func (s *Suite) Invariants() []Invariant { return append([]Invariant(nil), s.inv
 
 // Options tunes suite execution.
 type Options struct {
-	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	// Workers bounds parallelism on the shared worker pool; 0 means the
+	// pool's full size, 1 runs the suite inline.
 	Workers int
 	// Tracer, when set, receives a "check.suite" span plus one
 	// "check.invariant" child span per invariant.
@@ -110,13 +110,17 @@ func (o Options) observe(r Result) {
 	o.Metrics.Counter("coherdb_invariant_violations_total", obs.L("invariant", r.Invariant.Name)).Add(int64(violations))
 }
 
-// Run checks every invariant against db, in parallel, and returns results
-// in suite order. The db is switched to strict ANSI NULL semantics for the
-// duration of the run and restored afterwards.
+// Run checks every invariant against db and returns results in suite
+// order. Invariants are independent queries, so they are dealt one at a
+// time to the shared worker pool (work stealing keeps an expensive
+// invariant from serializing the rest); Workers: 1 runs the suite inline.
+// The db is switched to strict ANSI NULL semantics for the duration of
+// the run and restored afterwards.
 func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
+	exec := pool.Shared()
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > exec.Size() {
+		workers = exec.Size()
 	}
 	if workers > len(s.invs) {
 		workers = len(s.invs)
@@ -133,54 +137,39 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 
 	suite := obs.StartSpan(opts.Tracer, "check.suite", obs.Int("invariants", len(s.invs)), obs.Int("workers", workers))
 	results := make([]Result, len(s.invs))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(s.invs) {
-					return
-				}
-				inv := s.invs[i]
-				sp := suite.Child("check.invariant", obs.String("invariant", inv.Name))
-				start := time.Now()
-				var tab *rel.Table
-				var err error
-				if p := prepared[i]; p != nil {
-					tab, err = p.Query()
-				} else {
-					tab, err = db.Query(inv.SQL)
-				}
-				r := Result{
-					Invariant:  inv,
-					Violations: tab,
-					Elapsed:    time.Since(start),
-					Err:        err,
-				}
-				if sp != nil {
-					violations := 0
-					if tab != nil {
-						violations = tab.NumRows()
-					}
-					sp.SetAttr(obs.Int("violations", violations))
-					if err != nil {
-						sp.SetAttr(obs.String("error", err.Error()))
-					}
-					sp.Finish()
-				}
-				opts.observe(r)
-				results[i] = r
+	st, _ := exec.Each(workers, len(s.invs), 1, func(i, _, _ int) error {
+		inv := s.invs[i]
+		sp := suite.Child("check.invariant", obs.String("invariant", inv.Name))
+		start := time.Now()
+		var tab *rel.Table
+		var err error
+		if p := prepared[i]; p != nil {
+			tab, err = p.Query()
+		} else {
+			tab, err = db.Query(inv.SQL)
+		}
+		r := Result{
+			Invariant:  inv,
+			Violations: tab,
+			Elapsed:    time.Since(start),
+			Err:        err,
+		}
+		if sp != nil {
+			violations := 0
+			if tab != nil {
+				violations = tab.NumRows()
 			}
-		}()
-	}
-	wg.Wait()
+			sp.SetAttr(obs.Int("violations", violations))
+			if err != nil {
+				sp.SetAttr(obs.String("error", err.Error()))
+			}
+			sp.Finish()
+		}
+		opts.observe(r)
+		results[i] = r
+		return nil
+	})
+	suite.SetAttr(obs.Int("steals", st.Steals))
 	suite.Finish()
 	return results
 }

@@ -99,6 +99,15 @@ func New() *Pipeline {
 	}
 }
 
+// SetWorkers bounds parallelism across the pipeline: phase-level fan-out
+// (solver goals, invariant queries, composition jobs) and the database's
+// within-query morsel parallelism share the same bound. 0 means the
+// shared pool's full size.
+func (p *Pipeline) SetWorkers(n int) {
+	p.Workers = n
+	p.DB.SetWorkers(n)
+}
+
 // Observe installs a tracer and metrics registry on the pipeline and on
 // its database's statement executor, which then also exports the
 // coherdb_sql_* counters (statements, plan-cache hits, index usage).
@@ -131,7 +140,7 @@ func (p *Pipeline) phase(name string) func() {
 // assignment still has cycles, or the mapping cannot be verified.
 func Run(opts Options) (*Pipeline, error) {
 	p := New()
-	p.Workers = opts.Workers
+	p.SetWorkers(opts.Workers)
 	p.Observe(opts.Tracer, opts.Metrics)
 	if err := p.Generate(); err != nil {
 		return p, err

@@ -2,10 +2,10 @@ package deadlock
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"coherdb/internal/obs"
+	"coherdb/internal/pool"
 	"coherdb/internal/rel"
 )
 
@@ -24,7 +24,8 @@ type Options struct {
 	// closure and "abandoned [it] due to the excessive number of spurious
 	// cycles"; it is kept as an ablation.
 	Closure bool
-	// Workers bounds composition parallelism; 0 means a sensible default.
+	// Workers bounds edge-derivation and composition parallelism on the
+	// shared worker pool; 0 means the pool's full size.
 	Workers int
 	// Label names the channel assignment in spans and metrics; empty
 	// means the V table's own name. AnalyzeStory sets it per assignment.
@@ -91,16 +92,29 @@ func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (_ *Report, e
 	if err != nil {
 		return nil, err
 	}
-	// Individual controller dependency tables under exact matching —
-	// these correspond to the placement L≠H≠R (§4.1).
-	var individual [][]DepRow
-	total := 0
-	for _, t := range controllers {
-		rows, err := ControllerDeps(t, assign)
+	exec := pool.Shared()
+	workers := opts.Workers
+	if workers <= 0 || workers > exec.Size() {
+		workers = exec.Size()
+	}
+
+	// Individual controller dependency tables under exact matching — these
+	// correspond to the placement L≠H≠R (§4.1). Each controller's edges
+	// derive independently, so the tables are dealt to the shared pool;
+	// results land at their table's index, keeping output order serial.
+	individual := make([][]DepRow, len(controllers))
+	if _, err := exec.Each(workers, len(controllers), 1, func(ti, _, _ int) error {
+		rows, err := ControllerDeps(controllers[ti], assign)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		individual = append(individual, rows)
+		individual[ti] = rows
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, rows := range individual {
 		total += len(rows)
 	}
 	stats := Stats{ControllerRows: total}
@@ -128,11 +142,7 @@ func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (_ *Report, e
 		sets[pi] = set{placement: p, tables: tables}
 	}
 
-	// Pairwise dependency tables per placement set, in parallel.
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 8
-	}
+	// Pairwise dependency tables per placement set, on the shared pool.
 	type job struct{ si, i, j int }
 	var jobs []job
 	for si := range sets {
@@ -143,27 +153,11 @@ func Analyze(controllers []*rel.Table, v *rel.Table, opts Options) (_ *Report, e
 		}
 	}
 	results := make([][]DepRow, len(jobs))
-	var wg sync.WaitGroup
-	next := 0
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				k := next
-				next++
-				mu.Unlock()
-				if k >= len(jobs) {
-					return
-				}
-				jb := jobs[k]
-				results[k] = Compose(sets[jb.si].tables[jb.i], sets[jb.si].tables[jb.j], opts.Relaxed)
-			}
-		}()
-	}
-	wg.Wait()
+	exec.Each(workers, len(jobs), 1, func(k, _, _ int) error {
+		jb := jobs[k]
+		results[k] = Compose(sets[jb.si].tables[jb.i], sets[jb.si].tables[jb.j], opts.Relaxed)
+		return nil
+	})
 
 	// The protocol dependency table: union of all individual tables (all
 	// placements) and all pairwise tables.

@@ -1,0 +1,241 @@
+// Package pool provides the shared morsel-execution worker pool behind the
+// system's parallel phases: the SQL executor's morsel-driven scans and
+// joins, the invariant suite's concurrent query dispatch and the deadlock
+// analyzer's pairwise composition. One process-wide pool (Shared) serves
+// every caller by default, so the check and deadlock suites compete for the
+// same size-capped set of workers instead of each spawning its own
+// goroutine herd.
+//
+// The scheduling model is morsel-driven work stealing in the style of the
+// constraint solver's batchCursor: an Each call deals contiguous index
+// batches ("morsels") from one atomic cursor to every participating
+// worker. Workers that finish cheap morsels immediately claim the next one
+// from the shared cursor, so skew never idles a worker, and because morsel
+// k always covers [k*morsel, min((k+1)*morsel, n)), per-morsel results
+// reassemble in deterministic input order regardless of which worker ran
+// which morsel.
+//
+// Deadlock freedom under nesting: the caller of Each always drains the
+// cursor itself, and helper workers are recruited by rendezvous only — a
+// helper joins only if it is idle at submit time, never queued. An Each
+// issued from inside a pool worker therefore degrades to inline execution
+// when the pool is saturated instead of waiting on workers that could be
+// waiting on it.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats describes one Each call: how many morsels were dealt, how many
+// were stolen (claimed by a worker beyond its fair share of the batch
+// count), and each participant's busy time (the caller first, then helpers
+// in completion order).
+type Stats struct {
+	// Workers is the number of participants that ran morsels, including
+	// the calling goroutine.
+	Workers int
+	// Morsels is the number of batches dealt from the cursor.
+	Morsels int
+	// Steals counts morsels claimed by a participant beyond its fair
+	// share ceil(Morsels/Workers) — nonzero steals mean the work was
+	// skewed and stealing rebalanced it.
+	Steals int
+	// Busy is each participant's wall time spent draining the cursor.
+	Busy []time.Duration
+}
+
+// Pool is a size-capped set of reusable worker goroutines. The zero value
+// is not usable; construct with New or use Shared. A Pool never shuts
+// down: its workers park on a rendezvous channel between calls and cost
+// nothing while idle.
+type Pool struct {
+	size  int
+	once  sync.Once
+	ready chan func()
+}
+
+// New returns a pool that will run at most size concurrent participants
+// per Each call (including the caller). size <= 0 means GOMAXPROCS.
+// Worker goroutines start lazily on first use.
+func New(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size}
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first use.
+// The SQL executor, the invariant suite and the deadlock analyzer all draw
+// from it unless given a dedicated pool.
+func Shared() *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = New(0)
+	}
+	return shared
+}
+
+// Size returns the pool's participant cap.
+func (p *Pool) Size() int { return p.size }
+
+// start spawns the helper goroutines (size-1 of them: the caller of Each
+// is always the remaining participant).
+func (p *Pool) start() {
+	p.once.Do(func() {
+		p.ready = make(chan func())
+		for i := 0; i < p.size-1; i++ {
+			go func() {
+				for job := range p.ready {
+					job()
+				}
+			}()
+		}
+	})
+}
+
+// cursor deals morsel batches of [0, n) through one atomic counter.
+type cursor struct {
+	next   atomic.Int64
+	n      int
+	morsel int
+}
+
+// grab claims the next batch; ok is false once the space is exhausted.
+func (c *cursor) grab() (batch, lo, hi int, ok bool) {
+	l := int(c.next.Add(int64(c.morsel))) - c.morsel
+	if l >= c.n {
+		return 0, 0, 0, false
+	}
+	h := l + c.morsel
+	if h > c.n {
+		h = c.n
+	}
+	return l / c.morsel, l, h, true
+}
+
+// Batches returns how many morsels Each will deal for n items.
+func Batches(n, morsel int) int {
+	if n <= 0 {
+		return 0
+	}
+	if morsel < 1 {
+		morsel = 1
+	}
+	return (n + morsel - 1) / morsel
+}
+
+// Each runs fn over every morsel of [0, n): fn(batch, lo, hi) with batch k
+// covering [k*morsel, min((k+1)*morsel, n)). Up to cap participants run
+// concurrently (0 or anything above the pool size means the pool size);
+// the calling goroutine always participates, so Each makes progress even
+// when every pool worker is busy. The first error (from the lowest-
+// numbered morsel that failed) stops the deal and is returned. fn must be
+// safe for concurrent invocation on distinct morsels.
+func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, nil
+	}
+	if morsel < 1 {
+		morsel = 1
+	}
+	workers := p.size
+	if cap > 0 && cap < workers {
+		workers = cap
+	}
+	batches := Batches(n, morsel)
+	if workers > batches {
+		workers = batches
+	}
+	cur := &cursor{n: n, morsel: morsel}
+
+	var (
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		errBatch = -1
+		firstErr error
+	)
+	fail := func(batch int, err error) {
+		errMu.Lock()
+		if errBatch < 0 || batch < errBatch {
+			errBatch, firstErr = batch, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	drain := func() (claims int, busy time.Duration) {
+		start := time.Now()
+		for !stop.Load() {
+			batch, lo, hi, ok := cur.grab()
+			if !ok {
+				break
+			}
+			claims++
+			if err := fn(batch, lo, hi); err != nil {
+				fail(batch, err)
+				break
+			}
+		}
+		return claims, time.Since(start)
+	}
+
+	if workers <= 1 {
+		claims, busy := drain()
+		return Stats{Workers: 1, Morsels: claims, Busy: []time.Duration{busy}}, firstErr
+	}
+
+	p.start()
+	var (
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+		claimed []int
+		busys   []time.Duration
+	)
+	record := func(claims int, busy time.Duration) {
+		statsMu.Lock()
+		claimed = append(claimed, claims)
+		busys = append(busys, busy)
+		statsMu.Unlock()
+	}
+	helper := func() {
+		defer wg.Done()
+		claims, busy := drain()
+		if claims > 0 {
+			record(claims, busy)
+		}
+	}
+	// Recruit idle helpers by rendezvous: a busy pool contributes nobody
+	// and the caller drains alone, which keeps nested Each calls live.
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		select {
+		case p.ready <- helper:
+		default:
+			wg.Done()
+		}
+	}
+	callerClaims, callerBusy := drain()
+	wg.Wait()
+
+	st := Stats{Workers: 1, Morsels: callerClaims, Busy: append([]time.Duration{callerBusy}, busys...)}
+	for _, c := range claimed {
+		st.Workers++
+		st.Morsels += c
+	}
+	fair := (st.Morsels + st.Workers - 1) / st.Workers
+	for _, c := range append([]int{callerClaims}, claimed...) {
+		if c > fair {
+			st.Steals += c - fair
+		}
+	}
+	return st, firstErr
+}

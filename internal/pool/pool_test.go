@@ -1,0 +1,154 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEachCoversEveryIndexOnce checks the cursor contract: every index in
+// [0, n) is visited exactly once, for morsel sizes that do and do not
+// divide n.
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, morsel := range []int{1, 3, 16, 1024} {
+			var mu sync.Mutex
+			seen := make(map[int]int)
+			st, err := p.Each(0, n, morsel, func(batch, lo, hi int) error {
+				if lo/morsel != batch {
+					t.Errorf("batch %d does not cover its slot: lo=%d morsel=%d", batch, lo, morsel)
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d morsel=%d: visited %d indexes", n, morsel, len(seen))
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("index %d visited %d times", i, c)
+				}
+			}
+			if want := Batches(n, morsel); st.Morsels != want {
+				t.Fatalf("n=%d morsel=%d: %d morsels dealt, want %d", n, morsel, st.Morsels, want)
+			}
+		}
+	}
+}
+
+// TestEachReportsLowestFailedBatch checks the deterministic error
+// contract: when several morsels fail, the error of the lowest-numbered
+// failed batch is reported.
+func TestEachReportsLowestFailedBatch(t *testing.T) {
+	p := New(4)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		_, err := p.Each(0, 64, 1, func(batch, lo, hi int) error {
+			switch batch {
+			case 3:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		// Batch 40 may be skipped once the stop flag is up, but if any
+		// error is reported it must be the lowest one actually hit; and
+		// batch 3 always runs before the cursor is exhausted unless a
+		// failure stopped the deal first, so err is never nil.
+		if err == nil {
+			t.Fatal("no error reported")
+		}
+		if errors.Is(err, errHigh) {
+			// Legal only if batch 3 never ran; it must then have been
+			// cancelled by the stop flag that errHigh raised — but batch
+			// 3 < 40 is claimed first by the monotone cursor, so this
+			// cannot happen.
+			t.Fatal("higher batch error shadowed the lower batch")
+		}
+	}
+}
+
+// TestEachNested issues Each calls from inside pool jobs on a small pool.
+// The rendezvous recruiting contract (helpers join only when idle, the
+// caller always drains its own cursor) means nesting must complete even
+// when the pool is saturated; a regression here shows up as a test
+// timeout.
+func TestEachNested(t *testing.T) {
+	p := New(2)
+	var inner atomic.Int64
+	_, err := p.Each(0, 4, 1, func(batch, lo, hi int) error {
+		_, err := p.Each(0, 100, 7, func(b, l, h int) error {
+			inner.Add(int64(h - l))
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Load() != 400 {
+		t.Fatalf("nested Each covered %d of 400 indexes", inner.Load())
+	}
+}
+
+// TestSharedPoolSingleton checks Shared returns one process-wide pool.
+func TestSharedPoolSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned distinct pools")
+	}
+	if Shared().Size() < 1 {
+		t.Fatal("shared pool has no capacity")
+	}
+}
+
+// TestEachConcurrentCalls runs many Each calls from many goroutines on one
+// pool; under -race this exercises the rendezvous handoff and the stats
+// accounting.
+func TestEachConcurrentCalls(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			for iter := 0; iter < 50; iter++ {
+				sum.Store(0)
+				if _, err := p.Each(0, 200, 9, func(batch, lo, hi int) error {
+					for i := lo; i < hi; i++ {
+						sum.Add(int64(i))
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := sum.Load(); got != 199*200/2 {
+					t.Errorf("sum = %d", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkEachOverhead(b *testing.B) {
+	p := New(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Each(0, 4096, 1024, func(batch, lo, hi int) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

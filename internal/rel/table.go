@@ -123,6 +123,12 @@ func (t *Table) Row(i int) Row { return Row{t: t, vals: t.rows[i]} }
 // modify it.
 func (t *Table) RawRow(i int) []Value { return t.rows[i] }
 
+// RawRows returns the table's row storage without copying; callers must
+// treat the slice and every row in it as read-only, and must not retain
+// it across mutations. Whole-table scans share it so a SELECT over a
+// large controller table costs no per-row copying.
+func (t *Table) RawRows() [][]Value { return t.rows }
+
 // Get returns the value at row i, column name. It returns NULL for an
 // unknown column, mirroring SQL's treatment of missing attributes in the
 // paper's sparse controller tables.

@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"errors"
 	"fmt"
 
 	"coherdb/internal/rel"
@@ -105,6 +106,35 @@ func (ev *Evaluator) Compile(e Expr, colIndex map[string]int) (Pred, error) {
 	}, nil
 }
 
+// errUnboundCol marks an expression the query planner could not fully
+// bind to row positions; CompileBound callers fall back to interpreted
+// evaluation, whose name resolution reports the identical unknown-column
+// or ambiguity errors the unplanned path always produced.
+var errUnboundCol = errors.New("sqlmini: expression not fully plan-bound")
+
+// CompileBound lowers a plan-bound expression — one whose column
+// references bindExpr already replaced with boundCol positions — into a
+// Pred over the frame's positional rows. It is the query executor's
+// counterpart of the constraint solver's Compile: the planner binds once,
+// and the per-row filter loop then runs specialized closures instead of
+// walking the AST through an Env. Any remaining bare Col (unknown or
+// ambiguous at plan time) aborts compilation with errUnboundCol.
+//
+// The NULL dialect and function registry are captured at compile time, so
+// compiled plans are cached per dialect (see planEntry) and invalidated
+// when a function is registered.
+func (ev *Evaluator) CompileBound(e Expr) (Pred, error) {
+	c := &compiler{ev: ev, sweep: -1, bound: true}
+	root, _, err := c.bool(e)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{root: root}
+	return func(row []rel.Value) (bool, error) {
+		return p.Eval(nil, row)
+	}, nil
+}
+
 // CompileSweep is Compile for sweep evaluation: the caller declares that
 // between NextRow calls only the column at position sweep changes, and
 // the compiler gives every maximal subtree that does not read that column
@@ -125,11 +155,14 @@ func (ev *Evaluator) CompileSweep(e Expr, colIndex map[string]int, sweep int) (*
 }
 
 // compiler carries compile-time state: the column binding, the sweep
-// column (-1 when absent) and the cache-slot counters.
+// column (-1 when absent), the cache-slot counters, and whether column
+// references resolve through pre-bound positions (CompileBound) or the
+// name index (Compile/CompileSweep).
 type compiler struct {
 	ev       *Evaluator
 	ix       map[string]int
 	sweep    int
+	bound    bool
 	triSlots int
 	valSlots int
 }
@@ -364,8 +397,23 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 		v := x.Val
 		return func(*Instance, []rel.Value) (rel.Value, error) { return v, nil }, -1, nil
 	case Col:
+		if c.bound {
+			// A bare Col surviving plan-time binding means the planner could
+			// not resolve it (unknown or ambiguous); the interpreted path
+			// owns that diagnosis.
+			return nil, 0, errUnboundCol
+		}
 		return c.col(x.Name, x.String())
 	case boundCol:
+		if c.bound {
+			idx, rendered := x.Idx, x.Col.String()
+			return func(_ *Instance, row []rel.Value) (rel.Value, error) {
+				if idx >= len(row) {
+					return rel.Null(), fmt.Errorf("%w: %s (position %d beyond row of %d)", ErrUnknownColumn, rendered, idx, len(row))
+				}
+				return row[idx], nil
+			}, idx, nil
+		}
 		// Positions bound against a table during query planning are stale
 		// here; rebind by name against the compile-time index.
 		return c.col(x.Name, x.Col.String())
@@ -393,6 +441,74 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 				vals[i] = v
 			}
 			return fn(vals)
+		}, mp), mp, nil
+	case Ternary:
+		// As a value, a ternary yields the chosen branch's value (which
+		// need not be boolean); only the condition is three-valued.
+		cond, cp, err := c.bool(x.Cond)
+		if err != nil {
+			return nil, 0, err
+		}
+		then, tp, err := c.val(x.Then)
+		if err != nil {
+			return nil, 0, err
+		}
+		els, ep, err := c.val(x.Else)
+		if err != nil {
+			return nil, 0, err
+		}
+		mp := maxPos(cp, maxPos(tp, ep))
+		return c.cacheVal(func(in *Instance, row []rel.Value) (rel.Value, error) {
+			t, err := cond(in, row)
+			if err != nil {
+				return rel.Null(), err
+			}
+			// Unknown behaves as false: the else branch (paper's ternary).
+			if t == triTrue {
+				return then(in, row)
+			}
+			return els(in, row)
+		}, mp), mp, nil
+	case Case:
+		// As a value, CASE yields the first matching WHEN's value; no
+		// match and no ELSE yields NULL, exactly as Evaluator.Eval.
+		conds := make([]triFn, len(x.Whens))
+		vals := make([]valFn, len(x.Whens))
+		mp := -1
+		for i, w := range x.Whens {
+			fn, p, err := c.bool(w.Cond)
+			if err != nil {
+				return nil, 0, err
+			}
+			conds[i], mp = fn, maxPos(mp, p)
+			vfn, p, err := c.val(w.Val)
+			if err != nil {
+				return nil, 0, err
+			}
+			vals[i], mp = vfn, maxPos(mp, p)
+		}
+		var els valFn
+		if x.Else != nil {
+			fn, p, err := c.val(x.Else)
+			if err != nil {
+				return nil, 0, err
+			}
+			els, mp = fn, maxPos(mp, p)
+		}
+		return c.cacheVal(func(in *Instance, row []rel.Value) (rel.Value, error) {
+			for i, cond := range conds {
+				t, err := cond(in, row)
+				if err != nil {
+					return rel.Null(), err
+				}
+				if t == triTrue {
+					return vals[i](in, row)
+				}
+			}
+			if els != nil {
+				return els(in, row)
+			}
+			return rel.Null(), nil
 		}, mp), mp, nil
 	default:
 		// Every other node is a condition; its value is its truth value.

@@ -9,8 +9,15 @@ import (
 	"time"
 
 	"coherdb/internal/obs"
+	"coherdb/internal/pool"
 	"coherdb/internal/rel"
 )
+
+// DefaultMorselSize is the scan batch grain: parallel phases deal rows to
+// workers in contiguous batches of this many rows, and a phase must have
+// at least two morsels' worth of input before going parallel at all (the
+// controller tables, a few hundred rows each, stay serial by default).
+const DefaultMorselSize = 1024
 
 // Errors returned by the executor.
 var (
@@ -53,17 +60,53 @@ type DB struct {
 	// by trimmed statement text (see plan.go).
 	planMu sync.Mutex
 	plans  map[string]*planEntry
+
+	// exec is the worker pool behind morsel-parallel scans and join
+	// probes (the process-wide shared pool by default); workers caps the
+	// participants one statement phase may recruit (0 means the pool
+	// size, 1 forces serial execution) and morsel is the batch grain.
+	exec    *pool.Pool
+	workers int
+	morsel  int
 }
 
 // run is the context of one executing statement: the DB, a snapshot of its
 // evaluator, the statement's stats sink, the plan-cache entry when the
-// statement came in as text, and the schema epoch plans are tagged with.
+// statement came in as text, the schema epoch plans are tagged with, and
+// the parallel-execution knobs snapshotted under the statement lock.
 type run struct {
 	db    *DB
 	ev    Evaluator
 	qs    *QueryStats
 	entry *planEntry
 	epoch uint64
+
+	pool    *pool.Pool
+	workers int
+	morsel  int
+}
+
+// parallel decides whether a phase over n rows runs on the pool: it
+// returns the pool, the worker cap and the morsel size, or a nil pool
+// when the phase should stay serial (input smaller than two morsels, a
+// worker cap of one, or no pool). The two-morsel floor guarantees that
+// going parallel can actually split the work.
+func (r *run) parallel(n int) (*pool.Pool, int, int) {
+	morsel := r.morsel
+	if morsel < 1 {
+		morsel = DefaultMorselSize
+	}
+	if r.pool == nil || n < 2*morsel {
+		return nil, 0, 0
+	}
+	workers := r.workers
+	if workers <= 0 || workers > r.pool.Size() {
+		workers = r.pool.Size()
+	}
+	if workers <= 1 {
+		return nil, 0, 0
+	}
+	return r.pool, workers, morsel
 }
 
 // NewDB creates an empty database with the standard function registry
@@ -73,6 +116,8 @@ func NewDB() *DB {
 		tables: make(map[string]*rel.Table),
 		eval:   Evaluator{Funcs: make(map[string]Func), NullEq: true},
 		plans:  make(map[string]*planEntry),
+		exec:   pool.Shared(),
+		morsel: DefaultMorselSize,
 	}
 	db.eval.Funcs["typename"] = func(args []rel.Value) (rel.Value, error) {
 		if len(args) != 1 {
@@ -94,12 +139,52 @@ func NewDB() *DB {
 
 // SetStrictNulls switches between ANSI SQL NULL semantics (true) and the
 // paper's constraint dialect (false, the default). Cached plans survive the
-// toggle: index-backed scans are planned only for non-NULL literals, whose
-// equality is identical in both dialects.
+// toggle: compiled predicates specialize on the dialect, so each plan-cache
+// entry keeps one compiled plan per dialect (see planEntry) and toggling
+// just selects the other slot.
 func (db *DB) SetStrictNulls(strict bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.eval.NullEq = !strict
+}
+
+// SetWorkers caps how many pool workers one statement phase may recruit:
+// 0 restores the default (the pool size, GOMAXPROCS for the shared pool)
+// and 1 forces serial execution. Parallel and serial execution produce
+// byte-identical results; the knob trades latency for pool pressure.
+func (db *DB) SetWorkers(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.workers = n
+}
+
+// SetPool replaces the DB's worker pool (nil restores the shared pool).
+// The default shared pool is sized to GOMAXPROCS; an explicit pool lets
+// an embedder — or a test forcing the parallel path on a small machine —
+// run statement phases on more workers than there are CPUs.
+func (db *DB) SetPool(p *pool.Pool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if p == nil {
+		p = pool.Shared()
+	}
+	db.exec = p
+}
+
+// SetMorselSize sets the rows-per-batch grain of parallel phases; 0
+// restores DefaultMorselSize. Smaller morsels parallelize smaller inputs
+// (a phase needs at least two morsels of rows) at more scheduling
+// overhead per row.
+func (db *DB) SetMorselSize(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 1 {
+		n = DefaultMorselSize
+	}
+	db.morsel = n
 }
 
 // SetTracer installs (or, with nil, removes) a tracer: every statement
@@ -124,6 +209,8 @@ func (db *DB) SetMetrics(m *obs.Registry) {
 		m.Help("coherdb_sql_plan_cache_misses_total", "Statements parsed and planned fresh.")
 		m.Help("coherdb_sql_index_scans_total", "Table scans answered from a persistent hash index.")
 		m.Help("coherdb_sql_index_joins_total", "Joins that probed a persistent index instead of building a hash table.")
+		m.Help("coherdb_sql_parallel_morsels_total", "Row batches dealt to the worker pool by parallel scans and join probes.")
+		m.Help("coherdb_sql_parallel_steals_total", "Morsels claimed by a worker beyond its fair share (work-stealing rebalances).")
 	}
 }
 
@@ -135,11 +222,14 @@ func (db *DB) Stats() DBStats {
 }
 
 // Register installs fn as a SQL-callable scalar function. The paper
-// registers protocol predicates such as isrequest(msg).
+// registers protocol predicates such as isrequest(msg). Registering bumps
+// the schema epoch: compiled plans resolve functions at compile time, so
+// a (re)bound name invalidates them exactly like a schema change.
 func (db *DB) Register(name string, fn Func) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.eval.Funcs[name] = fn
+	db.schemaEpoch++
 }
 
 // PutTable installs (or replaces) a table under its own name. Cached plans
@@ -294,7 +384,10 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *
 		db.mu.Lock()
 		defer db.mu.Unlock()
 	}
-	r := &run{db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch}
+	r := &run{
+		db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch,
+		pool: db.exec, workers: db.workers, morsel: db.morsel,
+	}
 	span := obs.StartSpan(db.tracer, "sql.stmt", obs.String("kind", qs.Kind))
 	if src != "" {
 		span.SetAttr(obs.String("statement", src))
@@ -324,6 +417,13 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *
 			if qs.PlanCache != "" {
 				span.SetAttr(obs.String("plan_cache", qs.PlanCache))
 			}
+			if qs.Morsels > 0 {
+				span.SetAttr(
+					obs.Int("parallel_morsels", qs.Morsels),
+					obs.Int("parallel_steals", qs.Steals),
+					obs.Int("parallel_workers", len(qs.WorkerBusy)),
+				)
+			}
 			if err != nil {
 				span.SetAttr(obs.String("error", err.Error()))
 			}
@@ -348,6 +448,8 @@ func (db *DB) observe(qs *QueryStats) {
 	}
 	m.Counter("coherdb_sql_index_scans_total").Add(int64(qs.IndexScans))
 	m.Counter("coherdb_sql_index_joins_total").Add(int64(qs.IndexJoins))
+	m.Counter("coherdb_sql_parallel_morsels_total").Add(int64(qs.Morsels))
+	m.Counter("coherdb_sql_parallel_steals_total").Add(int64(qs.Steals))
 }
 
 // dispatch routes a statement to its executor. The caller holds db.mu in

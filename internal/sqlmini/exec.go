@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"coherdb/internal/rel"
 )
@@ -28,10 +29,10 @@ type frame struct {
 func frameOf(t *rel.Table, alias string) *frame {
 	f := schemaFrame(t, alias)
 	f.base = t
-	f.rows = make([][]rel.Value, t.NumRows())
-	for i := 0; i < t.NumRows(); i++ {
-		f.rows[i] = t.RawRow(i)
-	}
+	// Zero-copy scan: the frame shares the table's row storage. Frames
+	// never mutate rows, and the statement holds the DB lock for its whole
+	// execution, so the storage cannot move underneath it.
+	f.rows = t.RawRows()
 	return f
 }
 
@@ -213,7 +214,8 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 	}
 	// WHERE (residue after pushdown).
 	if plan != nil && plan.residue != nil {
-		filtered, err := r.filterFrame(f, splitAnd(plan.residue))
+		conj, progs := plan.residueConjuncts()
+		filtered, err := r.filterFrame(f, conj, progs)
 		if err != nil {
 			return nil, err
 		}
@@ -234,20 +236,41 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 		t.MustInsert(rel.I(int64(len(f.rows))))
 		return t, nil
 	}
-	// Projection list.
+	// Projection list. Direct column references copy straight off the row;
+	// anything else evaluates through one reused Env. Output values are
+	// carved from a single arena allocation covering every row, which the
+	// result table then shares (InsertRow does not copy).
 	cols, exprs, err := projection(s.Items, f)
 	if err != nil {
 		return nil, err
+	}
+	width := len(exprs)
+	colAt := make([]int, width)
+	for i, e := range exprs {
+		colAt[i] = -1
+		if c, ok := e.(Col); ok {
+			colAt[i] = f.resolve(c.Qualifier, c.Name)
+		}
 	}
 	type outRow struct {
 		vals []rel.Value
 		keys []rel.Value
 	}
 	rows := make([]outRow, 0, len(f.rows))
-	for _, row := range f.rows {
-		env := frameEnv{f: f, row: row}
-		vals := make([]rel.Value, len(exprs))
+	arena := make([]rel.Value, len(f.rows)*width)
+	var keyArena []rel.Value
+	if len(s.OrderBy) > 0 {
+		keyArena = make([]rel.Value, len(f.rows)*len(s.OrderBy))
+	}
+	env := &frameEnv{f: f}
+	for ri, row := range f.rows {
+		env.row = row
+		vals := arena[ri*width : (ri+1)*width : (ri+1)*width]
 		for i, e := range exprs {
+			if j := colAt[i]; j >= 0 {
+				vals[i] = row[j]
+				continue
+			}
 			v, err := r.ev.Eval(e, env)
 			if err != nil {
 				return nil, err
@@ -255,10 +278,11 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 			vals[i] = v
 		}
 		var keys []rel.Value
-		if len(s.OrderBy) > 0 {
-			keys = make([]rel.Value, len(s.OrderBy))
+		if nk := len(s.OrderBy); nk > 0 {
+			keys = keyArena[ri*nk : (ri+1)*nk : (ri+1)*nk]
+			oenv := orderEnv{frame: frameEnv{f: f, row: row}, cols: cols, vals: vals}
 			for i, k := range s.OrderBy {
-				v, err := r.ev.Eval(k.Expr, orderEnv{frame: env, cols: cols, vals: vals})
+				v, err := r.ev.Eval(k.Expr, oenv)
 				if err != nil {
 					return nil, err
 				}
@@ -330,20 +354,23 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 				f.rows[i] = t.RawRow(ri)
 			}
 			if len(sp.filters) > 0 {
-				return r.filterFrame(f, sp.filters)
+				return r.filterFrame(f, sp.filters, sp.progs)
 			}
 			return f, nil
 		}
 		// The index could not be built (it cannot for planner-produced
 		// column lists, which are resolved and deduplicated): apply the
-		// equality conjuncts as ordinary filters instead.
+		// equality conjuncts as ordinary filters instead. The compiled
+		// slots no longer line up with the extended conjunct list, so this
+		// fallback is interpreted.
 		sp.filters = append(eqExprs(sp), sp.filters...)
+		sp.progs = nil
 	}
 	r.qs.addScanned(t.NumRows())
 	f := frameOf(t, ref.Alias)
 	if len(sp.filters) > 0 {
 		r.qs.addPushdown(len(sp.filters))
-		return r.filterFrame(f, sp.filters)
+		return r.filterFrame(f, sp.filters, sp.progs)
 	}
 	return f, nil
 }
@@ -357,18 +384,39 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	}
 	var order []string
 	groups := map[string]*group{}
-	for _, row := range f.rows {
-		env := frameEnv{f: f, row: row}
-		key := ""
-		for _, ge := range s.GroupBy {
-			v, err := r.ev.Eval(ge, env)
-			if err != nil {
-				return nil, err
-			}
-			key += v.Key() + "\x1f"
+	// Group keys: direct column references append straight off the row and
+	// everything else evaluates through one reused Env. The byte-buffer
+	// key costs a string allocation only the first time a group is seen
+	// (the map probe with string(buf) does not allocate).
+	gidx := make([]int, len(s.GroupBy))
+	for i, ge := range s.GroupBy {
+		gidx[i] = -1
+		if c, ok := ge.(Col); ok {
+			gidx[i] = f.resolve(c.Qualifier, c.Name)
 		}
-		g, ok := groups[key]
+	}
+	env := &frameEnv{f: f}
+	var buf []byte
+	for _, row := range f.rows {
+		env.row = row
+		buf = buf[:0]
+		for i, ge := range s.GroupBy {
+			var v rel.Value
+			if j := gidx[i]; j >= 0 {
+				v = row[j]
+			} else {
+				var err error
+				v, err = r.ev.Eval(ge, env)
+				if err != nil {
+					return nil, err
+				}
+			}
+			buf = append(buf, v.Key()...)
+			buf = append(buf, 0x1f)
+		}
+		g, ok := groups[string(buf)]
 		if !ok {
+			key := string(buf)
 			g = &group{}
 			groups[key] = g
 			order = append(order, key)
@@ -383,15 +431,16 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ar valueArena
 	for _, key := range order {
 		g := groups[key]
-		env := frameEnv{f: f, row: g.rows[0]}
+		genv := frameEnv{f: f, row: g.rows[0]}
 		if s.Having != nil {
 			h, err := r.rewriteAggs(s.Having, f, g.rows)
 			if err != nil {
 				return nil, err
 			}
-			keep, err := r.ev.True(h, env)
+			keep, err := r.ev.True(h, &genv)
 			if err != nil {
 				return nil, err
 			}
@@ -399,13 +448,13 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 				continue
 			}
 		}
-		vals := make([]rel.Value, len(exprs))
+		vals := ar.next(len(exprs))
 		for i, e := range exprs {
 			re, err := r.rewriteAggs(e, f, g.rows)
 			if err != nil {
 				return nil, err
 			}
-			v, err := r.ev.Eval(re, env)
+			v, err := r.ev.Eval(re, &genv)
 			if err != nil {
 				return nil, err
 			}
@@ -473,10 +522,61 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	return out, nil
 }
 
+// containsAgg reports whether e contains an aggregate call, so rewriteAggs
+// can return aggregate-free subtrees unchanged instead of copying them for
+// every group.
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case Call:
+		if x.Name == "count_star" || x.Name == "agg_min" || x.Name == "agg_max" {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAgg(a) {
+				return true
+			}
+		}
+	case Unary:
+		return containsAgg(x.X)
+	case Binary:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case InList:
+		if containsAgg(x.X) {
+			return true
+		}
+		for _, s := range x.Set {
+			if containsAgg(s) {
+				return true
+			}
+		}
+	case IsNull:
+		return containsAgg(x.X)
+	case Between:
+		return containsAgg(x.X) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	case Ternary:
+		return containsAgg(x.Cond) || containsAgg(x.Then) || containsAgg(x.Else)
+	case Case:
+		for _, w := range x.Whens {
+			if containsAgg(w.Cond) || containsAgg(w.Val) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return containsAgg(x.Else)
+		}
+	}
+	return false
+}
+
 // rewriteAggs replaces aggregate calls (count_star, agg_min, agg_max) in
 // an expression with literals computed over the group's rows, so the
 // remaining expression evaluates against the group's representative row.
+// Aggregate-free expressions are returned as-is: rewriting them would
+// produce an identical copy per group.
 func (r *run) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
+	if !containsAgg(e) {
+		return e, nil
+	}
 	switch x := e.(type) {
 	case Call:
 		switch x.Name {
@@ -724,14 +824,54 @@ func projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
 	return cols, exprs, nil
 }
 
-// filterFrame keeps the rows satisfying every conjunct.
-func (r *run) filterFrame(f *frame, conjuncts []Expr) (*frame, error) {
+// filterFrame keeps the rows satisfying every conjunct. progs carries the
+// compiled form of each conjunct (a nil slice or nil slot falls back to
+// the tree-walking interpreter, preserving its exact error reporting).
+// When every conjunct compiled and the input spans at least two morsels,
+// the scan runs on the worker pool; kept rows merge in input order, so
+// the parallel result is byte-identical to the serial scan's.
+func (r *run) filterFrame(f *frame, conjuncts []Expr, progs []Pred) (*frame, error) {
+	compiled := len(progs) == len(conjuncts)
+	if compiled {
+		for _, p := range progs {
+			if p == nil {
+				compiled = false
+				break
+			}
+		}
+	}
+	if compiled {
+		if kept, ran, err := r.parallelFilter(f.rows, progs); ran {
+			if err != nil {
+				return nil, err
+			}
+			return &frame{aliases: f.aliases, names: f.names, rows: kept, memo: f.memo}, nil
+		}
+		kept := f.rows[:0:0]
+		for _, row := range f.rows {
+			keep, err := evalPreds(progs, row)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		return &frame{aliases: f.aliases, names: f.names, rows: kept, memo: f.memo}, nil
+	}
 	kept := f.rows[:0:0]
+	env := &frameEnv{f: f}
 	for _, row := range f.rows {
-		env := frameEnv{f: f, row: row}
+		env.row = row
 		ok := true
-		for _, c := range conjuncts {
-			t, err := r.ev.True(c, env)
+		for i, c := range conjuncts {
+			var t bool
+			var err error
+			if i < len(progs) && progs[i] != nil {
+				t, err = progs[i](row)
+			} else {
+				t, err = r.ev.True(c, env)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -859,7 +999,8 @@ func hashJoinPairs(f, g *frame, on Expr) ([]joinPair, bool) {
 }
 
 // join output is always f-major: left rows in scan order, each followed by
-// its matches. Every strategy below preserves that order.
+// its matches. Every strategy below — serial or parallel — preserves that
+// order, so results are deterministic regardless of worker count.
 func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 	pairs, hashable := hashJoinPairs(f, g, on)
 	out := &frame{
@@ -867,19 +1008,23 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		names:   append(append([]string(nil), f.names...), g.names...),
 	}
 	if !hashable {
-		// Nested loop with ON filter.
+		// Nested loop with ON filter; candidate rows carve from an arena
+		// and rejected candidates return their space.
 		r.qs.addLoopJoin()
+		var ar valueArena
+		env := &frameEnv{f: out}
 		for _, a := range f.rows {
 			for _, b := range g.rows {
-				row := make([]rel.Value, 0, len(a)+len(b))
-				row = append(row, a...)
-				row = append(row, b...)
-				ok, err := r.ev.True(on, frameEnv{f: out, row: row})
+				row := ar.joinRow(a, b)
+				env.row = row
+				ok, err := r.ev.True(on, env)
 				if err != nil {
 					return nil, err
 				}
 				if ok {
 					out.rows = append(out.rows, row)
+				} else {
+					ar.undo(len(row))
 				}
 			}
 		}
@@ -897,6 +1042,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		}
 		if ix, err := g.base.IndexOn(cols...); err == nil {
 			r.qs.addIndexJoin()
+			var ar valueArena
 			vals := make([]rel.Value, len(pairs))
 			for _, a := range f.rows {
 				ok := true
@@ -911,10 +1057,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 					continue
 				}
 				for _, j := range ix.Lookup(vals...) {
-					row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
-					row = append(row, a...)
-					row = append(row, g.rows[j]...)
-					out.rows = append(out.rows, row)
+					out.rows = append(out.rows, ar.joinRow(a, g.rows[j]))
 				}
 			}
 			return out, nil
@@ -951,75 +1094,43 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 			return out, nil
 		}
 	}
-	// Ad-hoc hash join, building the table on the smaller input.
+	// Ad-hoc hash join: partitioned build over the smaller input, morsel-
+	// parallel probe over the larger (see exec_parallel.go; both phases
+	// degrade to serial loops below the parallel threshold).
 	if len(f.rows) <= len(g.rows) {
-		buckets := make(map[string][]int, len(f.rows))
-		for i, row := range f.rows {
-			key, ok := joinKey(row, pairs, func(p joinPair) int { return p.li })
-			if !ok {
-				continue // NULL keys never match
-			}
-			buckets[key] = append(buckets[key], i)
-		}
-		matches := make([][]int, len(f.rows))
-		for j, b := range g.rows {
-			key, ok := joinKey(b, pairs, func(p joinPair) int { return p.ri })
-			if !ok {
-				continue
-			}
-			for _, i := range buckets[key] {
-				matches[i] = append(matches[i], j)
-			}
-		}
+		ht := r.buildHashTable(f.rows, pairs, true)
+		matches := r.probeMatches(g.rows, pairs, ht, len(f.rows))
 		emitMatches(out, f, g, matches)
 		return out, nil
 	}
-	buckets := make(map[string][]int, len(g.rows))
-	for i, row := range g.rows {
-		key, ok := joinKey(row, pairs, func(p joinPair) int { return p.ri })
-		if !ok {
-			continue
-		}
-		buckets[key] = append(buckets[key], i)
-	}
-	for _, a := range f.rows {
-		key, ok := joinKey(a, pairs, func(p joinPair) int { return p.li })
-		if !ok {
-			continue
-		}
-		for _, j := range buckets[key] {
-			row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
-			row = append(row, a...)
-			row = append(row, g.rows[j]...)
-			out.rows = append(out.rows, row)
-		}
-	}
+	ht := r.buildHashTable(g.rows, pairs, false)
+	r.probeEmit(out, f, g, pairs, ht)
 	return out, nil
 }
 
-// emitMatches appends f-major joined rows: for each f row in order, its
-// matching g rows.
+// emitMatches appends f-major joined rows — for each f row in order, its
+// matching g rows — carved from one exactly-sized allocation.
 func emitMatches(out *frame, f, g *frame, matches [][]int) {
+	total := 0
+	for _, m := range matches {
+		total += len(m)
+	}
+	if total == 0 {
+		return
+	}
+	width := len(f.names) + len(g.names)
+	flat := make([]rel.Value, total*width)
+	out.rows = make([][]rel.Value, 0, total)
+	k := 0
 	for i, a := range f.rows {
 		for _, j := range matches[i] {
-			row := make([]rel.Value, 0, len(a)+len(g.rows[j]))
-			row = append(row, a...)
-			row = append(row, g.rows[j]...)
+			row := flat[k : k+width : k+width]
+			k += width
+			copy(row, a)
+			copy(row[len(a):], g.rows[j])
 			out.rows = append(out.rows, row)
 		}
 	}
-}
-
-func joinKey(row []rel.Value, pairs []joinPair, side func(joinPair) int) (string, bool) {
-	key := ""
-	for _, p := range pairs {
-		v := row[side(p)]
-		if v.IsNull() {
-			return "", false
-		}
-		key += v.Key() + "\x1f"
-	}
-	return key, true
 }
 
 func splitAnd(e Expr) []Expr {
@@ -1030,9 +1141,10 @@ func splitAnd(e Expr) []Expr {
 }
 
 func rowKeyOf(vals []rel.Value) string {
-	key := ""
+	var sb strings.Builder
 	for _, v := range vals {
-		key += v.Key() + "\x1f"
+		sb.WriteString(v.Key())
+		sb.WriteByte(0x1f)
 	}
-	return key
+	return sb.String()
 }

@@ -19,6 +19,32 @@ import (
 // estimate-based choice; the executor decides from actual row counts and
 // can differ when the estimates are off.
 
+// parallelDetail renders the parallel-phase annotation for a plan step
+// fed n rows, or "" when the executor's gate (pool present, enough rows
+// for two morsels, more than one worker) would keep the phase serial.
+func (r *run) parallelDetail(kind string, n int) string {
+	p, workers, morsel := r.parallel(n)
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf("parallel %s (workers=%d, morsel=%d)", kind, workers, morsel)
+}
+
+// fullyCompiled reports whether all n conjuncts lowered to compiled
+// predicates — the executor's other precondition for a parallel filter
+// (the tree-walking interpreter always runs serially).
+func fullyCompiled(progs []Pred, n int) bool {
+	if n == 0 || len(progs) != n {
+		return false
+	}
+	for _, p := range progs {
+		if p == nil {
+			return false
+		}
+	}
+	return true
+}
+
 // estFilter shrinks an estimate by one third per conjunct, never
 // estimating below one row for a non-empty input.
 func estFilter(est, conjuncts int) int {
@@ -183,10 +209,16 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 			}
 			err = planRow(out, "indexscan", sc.alias, e, detail)
 		case len(sp.filters) > 0:
+			detail := "pushdown: " + andString(sp.filters)
+			if fullyCompiled(sp.progs, len(sp.filters)) {
+				if pd := r.parallelDetail("scan", sc.rows); pd != "" {
+					detail += "; " + pd
+				}
+			}
 			e = estFilter(e, len(sp.filters))
-			err = planRow(out, "scan", sc.alias, e, "pushdown: "+andString(sp.filters))
+			err = planRow(out, "scan", sc.alias, e, detail)
 		default:
-			err = planRow(out, "scan", sc.alias, e, "")
+			err = planRow(out, "scan", sc.alias, e, r.parallelDetail("scan", sc.rows))
 		}
 		if err != nil {
 			return 0, err
@@ -236,8 +268,13 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 				if est < e {
 					build = "left"
 				}
+				// The executor probes with the larger side's rows.
+				detail := fmt.Sprintf("hash, %d key(s), build=%s", len(pairs), build)
+				if pd := r.parallelDetail("probe", max(est, e)); pd != "" {
+					detail += ", " + pd
+				}
 				est = max(est, e)
-				err = planRow(out, "join", sc.alias, est, fmt.Sprintf("hash, %d key(s), build=%s", len(pairs), build))
+				err = planRow(out, "join", sc.alias, est, detail)
 			}
 		default:
 			est = estFilter(est*e, 1)
@@ -253,9 +290,15 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 		}
 	}
 	if plan != nil && plan.residue != nil {
-		cs := splitAnd(plan.residue)
+		cs, progs := plan.residueConjuncts()
+		detail := andString(cs)
+		if fullyCompiled(progs, len(cs)) {
+			if pd := r.parallelDetail("filter", est); pd != "" {
+				detail += "; " + pd
+			}
+		}
 		est = estFilter(est, len(cs))
-		if err := planRow(out, "filter", "", est, andString(cs)); err != nil {
+		if err := planRow(out, "filter", "", est, detail); err != nil {
 			return 0, err
 		}
 	}

@@ -32,6 +32,10 @@ type srcPlan struct {
 	// filters are the remaining pushed conjuncts, evaluated over the
 	// (index-reduced) scan of this source.
 	filters []Expr
+	// progs holds the compiled form of each filter conjunct (same index);
+	// a nil slot means the compiler declined that conjunct and it is
+	// interpreted per row.
+	progs []Pred
 }
 
 // pristine reports whether the source is scanned whole, with no pushed
@@ -43,6 +47,24 @@ func (sp srcPlan) pristine() bool { return len(sp.eqCols) == 0 && len(sp.filters
 type branchPlan struct {
 	srcs    []srcPlan
 	residue Expr // post-join filter; nil when fully pushed
+	// resConj/resProgs are the residue's conjuncts split once at plan time
+	// and their compiled forms (nil slots interpreted), so execution never
+	// re-splits or re-lowers the post-join filter.
+	resConj  []Expr
+	resProgs []Pred
+}
+
+// residueConjuncts returns the post-join filter as conjuncts plus their
+// compiled forms; plans built through planBranch carry both precomputed,
+// while the defensive fallback plan (planAt) splits on demand.
+func (p *branchPlan) residueConjuncts() ([]Expr, []Pred) {
+	if p.resConj != nil {
+		return p.resConj, p.resProgs
+	}
+	if p.residue == nil {
+		return nil, nil
+	}
+	return splitAnd(p.residue), nil
 }
 
 // src returns the i-th source plan, or a zero plan when out of range
@@ -55,13 +77,26 @@ func (p *branchPlan) src(i int) srcPlan {
 }
 
 // planEntry is one plan-cache slot: the parsed statement plus the lazily
-// built branch plans, tagged with the schema epoch they were planned under.
+// built branch plans, tagged with the schema epoch they were planned
+// under. Plans are cached per NULL dialect (index 0 strict ANSI, 1 the
+// constraint dialect) because compiled predicates specialize comparisons
+// on the dialect at compile time; the invariant suite toggles
+// SetStrictNulls around every run, and two slots keep both variants warm
+// instead of rebuilding ~50 plans per toggle.
 type planEntry struct {
 	stmt Stmt
 
 	mu       sync.Mutex
-	epoch    uint64
-	branches []*branchPlan
+	epoch    [2]uint64
+	branches [2][]*branchPlan
+}
+
+// dialect indexes planEntry caches by the evaluator's NULL dialect.
+func dialect(nullEq bool) int {
+	if nullEq {
+		return 1
+	}
+	return 0
 }
 
 // branchPlans returns the entry's cached branch plans for s (the entry's
@@ -70,16 +105,17 @@ type planEntry struct {
 // either mode; entry.mu serializes concurrent readers planning the same
 // statement.
 func (e *planEntry) branchPlans(r *run, s *SelectStmt) ([]*branchPlan, error) {
+	d := dialect(r.ev.NullEq)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.branches != nil && e.epoch == r.epoch {
-		return e.branches, nil
+	if e.branches[d] != nil && e.epoch[d] == r.epoch {
+		return e.branches[d], nil
 	}
 	plans, err := r.buildBranchPlans(s)
 	if err != nil {
 		return nil, err
 	}
-	e.branches, e.epoch = plans, r.epoch
+	e.branches[d], e.epoch[d] = plans, r.epoch
 	return plans, nil
 }
 
@@ -163,17 +199,39 @@ func (r *run) planBranch(s *SelectStmt) (*branchPlan, error) {
 		sp.filters = append(sp.filters, c)
 	}
 	// Bind column references to row positions: pushed filters against their
-	// source's schema, the residue against the joined layout.
+	// source's schema, the residue against the joined layout. Fully bound
+	// conjuncts are additionally lowered to compiled predicates, the form
+	// the filter loop and the morsel-parallel scan evaluate.
 	for i := range plan.srcs {
 		sp := &plan.srcs[i]
 		for j, e := range sp.filters {
 			sp.filters[j] = bindExpr(e, sources[i])
 		}
+		sp.progs = compilePreds(&r.ev, sp.filters)
 	}
 	if plan.residue != nil {
 		plan.residue = bindExpr(plan.residue, joinedSchema(sources))
+		plan.resConj = splitAnd(plan.residue)
+		plan.resProgs = compilePreds(&r.ev, plan.resConj)
 	}
 	return plan, nil
+}
+
+// compilePreds lowers each bound conjunct through CompileBound. A conjunct
+// the compiler declines — an unresolved column reference, or an operator
+// outside the compilable subset — keeps a nil slot and is interpreted per
+// row, which preserves the unplanned path's error reporting exactly.
+func compilePreds(ev *Evaluator, conjuncts []Expr) []Pred {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	out := make([]Pred, len(conjuncts))
+	for i, c := range conjuncts {
+		if p, err := ev.CompileBound(c); err == nil {
+			out[i] = p
+		}
+	}
+	return out
 }
 
 // boundCol is a column reference resolved to a row position at plan time.

@@ -1,6 +1,10 @@
 package sqlmini
 
-import "time"
+import (
+	"time"
+
+	"coherdb/internal/pool"
+)
 
 // QueryStats describes the work one statement did: the paper's invariant
 // queries are claimed to be "fast enough to run on every revision", and
@@ -34,6 +38,14 @@ type QueryStats struct {
 	// PushdownHits counts WHERE conjuncts that were pushed below a join
 	// and applied while scanning a single base table.
 	PushdownHits int
+	// Morsels and Steals describe the statement's parallel phases: row
+	// batches dealt to the worker pool, and batches a worker claimed
+	// beyond its fair share (skewed work rebalanced by stealing). Both
+	// are zero for statements that ran entirely serially.
+	Morsels, Steals int
+	// WorkerBusy is each pool participant's busy time, one entry per
+	// participant per parallel phase (the phase's caller first).
+	WorkerBusy []time.Duration
 	// Elapsed is the statement's total evaluation time.
 	Elapsed time.Duration
 }
@@ -84,6 +96,15 @@ func (q *QueryStats) addPushdown(n int) {
 	}
 }
 
+func (q *QueryStats) addParallel(st pool.Stats) {
+	if q == nil || st.Morsels == 0 {
+		return
+	}
+	q.Morsels += st.Morsels
+	q.Steals += st.Steals
+	q.WorkerBusy = append(q.WorkerBusy, st.Busy...)
+}
+
 // DBStats aggregates QueryStats over the life of a DB.
 type DBStats struct {
 	// Statements counts every executed statement; Queries counts the
@@ -91,9 +112,11 @@ type DBStats struct {
 	Statements, Queries int64
 	// RowsScanned, RowsProduced, HashJoins, LoopJoins, IndexJoins,
 	// IndexScans and PushdownHits sum the per-statement numbers.
-	RowsScanned, RowsProduced                      int64
-	HashJoins, LoopJoins, IndexJoins, IndexScans   int64
-	PushdownHits                                   int64
+	RowsScanned, RowsProduced                    int64
+	HashJoins, LoopJoins, IndexJoins, IndexScans int64
+	PushdownHits                                 int64
+	// Morsels and Steals sum the per-statement parallel-phase numbers.
+	Morsels, Steals int64
 	// PlanCacheHits and PlanCacheMisses count text statements served
 	// from (resp. inserted into) the plan cache.
 	PlanCacheHits, PlanCacheMisses int64
@@ -115,6 +138,8 @@ func (s *DBStats) fold(q *QueryStats) {
 	s.IndexJoins += int64(q.IndexJoins)
 	s.IndexScans += int64(q.IndexScans)
 	s.PushdownHits += int64(q.PushdownHits)
+	s.Morsels += int64(q.Morsels)
+	s.Steals += int64(q.Steals)
 	switch q.PlanCache {
 	case "hit":
 		s.PlanCacheHits++

@@ -9,21 +9,29 @@
 #   BENCH_OUT=out.json scripts/bench.sh
 #
 # Before benchmarking, the script fails loudly (non-zero exit) if `go vet`
-# or the race-detector run of the parallel solver tests fails — compiled
-# constraint kernels are shared across solver workers, so a racy kernel
-# must never produce a green benchmark report.
+# or the race-detector runs fail: compiled constraint kernels are shared
+# across solver workers, and the morsel-parallel executor shares one pool
+# and plan cache across concurrent statements — a racy hot path must never
+# produce a green benchmark report.
 #
 # The default pattern covers the generation-sensitive benchmarks (the
 # compiled-kernel solver on table D and the Fig. 3 incremental sweep)
 # plus the planner-sensitive ones: the invariant suite (the paper's
 # every-revision workload), the substrate SELECT/JOIN microbenchmarks,
 # and the prepared-statement floor.
+#
+# After writing the summary, the script diffs it against the previous
+# revision's baseline (BENCH_BASELINE, default BENCH_3.json) and prints a
+# WARNING line for every benchmark whose ns/op regressed by more than 10%.
+# The warnings are advisory (the script still exits 0): some hosts are
+# noisy, and the acceptance gate reads the warnings, not the exit code.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
-OUT="${BENCH_OUT:-BENCH_3.json}"
+OUT="${BENCH_OUT:-BENCH_4.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -33,6 +41,10 @@ go vet ./...
 echo "== race-detector solver tests =="
 go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolveEqualsMonolithic|TestBatchCursor|TestCompiledPredConcurrentUse' \
     ./internal/constraint/ ./internal/sqlmini/
+
+echo "== race-detector parallel-executor tests =="
+go test -race -run 'TestParallelMatchesSerial|TestParallelMatchesSerialControllers|TestConcurrentParallelSelects|TestParallelWorkerStats|TestEach' \
+    ./internal/pool/ ./internal/sqlmini/
 
 echo "== benchmarks =="
 go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$RAW"
@@ -56,3 +68,34 @@ END { printf "[\n%s\n]\n", out }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
+    echo "== regression check vs $BASELINE (warn > 10% ns/op) =="
+    awk -v base="$BASELINE" '
+    function parse(file, tab,   line, name, ns) {
+        while ((getline line < file) > 0) {
+            if (line !~ /"name"/) continue
+            name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+            ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+            tab[name] = ns + 0
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(base, old)
+        parse(ARGV[1], new)
+        warned = 0
+        for (name in new) {
+            if (!(name in old) || old[name] <= 0) continue
+            ratio = new[name] / old[name]
+            if (ratio > 1.10) {
+                printf "WARNING: %s regressed %.1f%% (%.0f -> %.0f ns/op)\n",
+                    name, 100 * (ratio - 1), old[name], new[name]
+                warned = 1
+            }
+        }
+        if (!warned) print "no benchmark regressed more than 10% vs " base
+        exit 0
+    }
+    ' "$OUT"
+fi
