@@ -6,29 +6,29 @@ import (
 	"coherdb/internal/rel"
 )
 
-// valueArena hands out row slices carved from chunks, replacing the
-// per-candidate make+copy that dominated the solver's allocation profile.
-// Rows stay valid forever (chunks are never reused), so accepted rows can
-// be stored directly in the result table. Chunks grow geometrically from
-// arenaChunkMin to arenaChunkMax, so the many short-lived per-worker
-// arenas (one per worker per extension step) waste at most about as much
-// as they use, while a busy arena still reaches ~270 table-D rows per
-// allocation. Not safe for concurrent use: each solver worker owns its
-// own arena.
-type valueArena struct {
-	buf  []rel.Value
-	next int // next chunk size in values
+// codeArena hands out dictionary-code row slices carved from chunks,
+// replacing the per-candidate make+copy that dominated the solver's
+// allocation profile. Rows stay valid forever (chunks are never reused),
+// so accepted rows can be stored directly in the result table. Chunks
+// grow geometrically from arenaChunkMin to arenaChunkMax, so the many
+// short-lived per-worker arenas (one per worker per extension step) waste
+// at most about as much as they use. A code is 4 bytes where a rel.Value
+// is 40, so a chunk now covers 10x the rows it used to. Not safe for
+// concurrent use: each solver worker owns its own arena.
+type codeArena struct {
+	buf  []uint32
+	next int // next chunk size in codes
 }
 
-// Arena chunk sizing in values.
+// Arena chunk sizing in codes.
 const (
 	arenaChunkMin = 256
 	arenaChunkMax = 8192
 )
 
-// row returns a zeroed slice of n values with capacity exactly n, so an
+// row returns a zeroed slice of n codes with capacity exactly n, so an
 // accidental append can never clobber a neighbouring row.
-func (a *valueArena) row(n int) []rel.Value {
+func (a *codeArena) row(n int) []uint32 {
 	if len(a.buf) < n {
 		if a.next < arenaChunkMin {
 			a.next = arenaChunkMin
@@ -40,19 +40,19 @@ func (a *valueArena) row(n int) []rel.Value {
 		if a.next < arenaChunkMax {
 			a.next *= 2
 		}
-		a.buf = make([]rel.Value, size)
+		a.buf = make([]uint32, size)
 	}
 	r := a.buf[:n:n]
 	a.buf = a.buf[n:]
 	return r
 }
 
-// reserve makes the next n values carve from a single exactly-sized chunk
+// reserve makes the next n codes carve from a single exactly-sized chunk
 // when the current one is too small — for callers that know a batch's
 // total demand up front.
-func (a *valueArena) reserve(n int) {
+func (a *codeArena) reserve(n int) {
 	if len(a.buf) < n {
-		a.buf = make([]rel.Value, n)
+		a.buf = make([]uint32, n)
 	}
 }
 
@@ -77,19 +77,11 @@ func newGroupTable(hint int) *groupTable {
 	return &groupTable{slots: make([]int32, size), mask: uint64(size - 1)}
 }
 
-func hashBytes(b []byte) uint64 {
-	// FNV-1a.
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
-}
-
-// intern returns the dense group id for key, adding it if new.
+// intern returns the dense group id for key, adding it if new. Keys hash
+// with rel.HashBytes — the one canonical FNV-1a shared with the join
+// hash table, replacing the private copy that used to live here.
 func (t *groupTable) intern(key []byte) int32 {
-	h := hashBytes(key)
+	h := rel.HashBytes(key)
 	for i := h & t.mask; ; i = (i + 1) & t.mask {
 		s := t.slots[i]
 		if s == 0 {
@@ -116,7 +108,7 @@ func (t *groupTable) grow() {
 	slots := make([]int32, len(t.slots)*2)
 	mask := uint64(len(slots) - 1)
 	for g := range t.offs {
-		h := hashBytes(t.arena[t.offs[g]:t.ends[g]])
+		h := rel.HashBytes(t.arena[t.offs[g]:t.ends[g]])
 		i := h & mask
 		for slots[i] != 0 {
 			i = (i + 1) & mask

@@ -13,11 +13,12 @@ type extendStats struct {
 	memoHits uint64 // pairs decided from the projection memo
 }
 
-// extendCompiled extends every row in cur (width-1 values each) with every
-// value in domain, keeping extensions on which all fire predicates hold.
-// Output rows preserve input order: row i's surviving extensions precede
-// row i+1's, in domain order — the same order the sequential loop would
-// produce.
+// extendCompiled extends every row in cur (width-1 codes each) with every
+// code in domain, keeping extensions on which all fire predicates hold.
+// Rows are dictionary-code rows throughout — the solver never boxes a
+// rel.Value between the domain encoding and the final table. Output rows
+// preserve input order: row i's surviving extensions precede row i+1's,
+// in domain order — the same order the sequential loop would produce.
 //
 // The firing constraints only read the columns in refs (positions into the
 // extended row; the new column is position width-1). Their verdict for a
@@ -27,7 +28,7 @@ type extendStats struct {
 // evaluated once. The readex fragment has thousands of intermediate rows
 // but only dozens of distinct projections; work drops from
 // O(rows x domain) evaluations to O(groups x domain).
-func extendCompiled(cur [][]rel.Value, width int, domain []rel.Value, fire []compiledConstraint, refs []int, workers int) ([][]rel.Value, extendStats, error) {
+func extendCompiled(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, refs []int, workers int) ([][]uint32, extendStats, error) {
 	var st extendStats
 	if len(cur) == 0 || len(domain) == 0 {
 		return nil, st, nil
@@ -66,8 +67,8 @@ func extendCompiled(cur [][]rel.Value, width int, domain []rel.Value, fire []com
 		for i, row := range cur {
 			kb = kb[:0]
 			for _, p := range oldRefs {
-				kb = row[p].AppendKey(kb)
-				kb = append(kb, 0x1f)
+				// 4 bytes per code, no separators: fixed-width and injective.
+				kb = rel.AppendCodeKey(kb, row[p])
 			}
 			g := keys.intern(kb)
 			if int(g) == len(reps) {
@@ -97,7 +98,7 @@ func extendCompiled(cur [][]rel.Value, width int, domain []rel.Value, fire []com
 // over earlier columns are evaluated once and served from the instance
 // cache for the rest of the domain sweep — for the protocol's rule-chain
 // constraints that is every rule condition.
-func evalGroups(cur [][]rel.Value, width int, domain []rel.Value, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
+func evalGroups(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
 	dlen := len(domain)
 	cursor := newBatchCursor(uint64(len(reps)), workers)
 	nw := workers
@@ -110,7 +111,7 @@ func evalGroups(cur [][]rel.Value, width int, domain []rel.Value, fire []compile
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scratch := make([]rel.Value, width)
+			scratch := make([]uint32, width)
 			insts := make([]*sqlmini.Instance, len(fire))
 			for i, c := range fire {
 				insts[i] = c.prog.Instance()
@@ -126,11 +127,11 @@ func evalGroups(cur [][]rel.Value, width int, domain []rel.Value, fire []compile
 					for _, in := range insts {
 						in.NextRow()
 					}
-					for di, v := range domain {
-						scratch[width-1] = v
+					for di, c := range domain {
+						scratch[width-1] = c
 						pass := true
-						for i, c := range fire {
-							t, err := c.prog.Eval(insts[i], scratch)
+						for i, cc := range fire {
+							t, err := cc.prog.EvalCodes(insts[i], scratch)
 							if err != nil {
 								errs[w] = err
 								return
@@ -156,9 +157,9 @@ func evalGroups(cur [][]rel.Value, width int, domain []rel.Value, fire []compile
 }
 
 // emitExtensions materializes the surviving extensions from the verdict
-// table. Rows come from per-worker arenas (one chunk allocation per ~270
-// rows instead of one per row); batches reassemble in index order.
-func emitExtensions(cur [][]rel.Value, width int, domain []rel.Value, groupOf []int32, verdicts []bool, workers int) [][]rel.Value {
+// table. Rows come from per-worker arenas (one chunk allocation per ~2000
+// code rows instead of one per row); batches reassemble in index order.
+func emitExtensions(cur [][]uint32, width int, domain []uint32, groupOf []int32, verdicts []bool, workers int) [][]uint32 {
 	dlen := len(domain)
 	cursor := newBatchCursor(uint64(len(cur)), workers)
 	nb := cursor.numBatches()
@@ -166,13 +167,13 @@ func emitExtensions(cur [][]rel.Value, width int, domain []rel.Value, groupOf []
 	if nw > nb {
 		nw = nb
 	}
-	perBatch := make([][][]rel.Value, nb)
+	perBatch := make([][][]uint32, nb)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var arena valueArena
+			var arena codeArena
 			for {
 				idx, lo, hi, ok := cursor.grab()
 				if !ok {
@@ -193,7 +194,7 @@ func emitExtensions(cur [][]rel.Value, width int, domain []rel.Value, groupOf []
 					continue
 				}
 				arena.reserve(cnt * width)
-				out := make([][]rel.Value, 0, cnt)
+				out := make([][]uint32, 0, cnt)
 				for i := lo; i < hi; i++ {
 					row := cur[i]
 					base := int(groupOf[i]) * dlen
@@ -216,7 +217,7 @@ func emitExtensions(cur [][]rel.Value, width int, domain []rel.Value, groupOf []
 }
 
 // crossExtend is the unconstrained fast path: every extension survives.
-func crossExtend(cur [][]rel.Value, width int, domain []rel.Value, workers int) [][]rel.Value {
+func crossExtend(cur [][]uint32, width int, domain []uint32, workers int) [][]uint32 {
 	dlen := len(domain)
 	cursor := newBatchCursor(uint64(len(cur)), workers)
 	nb := cursor.numBatches()
@@ -224,26 +225,26 @@ func crossExtend(cur [][]rel.Value, width int, domain []rel.Value, workers int) 
 	if nw > nb {
 		nw = nb
 	}
-	perBatch := make([][][]rel.Value, nb)
+	perBatch := make([][][]uint32, nb)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var arena valueArena
+			var arena codeArena
 			for {
 				idx, lo, hi, ok := cursor.grab()
 				if !ok {
 					return
 				}
 				arena.reserve(int(hi-lo) * dlen * width)
-				out := make([][]rel.Value, 0, (hi-lo)*uint64(dlen))
+				out := make([][]uint32, 0, (hi-lo)*uint64(dlen))
 				for i := lo; i < hi; i++ {
 					row := cur[i]
-					for _, v := range domain {
+					for _, c := range domain {
 						nr := arena.row(width)
 						copy(nr, row)
-						nr[width-1] = v
+						nr[width-1] = c
 						out = append(out, nr)
 					}
 				}
@@ -256,7 +257,7 @@ func crossExtend(cur [][]rel.Value, width int, domain []rel.Value, workers int) 
 }
 
 // flattenBatches concatenates per-batch row slices in batch order.
-func flattenBatches(perBatch [][][]rel.Value) [][]rel.Value {
+func flattenBatches(perBatch [][][]uint32) [][]uint32 {
 	total := 0
 	for _, b := range perBatch {
 		total += len(b)
@@ -264,7 +265,7 @@ func flattenBatches(perBatch [][][]rel.Value) [][]rel.Value {
 	if total == 0 {
 		return nil
 	}
-	out := make([][]rel.Value, 0, total)
+	out := make([][]uint32, 0, total)
 	for _, b := range perBatch {
 		out = append(out, b...)
 	}

@@ -123,8 +123,10 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 
 	workers := opts.workers()
 
-	// cur holds the partial table's rows.
-	cur := [][]rel.Value{{}}
+	// cur holds the partial table's rows as dictionary-code rows; domains
+	// are interned once per step and the whole solve runs on uint32
+	// compares, emitting codes straight into the columnar result table.
+	cur := [][]uint32{{}}
 
 	for i, col := range spec.cols {
 		stats.Steps++
@@ -143,7 +145,7 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 			}
 		}
 
-		next, est, err := extendCompiled(cur, i+1, col.Domain(), fire, fireRefs, workers)
+		next, est, err := extendCompiled(cur, i+1, encodeDomain(col.Domain()), fire, fireRefs, workers)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -165,12 +167,23 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 			// Solve aborted early on inconsistency; no rows to emit.
 			break
 		}
-		if err := out.InsertRow(row); err != nil {
+		if err := out.AppendCodeRow(row); err != nil {
 			return nil, stats, err
 		}
 	}
 	stats.Rows = out.NumRows()
 	return out, stats, nil
+}
+
+// encodeDomain interns a column table into the shared dictionary once, so
+// the solve loop sweeps codes instead of values.
+func encodeDomain(vals []rel.Value) []uint32 {
+	d := rel.SharedDict()
+	out := make([]uint32, len(vals))
+	for i, v := range vals {
+		out[i] = d.Code(v)
+	}
+	return out
 }
 
 // Monolithic generates the controller table by enumerating the full cross
@@ -191,9 +204,9 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 		return nil, stats, fmt.Errorf("%w: %d > %d", ErrSpaceLimit, space, opts.limit())
 	}
 	names := spec.ColumnNames()
-	domains := make([][]rel.Value, len(spec.cols))
+	domains := make([][]uint32, len(spec.cols))
 	for i, c := range spec.cols {
-		domains[i] = c.Domain()
+		domains[i] = encodeDomain(c.Domain())
 	}
 	t0 := time.Now()
 	cc, err := spec.compiledConstraints()
@@ -216,7 +229,7 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 	if workers < 1 {
 		workers = 1
 	}
-	perBatch := make([][][]rel.Value, nb)
+	perBatch := make([][][]uint32, nb)
 	tested := make([]uint64, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -224,8 +237,8 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var arena valueArena
-			row := make([]rel.Value, len(names))
+			var arena codeArena
+			row := make([]uint32, len(names))
 			// Per-worker program instances. Monolithic enumeration changes
 			// many columns between candidates, so the sweep cache is
 			// invalidated before every evaluation.
@@ -238,7 +251,7 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 				if !ok {
 					return
 				}
-				var out [][]rel.Value
+				var out [][]uint32
 				for idx := lo; idx < hi; idx++ {
 					// Decode idx as a mixed-radix number over domains.
 					rem := idx
@@ -251,7 +264,7 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 					ok := true
 					for i, c := range cc {
 						insts[i].NextRow()
-						t, err := c.prog.Eval(insts[i], row)
+						t, err := c.prog.EvalCodes(insts[i], row)
 						if err != nil {
 							errs[w] = err
 							return
@@ -284,10 +297,8 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 	}
 	// Batches flatten in index order, so Monolithic and Solve results
 	// compare equal row for row.
-	for _, row := range flattenBatches(perBatch) {
-		if err := out.InsertRow(row); err != nil {
-			return nil, stats, err
-		}
+	if err := out.AppendCodes(flattenBatches(perBatch)); err != nil {
+		return nil, stats, err
 	}
 	stats.Rows = out.NumRows()
 	stats.Pruned = stats.Candidates - uint64(stats.Rows)

@@ -29,18 +29,29 @@ type implLookup struct {
 	inIdx   []int
 	outIdx  []int
 	tab     *rel.Table
+	// inCodes holds the input columns as zero-copy dictionary-code vectors
+	// so the ternary match is integer compares. byMsg stays keyed by
+	// Str() — S("") and NULL collide under it, and that looseness is part
+	// of the matcher's observed behaviour.
+	inCodes [][]uint32
 	byMsg   map[string][]int
 }
+
+// noCode marks an input value absent from the dictionary: no table cell
+// can equal it, so it never matches a non-dontcare cell.
+const noCode = ^uint32(0)
 
 func newImplLookup(t *rel.Table) (*implLookup, error) {
 	l := &implLookup{name: t.Name(), tab: t, byMsg: make(map[string][]int)}
 	l.inIdx = make([]int, len(edInputCols))
+	l.inCodes = make([][]uint32, len(edInputCols))
 	for i, c := range edInputCols {
 		j := t.ColIndex(c)
 		if j < 0 {
 			return nil, fmt.Errorf("hwmap: implementation table %q lacks input %q", t.Name(), c)
 		}
 		l.inIdx[i] = j
+		l.inCodes[i] = t.ColCodes(j)
 	}
 	l.outCols = t.Columns()[len(edInputCols):]
 	l.outIdx = make([]int, len(l.outCols))
@@ -50,12 +61,13 @@ func newImplLookup(t *rel.Table) (*implLookup, error) {
 	msgIdx := t.ColIndex("inmsg")
 	exact := map[string]int{}
 	for r := 0; r < t.NumRows(); r++ {
-		l.byMsg[t.RawRow(r)[msgIdx].Str()] = append(l.byMsg[t.RawRow(r)[msgIdx].Str()], r)
+		msg := t.At(r, msgIdx).Str()
+		l.byMsg[msg] = append(l.byMsg[msg], r)
 		key := t.RowKey(r, l.inIdx)
 		if prev, dup := exact[key]; dup {
 			same := true
 			for _, j := range l.outIdx {
-				if !t.RawRow(prev)[j].Equal(t.RawRow(r)[j]) {
+				if t.CodeAt(prev, j) != t.CodeAt(r, j) {
 					same = false
 					break
 				}
@@ -71,19 +83,29 @@ func newImplLookup(t *rel.Table) (*implLookup, error) {
 }
 
 // match finds the most specific row matching the inputs (NULL row cells are
-// dontcares) and returns its outputs.
+// dontcares) and returns its outputs. The inputs encode once through a
+// read-only dictionary probe; candidate rows then score with integer
+// compares against the column code vectors.
 func (l *implLookup) match(inputs map[string]rel.Value) ([]rel.Value, bool) {
+	d := l.tab.Dict()
+	bcodes := make([]uint32, len(l.inIdx))
+	for i := range l.inIdx {
+		if c, ok := d.LookupCode(inputs[edInputCols[i]]); ok {
+			bcodes[i] = c
+		} else {
+			bcodes[i] = noCode
+		}
+	}
 	best, bestScore := -1, -1
 	for _, r := range l.byMsg[inputs["inmsg"].Str()] {
-		row := l.tab.RawRow(r)
 		score := 0
 		ok := true
-		for i, j := range l.inIdx {
-			want := row[j]
-			if want.IsNull() {
+		for i := range l.inIdx {
+			want := l.inCodes[i][r]
+			if want == rel.NullCode {
 				continue
 			}
-			if !want.Equal(inputs[edInputCols[i]]) {
+			if want != bcodes[i] {
 				ok = false
 				break
 			}
@@ -98,7 +120,7 @@ func (l *implLookup) match(inputs map[string]rel.Value) ([]rel.Value, bool) {
 	}
 	outs := make([]rel.Value, len(l.outIdx))
 	for i, j := range l.outIdx {
-		outs[i] = l.tab.RawRow(best)[j]
+		outs[i] = l.tab.At(best, j)
 	}
 	return outs, true
 }

@@ -146,30 +146,14 @@ const sentinel = "\x00null"
 func sentinelize(t *rel.Table, cols []string) *rel.Table {
 	out := t.Clone()
 	for _, c := range cols {
-		j := out.ColIndex(c)
-		if j < 0 {
-			continue
-		}
-		for i := 0; i < out.NumRows(); i++ {
-			if out.RawRow(i)[j].IsNull() {
-				out.RawRow(i)[j] = rel.S(sentinel)
-			}
-		}
+		out.ReplaceInCol(c, rel.Null(), rel.S(sentinel))
 	}
 	return out
 }
 
 func desentinelize(t *rel.Table, cols []string) *rel.Table {
 	for _, c := range cols {
-		j := t.ColIndex(c)
-		if j < 0 {
-			continue
-		}
-		for i := 0; i < t.NumRows(); i++ {
-			if t.RawRow(i)[j].Equal(rel.S(sentinel)) {
-				t.RawRow(i)[j] = rel.Null()
-			}
-		}
+		t.ReplaceInCol(c, rel.S(sentinel), rel.Null())
 	}
 	return t
 }

@@ -64,9 +64,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, len(t.cols))
-	for _, r := range t.rows {
-		for i, v := range r {
-			rec[i] = encodeValue(v)
+	for i := 0; i < t.nrows; i++ {
+		for j, col := range t.data {
+			rec[j] = encodeValue(t.dict.Value(col[i]))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -99,14 +99,13 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("%w: CSV row has %d fields, want %d", ErrArity, len(rec), len(header))
 		}
-		row := make([]Value, len(rec))
-		for i, s := range rec {
+		for j, s := range rec {
 			v, err := decodeValue(s)
 			if err != nil {
 				return nil, err
 			}
-			row[i] = v
+			t.data[j] = append(t.data[j], t.dict.Code(v))
 		}
-		t.rows = append(t.rows, row)
+		t.nrows++
 	}
 }

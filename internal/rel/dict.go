@@ -1,0 +1,140 @@
+package rel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dict is an append-only dictionary interning Values as dense uint32 codes.
+// It is the heart of the columnar storage layout: every table cell is a
+// 4-byte code into a dictionary, so value equality anywhere in the stack —
+// scans, hash joins, the constraint solver's projection memo, DISTINCT —
+// is a single integer compare instead of a dynamic-typed Value compare or
+// a string hash.
+//
+// Code 0 is always NULL (NullCode), so a zeroed code vector is a valid
+// all-NULL column, mirroring how the zero Value is NULL.
+//
+// Encoding (Code) takes a lock and is meant for load time: building tables,
+// compiling literals into kernels, binding query parameters. Decoding
+// (Value) is lock-free and safe from any number of goroutines concurrently
+// with interning, which is what the hot paths do — the solver's workers and
+// the morsel executor only ever decode.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[Value]uint32
+
+	// Decode side: values live in fixed-size chunks that never move once
+	// allocated; only the chunk table is republished (atomically) when it
+	// grows. A reader holding a code c obtained through any synchronized
+	// channel (its own Code call, a table built before the reader started)
+	// is guaranteed chunk slot c was written before publication.
+	chunks atomic.Pointer[[]*dictChunk]
+	n      atomic.Uint32
+}
+
+const (
+	dictChunkBits = 12
+	dictChunkSize = 1 << dictChunkBits
+	dictChunkMask = dictChunkSize - 1
+)
+
+type dictChunk [dictChunkSize]Value
+
+// NullCode is the dictionary code of SQL NULL in every Dict.
+const NullCode uint32 = 0
+
+// NewDict returns an empty dictionary with NULL pre-interned as code 0.
+func NewDict() *Dict {
+	d := &Dict{codes: make(map[Value]uint32, 64)}
+	chunks := []*dictChunk{new(dictChunk)}
+	d.chunks.Store(&chunks)
+	d.codes[Value{}] = NullCode
+	d.n.Store(1)
+	return d
+}
+
+// shared is the process-wide dictionary used by every Table. A single
+// dictionary makes codes comparable across tables — joins, Difference,
+// ContainsAll and the solver all exploit this — and keeps the per-value
+// interning cost a one-time event per distinct symbol. Protocol tables
+// draw from a few hundred symbolic strings, so the shared dictionary
+// stays tiny.
+var shared = NewDict()
+
+// SharedDict returns the process-wide dictionary all tables encode into.
+func SharedDict() *Dict { return shared }
+
+// Code interns v and returns its code, assigning the next free code on
+// first sight. Safe for concurrent use.
+func (d *Dict) Code(v Value) uint32 {
+	d.mu.RLock()
+	c, ok := d.codes[v]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.codes[v]; ok {
+		return c
+	}
+	n := d.n.Load()
+	chunks := *d.chunks.Load()
+	ci := int(n >> dictChunkBits)
+	if ci == len(chunks) {
+		grown := make([]*dictChunk, len(chunks)+1)
+		copy(grown, chunks)
+		grown[ci] = new(dictChunk)
+		d.chunks.Store(&grown)
+		chunks = grown
+	}
+	chunks[ci][n&dictChunkMask] = v
+	d.codes[v] = n
+	d.n.Store(n + 1)
+	return n
+}
+
+// LookupCode returns the code of v if it has been interned. A miss means no
+// stored cell anywhere can equal v, which callers (index probes, IN sets)
+// use as an immediate "no match" without mutating the dictionary.
+func (d *Dict) LookupCode(v Value) (uint32, bool) {
+	d.mu.RLock()
+	c, ok := d.codes[v]
+	d.mu.RUnlock()
+	return c, ok
+}
+
+// Value decodes c. It is lock-free; see the type comment for the memory
+// model. Decoding a code never handed out by Code is undefined.
+func (d *Dict) Value(c uint32) Value {
+	chunks := *d.chunks.Load()
+	return chunks[c>>dictChunkBits][c&dictChunkMask]
+}
+
+// Len returns the number of interned values (including NULL).
+func (d *Dict) Len() int { return int(d.n.Load()) }
+
+// appendCodeKey appends the fixed-width little-endian encoding of c to dst.
+// Four bytes per code gives injective composite keys (under one dictionary)
+// with no separators — the encoding used by RowKey, indexes and hash joins.
+func appendCodeKey(dst []byte, c uint32) []byte {
+	return append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
+
+// AppendCodeKey appends the canonical fixed-width key encoding of code c to
+// dst, for building composite hash keys outside this package.
+func AppendCodeKey(dst []byte, c uint32) []byte { return appendCodeKey(dst, c) }
+
+// HashBytes is the canonical 64-bit FNV-1a used for hash keys throughout
+// the stack (join build, group interner); having one definition keeps the
+// byte-key layout and its hash from drifting apart across packages.
+func HashBytes(b []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,306 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randValue draws a value across every kind, biased toward the collisions
+// that matter: NULL, the empty string and zero share nothing but look alike
+// under Str().
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return S("")
+	case 2:
+		return S(fmt.Sprintf("sym%d", rng.Intn(40)))
+	case 3:
+		return I(int64(rng.Intn(40) - 20))
+	case 4:
+		return B(rng.Intn(2) == 0)
+	default:
+		return S(fmt.Sprintf("m_%c", 'a'+rng.Intn(26)))
+	}
+}
+
+func TestDictNullIsCodeZero(t *testing.T) {
+	d := NewDict()
+	if d.Len() != 1 {
+		t.Fatalf("fresh dict Len = %d, want 1 (NULL pre-interned)", d.Len())
+	}
+	if c := d.Code(Null()); c != NullCode {
+		t.Fatalf("Code(NULL) = %d, want %d", c, NullCode)
+	}
+	if v := d.Value(NullCode); !v.IsNull() {
+		t.Fatalf("Value(NullCode) = %v, want NULL", v)
+	}
+	// A zeroed code vector must therefore be a valid all-NULL column.
+	var zeroed [8]uint32
+	for _, c := range zeroed {
+		if !d.Value(c).IsNull() {
+			t.Fatal("zeroed code did not decode to NULL")
+		}
+	}
+}
+
+// TestDictRoundTripProperty is the encode→decode property over a large
+// random value stream: Value(Code(v)).Equal(v) always, codes are stable on
+// re-interning, and code equality coincides exactly with Value.Equal — the
+// injectivity the whole columnar stack leans on. It crosses several chunk
+// boundaries so the chunked decode side is exercised, not just chunk 0.
+func TestDictRoundTripProperty(t *testing.T) {
+	d := NewDict()
+	rng := rand.New(rand.NewSource(42))
+	seen := map[uint32]Value{}
+	// Distinct ints alone push the dictionary past 2 chunks (2^12 each).
+	for i := 0; i < 3*dictChunkSize; i++ {
+		var v Value
+		if i%2 == 0 {
+			v = I(int64(i)) // fresh: grows the dict across chunks
+		} else {
+			v = randValue(rng) // mostly repeats: exercises stability
+		}
+		c := d.Code(v)
+		if got := d.Value(c); !got.Equal(v) {
+			t.Fatalf("round trip: Value(Code(%v)) = %v", v, got)
+		}
+		if c2 := d.Code(v); c2 != c {
+			t.Fatalf("re-interning %v moved its code %d -> %d", v, c, c2)
+		}
+		if prev, dup := seen[c]; dup {
+			if !prev.Equal(v) {
+				t.Fatalf("code %d maps to both %v and %v", c, prev, v)
+			}
+		} else {
+			seen[c] = v
+		}
+	}
+	if d.Len() != len(seen) {
+		t.Fatalf("Len = %d, distinct codes handed out = %d", d.Len(), len(seen))
+	}
+}
+
+// FuzzDictRoundTrip fuzzes one (kind, payload) pair per input against a
+// fresh dictionary interleaved with decoys: round trip holds and the code
+// equals a decoy's code exactly when the values are Equal.
+func FuzzDictRoundTrip(f *testing.F) {
+	f.Add(uint8(0), "", int64(0), false)
+	f.Add(uint8(1), "GetS", int64(7), true)
+	f.Add(uint8(2), "", int64(-1), false)
+	f.Add(uint8(3), "x", int64(1), true)
+	f.Fuzz(func(t *testing.T, kind uint8, s string, i int64, b bool) {
+		var v Value
+		switch kind % 4 {
+		case 0:
+			v = Null()
+		case 1:
+			v = S(s)
+		case 2:
+			v = I(i)
+		case 3:
+			v = B(b)
+		}
+		d := NewDict()
+		decoys := []Value{Null(), S(""), S(s), I(0), I(i), B(b), B(!b)}
+		for _, dv := range decoys {
+			d.Code(dv)
+		}
+		c := d.Code(v)
+		if got := d.Value(c); !got.Equal(v) {
+			t.Fatalf("round trip: Value(Code(%v)) = %v", v, got)
+		}
+		for _, dv := range decoys {
+			if (d.Code(dv) == c) != dv.Equal(v) {
+				t.Fatalf("code equality of %v and %v disagrees with Equal", dv, v)
+			}
+		}
+	})
+}
+
+// TestDictNullBothDialects pins the division of labour behind NULL: the
+// dictionary gives NULL one code like any value (NULL == NULL at the
+// storage layer, which DISTINCT, UNION and row identity need in both
+// dialects), and the three-valued ANSI treatment is the kernels' job —
+// they special-case NullCode before comparing codes, the storage never
+// changes shape with the dialect.
+func TestDictNullBothDialects(t *testing.T) {
+	d := NewDict()
+	a, b := d.Code(Null()), d.Code(Null())
+	if a != b || a != NullCode {
+		t.Fatalf("NULL interned as %d and %d, want both %d", a, b, NullCode)
+	}
+	// Code equality must agree with Value.Equal for NULL (paper dialect's
+	// NULL = NULL is literally this integer compare).
+	if (a == b) != Null().Equal(Null()) {
+		t.Fatal("code equality disagrees with Equal for NULL")
+	}
+	// The ANSI dialect's NULL <> NULL is not the dictionary's concern: the
+	// kernel detects NullCode. The storage guarantee it relies on is that
+	// no other value ever receives code 0.
+	for _, v := range []Value{S(""), S("NULL"), I(0), B(false)} {
+		if c := d.Code(v); c == NullCode {
+			t.Fatalf("%v received NullCode", v)
+		}
+	}
+}
+
+// TestDictCodeVsStringEquivalence checks code comparison against the
+// string comparison it replaced: wherever two values are Equal their codes
+// match, and wherever Str() collides across kinds (NULL vs "", 1 vs "1",
+// true vs "true") the codes still distinguish them — code compare is
+// strictly more faithful than the Str() compare the TCAM matchers used
+// row-side before the columnar refactor.
+func TestDictCodeVsStringEquivalence(t *testing.T) {
+	d := NewDict()
+	vals := []Value{
+		Null(), S(""), S("NULL"),
+		I(1), S("1"), B(true), S("true"),
+		I(0), B(false), S("false"), S("GetS"), I(-3),
+	}
+	codes := make([]uint32, len(vals))
+	for i, v := range vals {
+		codes[i] = d.Code(v)
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if eq := codes[i] == codes[j]; eq != a.Equal(b) {
+				t.Errorf("codes(%v,%v): equal=%v, Equal=%v", a, b, eq, a.Equal(b))
+			}
+			if a.Str() == b.Str() && !a.Equal(b) && codes[i] == codes[j] {
+				t.Errorf("Str collision %v vs %v leaked into codes", a, b)
+			}
+		}
+	}
+}
+
+// TestDictLookupCodeIsReadOnly checks the probe contract: a miss reports
+// false without interning (index probes and IN-set probes depend on a miss
+// meaning "no stored cell can match"), and a hit returns the stable code.
+func TestDictLookupCodeIsReadOnly(t *testing.T) {
+	d := NewDict()
+	before := d.Len()
+	if _, ok := d.LookupCode(S("never-stored")); ok {
+		t.Fatal("LookupCode hit on a value never interned")
+	}
+	if d.Len() != before {
+		t.Fatal("LookupCode mutated the dictionary")
+	}
+	c := d.Code(S("stored"))
+	got, ok := d.LookupCode(S("stored"))
+	if !ok || got != c {
+		t.Fatalf("LookupCode(stored) = %d,%v; want %d,true", got, ok, c)
+	}
+}
+
+// TestDictConcurrentReadSafety hammers the lock-free decode path: writers
+// intern fresh values (forcing chunk-table republication) while readers
+// decode every code they have synchronized on and probe LookupCode. Run
+// under -race this checks the publication protocol, not just liveness.
+func TestDictConcurrentReadSafety(t *testing.T) {
+	d := NewDict()
+	const writers, readers, perWriter = 4, 4, 3000
+	var wg sync.WaitGroup
+	codesCh := make(chan []uint32, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			codes := make([]uint32, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				v := S(fmt.Sprintf("w%d_%d", w, i))
+				c := d.Code(v)
+				if got := d.Value(c); !got.Equal(v) {
+					t.Errorf("writer %d: Value(Code(%v)) = %v", w, v, got)
+					return
+				}
+				codes = append(codes, c)
+			}
+			codesCh <- codes
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < perWriter; i++ {
+				// Decode only codes we synchronized on ourselves.
+				v := I(int64(rng.Intn(64)))
+				c := d.Code(v)
+				if got := d.Value(c); !got.Equal(v) {
+					t.Errorf("reader %d: Value(Code(%v)) = %v", r, v, got)
+					return
+				}
+				d.LookupCode(S(fmt.Sprintf("w0_%d", i)))
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(codesCh)
+	// Every writer's codes decode to its values after the dust settles.
+	w := 0
+	for codes := range codesCh {
+		for _, c := range codes {
+			if d.Value(c).IsNull() {
+				t.Fatalf("writer batch %d: code %d decoded to NULL", w, c)
+			}
+		}
+		w++
+	}
+}
+
+// TestZeroCopyAccessorsDoNotAllocate audits the accessors the hot paths
+// switched to: ColumnsRef, ColCodes, CodeAt, At and RowKey-free probing
+// must not allocate per call, unlike the defensive-copy Columns they
+// replaced.
+func TestZeroCopyAccessorsDoNotAllocate(t *testing.T) {
+	tab := MustNewTable("z", "a", "b")
+	for i := 0; i < 64; i++ {
+		tab.MustInsert(I(int64(i%8)), S(fmt.Sprintf("v%d", i%4)))
+	}
+	check := func(name string, want float64, fn func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(100, fn); got > want {
+			t.Errorf("%s allocates %.1f per call, want <= %.0f", name, got, want)
+		}
+	}
+	var (
+		cols  []string
+		codes []uint32
+		code  uint32
+		val   Value
+	)
+	check("ColumnsRef", 0, func() { cols = tab.ColumnsRef() })
+	check("ColCodes", 0, func() { codes = tab.ColCodes(0) })
+	check("CodeAt", 0, func() { code = tab.CodeAt(3, 1) })
+	check("At", 0, func() { val = tab.At(3, 1) })
+	check("Dict.Value", 0, func() { val = tab.Dict().Value(tab.CodeAt(0, 0)) })
+	// The defensive copy is still one allocation — the reason hot callers
+	// moved off it.
+	check("Columns (copying)", 1, func() { cols = tab.Columns() })
+	_, _, _, _ = cols, codes, code, val
+}
+
+// BenchmarkColCodesScan measures a full-column equality sweep through the
+// zero-copy code vector; the B/op column is the audit that scans stay
+// allocation-free.
+func BenchmarkColCodesScan(b *testing.B) {
+	tab := benchTable(10000)
+	want := tab.Dict().Code(S("x"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		col := tab.ColCodes(0)
+		for _, c := range col {
+			if c == want {
+				n++
+			}
+		}
+	}
+	_ = n
+}

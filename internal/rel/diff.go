@@ -89,30 +89,35 @@ func DiffByKey(old, new *Table, key []string) (*Diff, error) {
 		Added:   MustNewTable(new.Name()+"+", new.Columns()...),
 		Removed: MustNewTable(old.Name()+"-", old.Columns()...),
 	}
-	rowsEqual := func(a, b []Value) bool {
-		for i := range a {
-			if !a[i].Equal(b[i]) {
+	rowsEqual := func(a *Table, i int, b *Table, j int) bool {
+		for c := range a.data {
+			if a.data[c][i] != b.data[c][j] {
 				return false
 			}
 		}
 		return true
 	}
+	var addIdx, remIdx []int
 	for i := 0; i < new.NumRows(); i++ {
 		k := new.RowKey(i, keyIdx)
 		j, ok := oldBy[k]
 		switch {
 		case !ok:
-			d.Added.rows = append(d.Added.rows, new.rows[i])
+			addIdx = append(addIdx, i)
 		case oldDup[k] || newDup[k]:
 			if _, have := oldFull[new.RowKey(i, nil)]; !have {
-				d.Added.rows = append(d.Added.rows, new.rows[i])
+				addIdx = append(addIdx, i)
 			}
-		case !rowsEqual(old.rows[j], new.rows[i]):
+		case !rowsEqual(old, j, new, i):
 			keyVals := make([]Value, len(keyIdx))
 			for n, kj := range keyIdx {
-				keyVals[n] = new.rows[i][kj]
+				keyVals[n] = new.At(i, kj)
 			}
-			d.Changed = append(d.Changed, ChangedRow{Key: keyVals, Old: old.rows[j], New: new.rows[i]})
+			d.Changed = append(d.Changed, ChangedRow{
+				Key: keyVals,
+				Old: append([]Value(nil), old.RawRow(j)...),
+				New: append([]Value(nil), new.RawRow(i)...),
+			})
 		}
 	}
 	for i := 0; i < old.NumRows(); i++ {
@@ -120,13 +125,15 @@ func DiffByKey(old, new *Table, key []string) (*Diff, error) {
 		_, ok := newBy[k]
 		switch {
 		case !ok:
-			d.Removed.rows = append(d.Removed.rows, old.rows[i])
+			remIdx = append(remIdx, i)
 		case oldDup[k] || newDup[k]:
 			if _, have := newFull[old.RowKey(i, nil)]; !have {
-				d.Removed.rows = append(d.Removed.rows, old.rows[i])
+				remIdx = append(remIdx, i)
 			}
 		}
 	}
+	d.Added.gatherFrom(new, addIdx)
+	d.Removed.gatherFrom(old, remIdx)
 	return d, nil
 }
 

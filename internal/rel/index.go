@@ -8,7 +8,9 @@ import "fmt"
 // index obtained from Table.IndexOn is persistent — the table maintains it
 // across inserts and drops it on any other mutation. The deadlock analyzer
 // and the sqlmini executor both rely on indexes to make equality lookups
-// and pairwise composition near-linear.
+// and pairwise composition near-linear. Keys are fixed-width dictionary
+// code sequences (4 bytes per column), so building and probing hash
+// integers rather than value strings.
 type Index struct {
 	t       *Table
 	cols    []string
@@ -37,9 +39,13 @@ func BuildIndex(t *Table, cols ...string) (*Index, error) {
 		idx[k] = j
 	}
 	ix := &Index{t: t, cols: append([]string(nil), cols...), colIdx: idx, buckets: make(map[string][]int)}
-	for i := range t.rows {
-		k := t.RowKey(i, idx)
-		ix.buckets[k] = append(ix.buckets[k], i)
+	kb := make([]byte, 0, 4*len(idx))
+	for i := 0; i < t.nrows; i++ {
+		kb = kb[:0]
+		for _, j := range idx {
+			kb = appendCodeKey(kb, t.data[j][i])
+		}
+		ix.buckets[string(kb)] = append(ix.buckets[string(kb)], i)
 	}
 	return ix, nil
 }
@@ -49,11 +55,34 @@ func (ix *Index) Columns() []string { return append([]string(nil), ix.cols...) }
 
 // Lookup returns the row numbers whose indexed columns equal vals, in
 // insertion order. The number of values must match the indexed column count.
+// A probe value absent from the dictionary cannot occur in any cell, so it
+// short-circuits to no match without interning.
 func (ix *Index) Lookup(vals ...Value) []int {
 	if len(vals) != len(ix.colIdx) {
 		return nil
 	}
-	return ix.buckets[keyOf(vals)]
+	kb := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		c, ok := ix.t.dict.LookupCode(v)
+		if !ok {
+			return nil
+		}
+		kb = appendCodeKey(kb, c)
+	}
+	return ix.buckets[string(kb)]
+}
+
+// LookupCodes is Lookup with the probe already dictionary-encoded; the
+// executor's index nested-loop join probes with frame codes directly.
+func (ix *Index) LookupCodes(codes ...uint32) []int {
+	if len(codes) != len(ix.colIdx) {
+		return nil
+	}
+	kb := make([]byte, 0, 4*len(codes))
+	for _, c := range codes {
+		kb = appendCodeKey(kb, c)
+	}
+	return ix.buckets[string(kb)]
 }
 
 // LookupRows returns Row accessors rather than indexes.
@@ -75,17 +104,4 @@ func (ix *Index) Distinct() int { return len(ix.buckets) }
 func (ix *Index) add(i int) {
 	k := ix.t.RowKey(i, ix.colIdx)
 	ix.buckets[k] = append(ix.buckets[k], i)
-}
-
-func keyOf(vals []Value) string {
-	n := 0
-	for _, v := range vals {
-		n += len(v.Key()) + 1
-	}
-	b := make([]byte, 0, n)
-	for _, v := range vals {
-		b = append(b, v.Key()...)
-		b = append(b, 0x1f)
-	}
-	return string(b)
 }

@@ -7,16 +7,19 @@ import (
 // Select returns a new table containing the rows for which pred is true.
 func (t *Table) Select(pred func(Row) bool) *Table {
 	out := MustNewTable(t.name, t.cols...)
-	for _, r := range t.rows {
-		if pred(Row{t: t, vals: r}) {
-			out.rows = append(out.rows, r)
+	kept := make([]int, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
+		if pred(Row{t: t, i: i}) {
+			kept = append(kept, i)
 		}
 	}
+	out.gatherFrom(t, kept)
 	return out
 }
 
 // Project returns a new table with only the given columns, in the given
 // order. Duplicate rows are retained (use Distinct for set semantics).
+// Projection is a column-vector copy — no per-row work at all.
 func (t *Table) Project(cols ...string) (*Table, error) {
 	idx := make([]int, len(cols))
 	for k, c := range cols {
@@ -30,14 +33,10 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.rows = make([][]Value, len(t.rows))
-	for i, r := range t.rows {
-		nr := make([]Value, len(idx))
-		for k, j := range idx {
-			nr[k] = r[j]
-		}
-		out.rows[i] = nr
+	for k, j := range idx {
+		out.data[k] = append([]uint32(nil), t.data[j][:t.nrows]...)
 	}
+	out.nrows = t.nrows
 	return out, nil
 }
 
@@ -45,15 +44,21 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 // first occurrence order.
 func (t *Table) Distinct() *Table {
 	out := MustNewTable(t.name, t.cols...)
-	seen := make(map[string]struct{}, len(t.rows))
-	for i, r := range t.rows {
-		k := t.RowKey(i, nil)
-		if _, dup := seen[k]; dup {
+	seen := make(map[string]struct{}, t.nrows)
+	kept := make([]int, 0, t.nrows)
+	var kb []byte
+	for i := 0; i < t.nrows; i++ {
+		kb = kb[:0]
+		for _, col := range t.data {
+			kb = appendCodeKey(kb, col[i])
+		}
+		if _, dup := seen[string(kb)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.rows = append(out.rows, r)
+		seen[string(kb)] = struct{}{}
+		kept = append(kept, i)
 	}
+	out.gatherFrom(t, kept)
 	return out
 }
 
@@ -64,9 +69,13 @@ func (t *Table) Union(o *Table) (*Table, error) {
 		return nil, err
 	}
 	out := MustNewTable(t.name, t.cols...)
-	out.rows = make([][]Value, 0, len(t.rows)+len(o.rows))
-	out.rows = append(out.rows, t.rows...)
-	out.rows = append(out.rows, o.rows...)
+	for j := range out.data {
+		col := make([]uint32, 0, t.nrows+o.nrows)
+		col = append(col, t.data[j][:t.nrows]...)
+		col = append(col, o.data[j][:o.nrows]...)
+		out.data[j] = col
+	}
+	out.nrows = t.nrows + o.nrows
 	return out, nil
 }
 
@@ -84,16 +93,15 @@ func (t *Table) Difference(o *Table) (*Table, error) {
 	if err := sameSchema(t, o); err != nil {
 		return nil, err
 	}
-	drop := make(map[string]struct{}, len(o.rows))
-	for i := range o.rows {
-		drop[o.RowKey(i, nil)] = struct{}{}
-	}
+	drop := o.fullRowKeySet()
 	out := MustNewTable(t.name, t.cols...)
-	for i, r := range t.rows {
+	kept := make([]int, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
 		if _, gone := drop[t.RowKey(i, nil)]; !gone {
-			out.rows = append(out.rows, r)
+			kept = append(kept, i)
 		}
 	}
+	out.gatherFrom(t, kept)
 	return out, nil
 }
 
@@ -102,17 +110,44 @@ func (t *Table) Intersect(o *Table) (*Table, error) {
 	if err := sameSchema(t, o); err != nil {
 		return nil, err
 	}
-	keep := make(map[string]struct{}, len(o.rows))
-	for i := range o.rows {
-		keep[o.RowKey(i, nil)] = struct{}{}
-	}
+	keep := o.fullRowKeySet()
 	out := MustNewTable(t.name, t.cols...)
-	for i, r := range t.rows {
+	kept := make([]int, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
 		if _, ok := keep[t.RowKey(i, nil)]; ok {
-			out.rows = append(out.rows, r)
+			kept = append(kept, i)
 		}
 	}
+	out.gatherFrom(t, kept)
 	return out, nil
+}
+
+// fullRowKeySet returns the set of whole-row keys. Codes come from the
+// shared dictionary, so the keys are comparable across tables.
+func (t *Table) fullRowKeySet() map[string]struct{} {
+	set := make(map[string]struct{}, t.nrows)
+	var kb []byte
+	for i := 0; i < t.nrows; i++ {
+		kb = kb[:0]
+		for _, col := range t.data {
+			kb = appendCodeKey(kb, col[i])
+		}
+		set[string(kb)] = struct{}{}
+	}
+	return set
+}
+
+// gatherFrom fills out with src's rows at the given indexes, using one
+// gather pass per column vector.
+func (out *Table) gatherFrom(src *Table, rows []int) {
+	for j, col := range src.data {
+		g := make([]uint32, len(rows))
+		for k, i := range rows {
+			g[k] = col[i]
+		}
+		out.data[j] = g
+	}
+	out.nrows = len(rows)
 }
 
 // Cross returns the cross product of t and o. Column names must not collide;
@@ -127,15 +162,25 @@ func (t *Table) Cross(o *Table) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.rows = make([][]Value, 0, len(t.rows)*len(o.rows))
-	for _, a := range t.rows {
-		for _, b := range o.rows {
-			nr := make([]Value, 0, len(cols))
-			nr = append(nr, a...)
-			nr = append(nr, b...)
-			out.rows = append(out.rows, nr)
+	n := t.nrows * o.nrows
+	for j, col := range t.data {
+		g := make([]uint32, 0, n)
+		for i := 0; i < t.nrows; i++ {
+			c := col[i]
+			for b := 0; b < o.nrows; b++ {
+				g = append(g, c)
+			}
 		}
+		out.data[j] = g
 	}
+	for j, col := range o.data {
+		g := make([]uint32, 0, n)
+		for i := 0; i < t.nrows; i++ {
+			g = append(g, col[:o.nrows]...)
+		}
+		out.data[len(t.cols)+j] = g
+	}
+	out.nrows = n
 	return out, nil
 }
 
@@ -152,12 +197,21 @@ func (t *Table) CrossFiltered(o *Table, keep func(row []Value) bool) (*Table, er
 		return nil, err
 	}
 	buf := make([]Value, len(cols))
-	for _, a := range t.rows {
-		copy(buf, a)
-		for _, b := range o.rows {
-			copy(buf[len(a):], b)
+	crow := make([]uint32, len(cols))
+	for a := 0; a < t.nrows; a++ {
+		for j, col := range t.data {
+			crow[j] = col[a]
+			buf[j] = t.dict.Value(col[a])
+		}
+		for b := 0; b < o.nrows; b++ {
+			for j, col := range o.data {
+				crow[len(t.cols)+j] = col[b]
+				buf[len(t.cols)+j] = o.dict.Value(col[b])
+			}
 			if keep(buf) {
-				out.rows = append(out.rows, append([]Value(nil), buf...))
+				if err := out.AppendCodeRow(crow); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -172,7 +226,9 @@ type JoinOn struct {
 
 // EquiJoin returns the inner equi-join of t and o on the given column pairs,
 // using a hash join on the right table. NULL keys never match (SQL
-// semantics). Column names must not collide across the two tables.
+// semantics). Column names must not collide across the two tables. Keys are
+// dictionary codes — four bytes per join column — and the probe compares
+// integers, never strings.
 func (t *Table) EquiJoin(o *Table, on []JoinOn) (*Table, error) {
 	if len(on) == 0 {
 		return t.Cross(o)
@@ -198,32 +254,53 @@ func (t *Table) EquiJoin(o *Table, on []JoinOn) (*Table, error) {
 		return nil, err
 	}
 	// Build hash on the right side.
-	buckets := make(map[string][]int, len(o.rows))
-	for i := range o.rows {
-		if rowHasNullAt(o.rows[i], ridx) {
+	buckets := make(map[string][]int, o.nrows)
+	var kb []byte
+	for i := 0; i < o.nrows; i++ {
+		if rowHasNullCode(o, i, ridx) {
 			continue
 		}
-		k := o.RowKey(i, ridx)
-		buckets[k] = append(buckets[k], i)
+		kb = kb[:0]
+		for _, j := range ridx {
+			kb = appendCodeKey(kb, o.data[j][i])
+		}
+		buckets[string(kb)] = append(buckets[string(kb)], i)
 	}
-	for i := range t.rows {
-		if rowHasNullAt(t.rows[i], lidx) {
+	var lrows, rrows []int
+	for i := 0; i < t.nrows; i++ {
+		if rowHasNullCode(t, i, lidx) {
 			continue
 		}
-		k := t.RowKey(i, lidx)
-		for _, j := range buckets[k] {
-			nr := make([]Value, 0, len(cols))
-			nr = append(nr, t.rows[i]...)
-			nr = append(nr, o.rows[j]...)
-			out.rows = append(out.rows, nr)
+		kb = kb[:0]
+		for _, j := range lidx {
+			kb = appendCodeKey(kb, t.data[j][i])
+		}
+		for _, j := range buckets[string(kb)] {
+			lrows = append(lrows, i)
+			rrows = append(rrows, j)
 		}
 	}
+	for j, col := range t.data {
+		g := make([]uint32, len(lrows))
+		for k, i := range lrows {
+			g[k] = col[i]
+		}
+		out.data[j] = g
+	}
+	for j, col := range o.data {
+		g := make([]uint32, len(rrows))
+		for k, i := range rrows {
+			g[k] = col[i]
+		}
+		out.data[len(t.cols)+j] = g
+	}
+	out.nrows = len(lrows)
 	return out, nil
 }
 
-func rowHasNullAt(row []Value, idx []int) bool {
+func rowHasNullCode(t *Table, i int, idx []int) bool {
 	for _, j := range idx {
-		if row[j].IsNull() {
+		if t.data[j][i] == NullCode {
 			return true
 		}
 	}
@@ -231,7 +308,8 @@ func rowHasNullAt(row []Value, idx []int) bool {
 }
 
 // Rename returns a copy of t with columns renamed according to mapping
-// old→new. Unmapped columns keep their names.
+// old→new. Unmapped columns keep their names. The copy shares t's column
+// vectors; such views must not be mutated.
 func (t *Table) Rename(mapping map[string]string) (*Table, error) {
 	cols := make([]string, len(t.cols))
 	for i, c := range t.cols {
@@ -245,19 +323,22 @@ func (t *Table) Rename(mapping map[string]string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.rows = t.rows
+	copy(out.data, t.data)
+	out.nrows = t.nrows
 	return out, nil
 }
 
 // Prefix returns a copy of t with every column name prefixed by p, a common
-// pre-step before Cross/EquiJoin to avoid collisions.
+// pre-step before Cross/EquiJoin to avoid collisions. The copy shares t's
+// column vectors; such views must not be mutated.
 func (t *Table) Prefix(p string) *Table {
 	cols := make([]string, len(t.cols))
 	for i, c := range t.cols {
 		cols[i] = p + c
 	}
 	out := MustNewTable(t.name, cols...)
-	out.rows = t.rows
+	copy(out.data, t.data)
+	out.nrows = t.nrows
 	return out
 }
 
@@ -269,11 +350,8 @@ func (t *Table) ContainsAll(o *Table) (bool, error) {
 	if err := sameSchema(t, o); err != nil {
 		return false, err
 	}
-	have := make(map[string]struct{}, len(t.rows))
-	for i := range t.rows {
-		have[t.RowKey(i, nil)] = struct{}{}
-	}
-	for i := range o.rows {
+	have := t.fullRowKeySet()
+	for i := 0; i < o.nrows; i++ {
 		if _, ok := have[o.RowKey(i, nil)]; !ok {
 			return false, nil
 		}

@@ -20,15 +20,15 @@ func (t *Table) Write(w io.Writer) error {
 	for i, c := range t.cols {
 		widths[i] = len(c)
 	}
-	for _, r := range t.rows {
-		for i, v := range r {
-			if n := len(v.String()); n > widths[i] {
-				widths[i] = n
+	for j, col := range t.data {
+		for i := 0; i < t.nrows; i++ {
+			if n := len(t.dict.Value(col[i]).String()); n > widths[j] {
+				widths[j] = n
 			}
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "-- %s (%d rows) --\n", t.name, len(t.rows))
+	fmt.Fprintf(&sb, "-- %s (%d rows) --\n", t.name, t.nrows)
 	for i, c := range t.cols {
 		if i > 0 {
 			sb.WriteString("  ")
@@ -43,12 +43,12 @@ func (t *Table) Write(w io.Writer) error {
 		sb.WriteString(strings.Repeat("-", widths[i]))
 	}
 	sb.WriteByte('\n')
-	for _, r := range t.rows {
-		for i, v := range r {
-			if i > 0 {
+	for i := 0; i < t.nrows; i++ {
+		for j, col := range t.data {
+			if j > 0 {
 				sb.WriteString("  ")
 			}
-			pad(&sb, v.String(), widths[i])
+			pad(&sb, t.dict.Value(col[i]).String(), widths[j])
 		}
 		sb.WriteByte('\n')
 	}

@@ -20,11 +20,26 @@ var (
 // multiset of rows. Operations that produce new relations never mutate their
 // receivers, matching relational-algebra semantics; Insert and Delete mutate
 // in place.
+//
+// Storage is columnar and dictionary-encoded: each column is a dense
+// []uint32 vector of codes into the shared dictionary (SharedDict), so a
+// cell costs 4 bytes instead of a 40-byte Value, a column scan is a
+// contiguous integer sweep, and equality is a single compare. The
+// historical row-oriented API (Row, RawRow, RawRows, Insert of Values)
+// remains as a façade: Value rows are materialized on demand and cached
+// until the next mutation. Hot consumers use the code-level API instead:
+// ColCodes, CodeRows, AppendCodeRow/AppendCodes, CodeAt/At.
 type Table struct {
 	name string
 	cols []string
 	pos  map[string]int
-	rows [][]Value
+	dict *Dict
+
+	// data holds one code vector per column; nrows is the row count (kept
+	// separately so zero-column tables can still hold rows, which the
+	// constraint solver's empty-spec path relies on).
+	data  [][]uint32
+	nrows int
 
 	// idxMu serializes lazy index construction by concurrent readers.
 	// Mutators do not take it: a table must not be mutated concurrently
@@ -32,12 +47,24 @@ type Table struct {
 	// and that same exclusion covers the index cache.
 	idxMu   sync.Mutex
 	indexes map[string]*Index
+
+	// rowMu guards the lazily materialized row-major views (concurrent
+	// readers may both trigger materialization). Mutators drop them.
+	rowMu    sync.Mutex
+	valRows  [][]Value
+	codeRows [][]uint32
 }
 
 // NewTable creates an empty table with the given column names.
 // Column names are case-sensitive and must be unique.
 func NewTable(name string, cols ...string) (*Table, error) {
-	t := &Table{name: name, cols: append([]string(nil), cols...), pos: make(map[string]int, len(cols))}
+	t := &Table{
+		name: name,
+		cols: append([]string(nil), cols...),
+		pos:  make(map[string]int, len(cols)),
+		dict: shared,
+		data: make([][]uint32, len(cols)),
+	}
 	for i, c := range cols {
 		if _, dup := t.pos[c]; dup {
 			return nil, fmt.Errorf("%w: %q in table %q", ErrDupColumn, c, name)
@@ -68,14 +95,19 @@ func (t *Table) SetName(name string) *Table {
 // Columns returns a copy of the column name list.
 func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
 
+// ColumnsRef returns the column name list without copying; callers must
+// treat it as read-only. Hot paths (schema probing, projection planning)
+// use it to avoid the defensive copy Columns makes.
+func (t *Table) ColumnsRef() []string { return t.cols }
+
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return len(t.cols) }
 
 // NumRows returns the number of rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return t.nrows }
 
 // Empty reports whether the table has no rows.
-func (t *Table) Empty() bool { return len(t.rows) == 0 }
+func (t *Table) Empty() bool { return t.nrows == 0 }
 
 // ColIndex returns the position of column name, or -1 if absent.
 func (t *Table) ColIndex(name string) int {
@@ -88,12 +120,31 @@ func (t *Table) ColIndex(name string) int {
 // HasColumn reports whether the table has a column with the given name.
 func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
 
+// Dict returns the dictionary this table's codes index into (the shared
+// process-wide dictionary, so codes are comparable across tables).
+func (t *Table) Dict() *Dict { return t.dict }
+
+// ColCodes returns column j's code vector without copying; callers must
+// treat it as read-only and must not retain it across mutations. This is
+// the zero-copy column view the vectorized layers scan.
+func (t *Table) ColCodes(j int) []uint32 { return t.data[j][:t.nrows] }
+
+// CodeAt returns the dictionary code at row i, column j.
+func (t *Table) CodeAt(i, j int) uint32 { return t.data[j][i] }
+
+// At returns the value at row i, column j (positional Get).
+func (t *Table) At(i, j int) Value { return t.dict.Value(t.data[j][i]) }
+
 // Insert appends a row. The number of values must equal the column count.
 func (t *Table) Insert(vals ...Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(vals), len(t.cols), t.name)
 	}
-	t.rows = append(t.rows, append([]Value(nil), vals...))
+	for j, v := range vals {
+		t.data[j] = append(t.data[j], t.dict.Code(v))
+	}
+	t.nrows++
+	t.dropRowCaches()
 	t.maintainInsert()
 	return nil
 }
@@ -105,29 +156,146 @@ func (t *Table) MustInsert(vals ...Value) {
 	}
 }
 
-// InsertRow appends an already-built row slice without copying. The caller
-// must not retain the slice. Used on hot paths (cross products, joins).
+// InsertRow appends an already-built row slice. The values are encoded into
+// the column vectors; the caller keeps ownership of the slice.
 func (t *Table) InsertRow(row []Value) error {
 	if len(row) != len(t.cols) {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(row), len(t.cols), t.name)
 	}
-	t.rows = append(t.rows, row)
+	for j, v := range row {
+		t.data[j] = append(t.data[j], t.dict.Code(v))
+	}
+	t.nrows++
+	t.dropRowCaches()
 	t.maintainInsert()
 	return nil
 }
 
+// AppendCodeRow appends one row of dictionary codes. The codes are copied
+// into the column vectors; the caller keeps ownership of the slice. This is
+// the hot-path insert: no Value boxing, no dictionary lookups.
+func (t *Table) AppendCodeRow(codes []uint32) error {
+	if len(codes) != len(t.cols) {
+		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(codes), len(t.cols), t.name)
+	}
+	for j, c := range codes {
+		t.data[j] = append(t.data[j], c)
+	}
+	t.nrows++
+	t.dropRowCaches()
+	t.maintainInsert()
+	return nil
+}
+
+// AppendCodes bulk-appends row-major code rows, scattering them into the
+// column vectors in one pass per column.
+func (t *Table) AppendCodes(rows [][]uint32) error {
+	for _, r := range rows {
+		if len(r) != len(t.cols) {
+			return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(r), len(t.cols), t.name)
+		}
+	}
+	for j := range t.data {
+		col := t.data[j]
+		if n := len(col) + len(rows); cap(col) < n {
+			grown := make([]uint32, len(col), n)
+			copy(grown, col)
+			col = grown
+		}
+		for _, r := range rows {
+			col = append(col, r[j])
+		}
+		t.data[j] = col
+	}
+	if t.indexes != nil {
+		base := t.nrows
+		t.nrows += len(rows)
+		for i := base; i < t.nrows; i++ {
+			for _, ix := range t.indexes {
+				ix.add(i)
+			}
+		}
+	} else {
+		t.nrows += len(rows)
+	}
+	t.dropRowCaches()
+	return nil
+}
+
 // Row returns an accessor for row i. It panics if i is out of range.
-func (t *Table) Row(i int) Row { return Row{t: t, vals: t.rows[i]} }
+func (t *Table) Row(i int) Row {
+	if i < 0 || i >= t.nrows {
+		panic(fmt.Sprintf("rel: row %d out of range in table %q (%d rows)", i, t.name, t.nrows))
+	}
+	return Row{t: t, i: i}
+}
 
-// RawRow returns the underlying value slice of row i; callers must not
-// modify it.
-func (t *Table) RawRow(i int) []Value { return t.rows[i] }
+// RawRow returns row i materialized as a value slice; callers must not
+// modify it. The materialized rows are cached until the next mutation.
+func (t *Table) RawRow(i int) []Value { return t.materializeValues()[i] }
 
-// RawRows returns the table's row storage without copying; callers must
+// RawRows returns all rows materialized as value slices; callers must
 // treat the slice and every row in it as read-only, and must not retain
-// it across mutations. Whole-table scans share it so a SELECT over a
-// large controller table costs no per-row copying.
-func (t *Table) RawRows() [][]Value { return t.rows }
+// it across mutations. This is the compatibility façade over the columnar
+// storage — hot paths scan CodeRows or ColCodes instead.
+func (t *Table) RawRows() [][]Value { return t.materializeValues() }
+
+// CodeRows returns a row-major view of the code storage: one []uint32 per
+// row, cached until the next mutation. Callers must treat it as read-only.
+// It bridges row-at-a-time consumers (the SQL executor's frames) to the
+// columnar layout at 4 bytes per cell.
+func (t *Table) CodeRows() [][]uint32 { return t.materializeCodes() }
+
+func (t *Table) materializeValues() [][]Value {
+	t.rowMu.Lock()
+	defer t.rowMu.Unlock()
+	if t.valRows != nil {
+		return t.valRows
+	}
+	w := len(t.cols)
+	rows := make([][]Value, t.nrows)
+	arena := make([]Value, t.nrows*w)
+	for i := range rows {
+		rows[i] = arena[i*w : (i+1)*w : (i+1)*w]
+	}
+	for j, col := range t.data {
+		for i := 0; i < t.nrows; i++ {
+			arena[i*w+j] = t.dict.Value(col[i])
+		}
+	}
+	t.valRows = rows
+	return rows
+}
+
+func (t *Table) materializeCodes() [][]uint32 {
+	t.rowMu.Lock()
+	defer t.rowMu.Unlock()
+	if t.codeRows != nil {
+		return t.codeRows
+	}
+	w := len(t.cols)
+	rows := make([][]uint32, t.nrows)
+	arena := make([]uint32, t.nrows*w)
+	for i := range rows {
+		rows[i] = arena[i*w : (i+1)*w : (i+1)*w]
+	}
+	for j, col := range t.data {
+		for i := 0; i < t.nrows; i++ {
+			arena[i*w+j] = col[i]
+		}
+	}
+	t.codeRows = rows
+	return rows
+}
+
+// dropRowCaches discards the materialized row-major views after a mutation.
+func (t *Table) dropRowCaches() {
+	if t.valRows != nil || t.codeRows != nil {
+		t.rowMu.Lock()
+		t.valRows, t.codeRows = nil, nil
+		t.rowMu.Unlock()
+	}
+}
 
 // Get returns the value at row i, column name. It returns NULL for an
 // unknown column, mirroring SQL's treatment of missing attributes in the
@@ -137,7 +305,7 @@ func (t *Table) Get(i int, name string) Value {
 	if j < 0 {
 		return Null()
 	}
-	return t.rows[i][j]
+	return t.dict.Value(t.data[j][i])
 }
 
 // Set assigns the value at row i, column name.
@@ -146,57 +314,113 @@ func (t *Table) Set(i int, name string, v Value) error {
 	if j < 0 {
 		return fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, name, t.name)
 	}
-	t.rows[i][j] = v
+	t.data[j][i] = t.dict.Code(v)
+	t.dropRowCaches()
 	t.invalidateIndexes()
 	return nil
+}
+
+// ReplaceInCol substitutes every occurrence of from with to in the named
+// column and returns the number of cells rewritten. It is a single sweep
+// over one code vector — the columnar replacement for mutating rows in
+// place (hwmap's NULL-sentinel materialization uses it). An unknown column
+// rewrites nothing.
+func (t *Table) ReplaceInCol(name string, from, to Value) int {
+	j := t.ColIndex(name)
+	if j < 0 {
+		return 0
+	}
+	fc, ok := t.dict.LookupCode(from)
+	if !ok {
+		return 0
+	}
+	col := t.data[j][:t.nrows]
+	n := 0
+	var tc uint32
+	for i, c := range col {
+		if c == fc {
+			if n == 0 {
+				tc = t.dict.Code(to)
+			}
+			col[i] = tc
+			n++
+		}
+	}
+	if n > 0 {
+		t.dropRowCaches()
+		t.invalidateIndexes()
+	}
+	return n
 }
 
 // DeleteWhere removes all rows for which pred returns true and returns the
 // number removed.
 func (t *Table) DeleteWhere(pred func(Row) bool) int {
-	kept := t.rows[:0]
-	removed := 0
-	for _, r := range t.rows {
-		if pred(Row{t: t, vals: r}) {
-			removed++
-		} else {
-			kept = append(kept, r)
+	kept := make([]int, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
+		if !pred(Row{t: t, i: i}) {
+			kept = append(kept, i)
 		}
 	}
-	t.rows = kept
-	if removed > 0 {
-		t.invalidateIndexes()
+	removed := t.nrows - len(kept)
+	if removed == 0 {
+		return 0
 	}
+	for j, col := range t.data {
+		for k, i := range kept {
+			col[k] = col[i]
+		}
+		t.data[j] = col[:len(kept)]
+	}
+	t.nrows = len(kept)
+	t.dropRowCaches()
+	t.invalidateIndexes()
 	return removed
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns a deep copy of the table. Copying code vectors is cheap —
+// 4 bytes per cell — so clones no longer dominate allocation profiles.
 func (t *Table) Clone() *Table {
 	c := MustNewTable(t.name, t.cols...)
-	c.rows = make([][]Value, len(t.rows))
-	for i, r := range t.rows {
-		c.rows[i] = append([]Value(nil), r...)
+	for j, col := range t.data {
+		c.data[j] = append([]uint32(nil), col[:t.nrows]...)
 	}
+	c.nrows = t.nrows
 	return c
 }
 
 // RowKey returns an injective string encoding of row i over the given column
-// positions (all columns if cols is nil), for hashing.
+// positions (all columns if cols is nil), for hashing. Under the shared
+// dictionary the key is the fixed-width code sequence: four bytes per
+// column, no separators, comparable across tables.
 func (t *Table) RowKey(i int, cols []int) string {
-	var sb strings.Builder
-	r := t.rows[i]
 	if cols == nil {
-		for _, v := range r {
-			sb.WriteString(v.Key())
-			sb.WriteByte(0x1f)
+		b := make([]byte, 0, 4*len(t.data))
+		for _, col := range t.data {
+			b = appendCodeKey(b, col[i])
 		}
-		return sb.String()
+		return string(b)
+	}
+	b := make([]byte, 0, 4*len(cols))
+	for _, j := range cols {
+		b = appendCodeKey(b, t.data[j][i])
+	}
+	return string(b)
+}
+
+// appendRowCodes appends row i's codes over the given column positions
+// (all columns if cols is nil) to dst.
+func (t *Table) appendRowCodes(dst []uint32, i int, cols []int) []uint32 {
+	if cols == nil {
+		for _, col := range t.data {
+			dst = append(dst, col[i])
+		}
+		return dst
 	}
 	for _, j := range cols {
-		sb.WriteString(r[j].Key())
-		sb.WriteByte(0x1f)
+		dst = append(dst, t.data[j][i])
 	}
-	return sb.String()
+	return dst
 }
 
 // SortBy sorts rows in place by the given columns ascending. Unknown columns
@@ -210,39 +434,56 @@ func (t *Table) SortBy(cols ...string) error {
 		}
 		idx[k] = j
 	}
-	t.invalidateIndexes()
-	sort.SliceStable(t.rows, func(a, b int) bool {
-		ra, rb := t.rows[a], t.rows[b]
-		for _, j := range idx {
-			if c := ra[j].Compare(rb[j]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
+	t.sortByIdx(idx)
 	return nil
 }
 
 // SortAll sorts rows in place by every column left to right, giving a
 // canonical order used by EqualRows.
 func (t *Table) SortAll() {
+	idx := make([]int, len(t.cols))
+	for j := range idx {
+		idx[j] = j
+	}
+	t.sortByIdx(idx)
+}
+
+// sortByIdx stable-sorts the rows by the given column positions via a
+// permutation, then gathers each column vector once.
+func (t *Table) sortByIdx(idx []int) {
 	t.invalidateIndexes()
-	sort.SliceStable(t.rows, func(a, b int) bool {
-		ra, rb := t.rows[a], t.rows[b]
-		for j := range ra {
-			if c := ra[j].Compare(rb[j]); c != 0 {
+	t.dropRowCaches()
+	perm := make([]int, t.nrows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := perm[a], perm[b]
+		for _, j := range idx {
+			ca, cb := t.data[j][ra], t.data[j][rb]
+			if ca == cb {
+				continue
+			}
+			if c := t.dict.Value(ca).Compare(t.dict.Value(cb)); c != 0 {
 				return c < 0
 			}
 		}
 		return false
 	})
+	for j, col := range t.data {
+		sorted := make([]uint32, t.nrows)
+		for k, i := range perm {
+			sorted[k] = col[i]
+		}
+		t.data[j] = sorted
+	}
 }
 
 // IndexOn returns a persistent hash index over the given columns, building
 // it on first use and caching it on the table. Cached indexes are
 // maintained incrementally on Insert/InsertRow and dropped wholesale on
 // Set, DeleteWhere, SortBy and SortAll, so a lookup never serves stale
-// rows. Tables produced by Rename or Prefix share their source's row
+// rows. Tables produced by Rename or Prefix share their source's column
 // storage but not its index cache; such views must not be mutated.
 // Concurrent IndexOn calls are safe; mutation requires the same external
 // exclusion the table already demands.
@@ -269,7 +510,7 @@ func (t *Table) maintainInsert() {
 	if t.indexes == nil {
 		return
 	}
-	i := len(t.rows) - 1
+	i := t.nrows - 1
 	for _, ix := range t.indexes {
 		ix.add(i)
 	}
@@ -285,8 +526,8 @@ func (t *Table) invalidateIndexes() {
 
 // Row is a lightweight accessor for one row of a table.
 type Row struct {
-	t    *Table
-	vals []Value
+	t *Table
+	i int
 }
 
 // Get returns the value in the named column, or NULL if the column is absent.
@@ -295,11 +536,11 @@ func (r Row) Get(name string) Value {
 	if j < 0 {
 		return Null()
 	}
-	return r.vals[j]
+	return r.t.dict.Value(r.t.data[j][r.i])
 }
 
-// Values returns the underlying value slice; callers must not modify it.
-func (r Row) Values() []Value { return r.vals }
+// Values returns the row's values; callers must not modify the slice.
+func (r Row) Values() []Value { return r.t.RawRow(r.i) }
 
 // Table returns the row's parent table.
 func (r Row) Table() *Table { return r.t }

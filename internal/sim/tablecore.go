@@ -15,13 +15,23 @@ type tableCore struct {
 	tab    *rel.Table
 	inCols []string
 	inIdx  []int
+	// inCodes holds the table's input columns as zero-copy dictionary-code
+	// vectors, so matching is pure uint32 compares against the pre-encoded
+	// binding.
+	inCodes [][]uint32
 	// index on the first input column (typically inmsg) to avoid scanning
-	// the whole table for every lookup.
+	// the whole table for every lookup. Keyed by Str(), not code: S("")
+	// and NULL collide under Str(), and that looseness is part of the
+	// matcher's observed behaviour.
 	byFirst map[string][]int
 	// hits, when set, is incremented on every successful match — wired to
 	// the owning System's Stats.Transitions.
 	hits *int
 }
+
+// noCode marks a binding value absent from the dictionary: no table cell
+// can equal it, so it never matches a non-dontcare cell.
+const noCode = ^uint32(0)
 
 func newTableCore(tab *rel.Table, inCols []string) (*tableCore, error) {
 	tc := &tableCore{tab: tab, inCols: inCols, byFirst: make(map[string][]int)}
@@ -31,10 +41,10 @@ func newTableCore(tab *rel.Table, inCols []string) (*tableCore, error) {
 			return nil, fmt.Errorf("sim: table %q lacks input column %q", tab.Name(), c)
 		}
 		tc.inIdx = append(tc.inIdx, j)
+		tc.inCodes = append(tc.inCodes, tab.ColCodes(j))
 	}
-	first := tc.inIdx[0]
 	for i := 0; i < tab.NumRows(); i++ {
-		k := tab.RawRow(i)[first].Str()
+		k := tab.At(i, tc.inIdx[0]).Str()
 		tc.byFirst[k] = append(tc.byFirst[k], i)
 	}
 	return tc, nil
@@ -42,22 +52,30 @@ func newTableCore(tab *rel.Table, inCols []string) (*tableCore, error) {
 
 // match finds the most specific row matching the binding. The binding maps
 // input column names to concrete values; a missing binding entry is treated
-// as NULL.
+// as NULL. The binding is encoded once (a read-only dictionary probe — a
+// value the dictionary has never seen cannot match any cell), then every
+// candidate row is scored with integer compares.
 func (tc *tableCore) match(binding map[string]rel.Value) (rel.Row, bool) {
-	firstVal := binding[tc.inCols[0]]
+	d := tc.tab.Dict()
+	bcodes := make([]uint32, len(tc.inCols))
+	for k, name := range tc.inCols {
+		if c, ok := d.LookupCode(binding[name]); ok {
+			bcodes[k] = c
+		} else {
+			bcodes[k] = noCode
+		}
+	}
 	best := -1
 	bestScore := -1
-	for _, i := range tc.byFirst[firstVal.Str()] {
-		row := tc.tab.RawRow(i)
+	for _, i := range tc.byFirst[binding[tc.inCols[0]].Str()] {
 		score := 0
 		ok := true
-		for k, j := range tc.inIdx {
-			want := row[j]
-			if want.IsNull() {
+		for k := range tc.inIdx {
+			want := tc.inCodes[k][i]
+			if want == rel.NullCode {
 				continue // dontcare
 			}
-			got := binding[tc.inCols[k]]
-			if !want.Equal(got) {
+			if want != bcodes[k] {
 				ok = false
 				break
 			}

@@ -22,9 +22,20 @@ import (
 //   - with a sweep column declared, subtrees that do not read it are
 //     cached per instance across the sweep (see CompileSweep).
 //
+// Compiled closures run over dictionary-code rows ([]uint32): equality,
+// IN membership and IS NULL specialize to integer compares against codes
+// interned at compile time, and only ordered comparisons and function
+// calls decode values. The Value-row entry points (Pred, Program.Eval)
+// remain as encoding wrappers over the code kernels.
+//
 // Compiled closures close over immutable compile-time state only; all
 // mutable evaluation state lives in per-worker Instances, so one Program
 // may be evaluated concurrently from many solver workers.
+
+// dict is the shared dictionary every rel.Table encodes into; compiled
+// kernels intern their literals through it at compile time and compare
+// codes at evaluation time.
+var dict = rel.SharedDict()
 
 // Pred is a compiled boolean constraint over a positional row: it reports
 // whether the expression is definitely true (WHERE semantics), exactly as
@@ -34,11 +45,20 @@ import (
 // concurrent use.
 type Pred func(row []rel.Value) (bool, error)
 
+// CodePred is Pred over a dictionary-code row — the form the executor's
+// filter loops evaluate, with no Value boxing on the hot path.
+type CodePred func(crow []uint32) (bool, error)
+
 // valFn is a compiled expression node producing a value.
-type valFn func(in *Instance, row []rel.Value) (rel.Value, error)
+type valFn func(in *Instance, crow []uint32) (rel.Value, error)
+
+// codeFn is a compiled expression node producing a dictionary code; only
+// literals and column references compile to one, which is exactly what
+// equality, IN and IS NULL need to stay in code space.
+type codeFn func(in *Instance, crow []uint32) (uint32, error)
 
 // triFn is a compiled condition node producing three-valued truth.
-type triFn func(in *Instance, row []rel.Value) (tri, error)
+type triFn func(in *Instance, crow []uint32) (tri, error)
 
 // Program is a compiled boolean expression. Programs hold no mutable
 // state; evaluation goes through an Instance, which carries the sweep
@@ -59,6 +79,7 @@ type Instance struct {
 	tris    []tri
 	valMemo []uint64 // stamp per val slot
 	vals    []rel.Value
+	crow    []uint32 // scratch for the Value-row Eval wrapper
 }
 
 // Instance creates fresh evaluation state for p.
@@ -76,10 +97,30 @@ func (p *Program) Instance() *Instance {
 // than the sweep column may have changed since the last Eval.
 func (in *Instance) NextRow() { in.gen++ }
 
-// Eval evaluates the program on row through this instance's cache,
-// reporting definite truth (WHERE semantics).
+// Eval evaluates the program on a Value row through this instance's cache,
+// reporting definite truth (WHERE semantics). It encodes the row and
+// defers to EvalCodes; hot paths hold code rows already and skip the
+// encoding.
 func (p *Program) Eval(in *Instance, row []rel.Value) (bool, error) {
-	t, err := p.root(in, row)
+	var crow []uint32
+	if in != nil {
+		if cap(in.crow) < len(row) {
+			in.crow = make([]uint32, len(row))
+		}
+		crow = in.crow[:len(row)]
+	} else {
+		crow = make([]uint32, len(row))
+	}
+	for i, v := range row {
+		crow[i] = dict.Code(v)
+	}
+	return p.EvalCodes(in, crow)
+}
+
+// EvalCodes evaluates the program on a dictionary-code row through this
+// instance's cache, reporting definite truth (WHERE semantics).
+func (p *Program) EvalCodes(in *Instance, crow []uint32) (bool, error) {
+	t, err := p.root(in, crow)
 	return t == triTrue, err
 }
 
@@ -114,24 +155,41 @@ var errUnboundCol = errors.New("sqlmini: expression not fully plan-bound")
 
 // CompileBound lowers a plan-bound expression — one whose column
 // references bindExpr already replaced with boundCol positions — into a
-// Pred over the frame's positional rows. It is the query executor's
+// Pred over the frame's positional rows. Any remaining bare Col (unknown
+// or ambiguous at plan time) aborts compilation with errUnboundCol.
+func (ev *Evaluator) CompileBound(e Expr) (Pred, error) {
+	cp, err := ev.CompileBoundCodes(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(row []rel.Value) (bool, error) {
+		crow := make([]uint32, len(row))
+		for i, v := range row {
+			crow[i] = dict.Code(v)
+		}
+		return cp(crow)
+	}, nil
+}
+
+// CompileBoundCodes is CompileBound over dictionary-code rows: the form
+// the executor's morsel filter loops and hash-join residues evaluate
+// directly against frame code rows. It is the query executor's
 // counterpart of the constraint solver's Compile: the planner binds once,
 // and the per-row filter loop then runs specialized closures instead of
-// walking the AST through an Env. Any remaining bare Col (unknown or
-// ambiguous at plan time) aborts compilation with errUnboundCol.
+// walking the AST through an Env.
 //
 // The NULL dialect and function registry are captured at compile time, so
 // compiled plans are cached per dialect (see planEntry) and invalidated
 // when a function is registered.
-func (ev *Evaluator) CompileBound(e Expr) (Pred, error) {
+func (ev *Evaluator) CompileBoundCodes(e Expr) (CodePred, error) {
 	c := &compiler{ev: ev, sweep: -1, bound: true}
 	root, _, err := c.bool(e)
 	if err != nil {
 		return nil, err
 	}
 	p := &Program{root: root}
-	return func(row []rel.Value) (bool, error) {
-		return p.Eval(nil, row)
+	return func(crow []uint32) (bool, error) {
+		return p.EvalCodes(nil, crow)
 	}, nil
 }
 
@@ -175,11 +233,11 @@ func (c *compiler) cacheTri(fn triFn, maxPos int) triFn {
 	}
 	slot := c.triSlots
 	c.triSlots++
-	return func(in *Instance, row []rel.Value) (tri, error) {
+	return func(in *Instance, crow []uint32) (tri, error) {
 		if in.triMemo[slot] == in.gen {
 			return in.tris[slot], nil
 		}
-		t, err := fn(in, row)
+		t, err := fn(in, crow)
 		if err != nil {
 			return t, err
 		}
@@ -196,11 +254,11 @@ func (c *compiler) cacheVal(fn valFn, maxPos int) valFn {
 	}
 	slot := c.valSlots
 	c.valSlots++
-	return func(in *Instance, row []rel.Value) (rel.Value, error) {
+	return func(in *Instance, crow []uint32) (rel.Value, error) {
 		if in.valMemo[slot] == in.gen {
 			return in.vals[slot], nil
 		}
-		v, err := fn(in, row)
+		v, err := fn(in, crow)
 		if err != nil {
 			return v, err
 		}
@@ -225,14 +283,14 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 	switch x := e.(type) {
 	case Lit:
 		t := triOf(x.Val)
-		return func(*Instance, []rel.Value) (tri, error) { return t, nil }, -1, nil
+		return func(*Instance, []uint32) (tri, error) { return t, nil }, -1, nil
 	case Unary:
 		inner, mp, err := c.bool(x.X)
 		if err != nil {
 			return nil, 0, err
 		}
-		return func(in *Instance, row []rel.Value) (tri, error) {
-			t, err := inner(in, row)
+		return func(in *Instance, crow []uint32) (tri, error) {
+			t, err := inner(in, crow)
 			return -t, err // NOT flips true/false, keeps unknown
 		}, mp, nil
 	case Binary:
@@ -248,30 +306,30 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 			}
 			mp := maxPos(lp, rp)
 			if x.Op == "AND" {
-				return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-					lt, err := l(in, row)
+				return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+					lt, err := l(in, crow)
 					if err != nil {
 						return triUnknown, err
 					}
 					if lt == triFalse {
 						return triFalse, nil
 					}
-					rt, err := r(in, row)
+					rt, err := r(in, crow)
 					if err != nil {
 						return triUnknown, err
 					}
 					return triMin(lt, rt), nil
 				}, mp), mp, nil
 			}
-			return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-				lt, err := l(in, row)
+			return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+				lt, err := l(in, crow)
 				if err != nil {
 					return triUnknown, err
 				}
 				if lt == triTrue {
 					return triTrue, nil
 				}
-				rt, err := r(in, row)
+				rt, err := r(in, crow)
 				if err != nil {
 					return triUnknown, err
 				}
@@ -283,13 +341,25 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 	case InList:
 		return c.in(x)
 	case IsNull:
+		if cf, mp, ok, err := c.code(x.X); err != nil {
+			return nil, 0, err
+		} else if ok {
+			neg := x.Negate
+			return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+				cv, err := cf(in, crow)
+				if err != nil {
+					return triUnknown, err
+				}
+				return triBool((cv == rel.NullCode) != neg), nil
+			}, mp), mp, nil
+		}
 		inner, mp, err := c.val(x.X)
 		if err != nil {
 			return nil, 0, err
 		}
 		neg := x.Negate
-		return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-			v, err := inner(in, row)
+		return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+			v, err := inner(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
@@ -311,16 +381,16 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 			return nil, 0, err
 		}
 		mp := maxPos(cp, maxPos(tp, ep))
-		return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-			t, err := cond(in, row)
+		return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+			t, err := cond(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
 			// Unknown behaves as false: the else branch (paper's ternary).
 			if t == triTrue {
-				return then(in, row)
+				return then(in, crow)
 			}
-			return els(in, row)
+			return els(in, crow)
 		}, mp), mp, nil
 	case Case:
 		conds := make([]triFn, len(x.Whens))
@@ -345,18 +415,18 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 			}
 			els, mp = fn, maxPos(mp, p)
 		}
-		return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
+		return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
 			for i, cond := range conds {
-				t, err := cond(in, row)
+				t, err := cond(in, crow)
 				if err != nil {
 					return triUnknown, err
 				}
 				if t == triTrue {
-					return vals[i](in, row)
+					return vals[i](in, crow)
 				}
 			}
 			if els != nil {
-				return els(in, row)
+				return els(in, crow)
 			}
 			return triUnknown, nil // CASE with no match yields NULL
 		}, mp), mp, nil
@@ -366,8 +436,8 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		return func(in *Instance, row []rel.Value) (tri, error) {
-			val, err := v(in, row)
+		return func(in *Instance, crow []uint32) (tri, error) {
+			val, err := v(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
@@ -376,47 +446,79 @@ func (c *compiler) bool(e Expr) (triFn, int, error) {
 	}
 }
 
-// col binds a column reference to its row position.
-func (c *compiler) col(name, rendered string) (valFn, int, error) {
-	idx, ok := c.ix[name]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownColumn, rendered)
-	}
-	return func(_ *Instance, row []rel.Value) (rel.Value, error) {
-		if idx >= len(row) {
-			return rel.Null(), fmt.Errorf("%w: %s (position %d beyond row of %d)", ErrUnknownColumn, rendered, idx, len(row))
-		}
-		return row[idx], nil
-	}, idx, nil
-}
-
-// val compiles e as a value producer, mirroring Evaluator.Eval.
-func (c *compiler) val(e Expr) (valFn, int, error) {
+// colPos resolves a column reference to its row position, honoring the
+// bound/unbound compilation mode. ok=false with a nil error means the
+// node is not a column reference at all.
+func (c *compiler) colPos(e Expr) (idx int, rendered string, ok bool, err error) {
 	switch x := e.(type) {
-	case Lit:
-		v := x.Val
-		return func(*Instance, []rel.Value) (rel.Value, error) { return v, nil }, -1, nil
 	case Col:
 		if c.bound {
 			// A bare Col surviving plan-time binding means the planner could
 			// not resolve it (unknown or ambiguous); the interpreted path
 			// owns that diagnosis.
-			return nil, 0, errUnboundCol
+			return 0, "", false, errUnboundCol
 		}
-		return c.col(x.Name, x.String())
+		idx, found := c.ix[x.Name]
+		if !found {
+			return 0, "", false, fmt.Errorf("%w: %s", ErrUnknownColumn, x.String())
+		}
+		return idx, x.String(), true, nil
 	case boundCol:
 		if c.bound {
-			idx, rendered := x.Idx, x.Col.String()
-			return func(_ *Instance, row []rel.Value) (rel.Value, error) {
-				if idx >= len(row) {
-					return rel.Null(), fmt.Errorf("%w: %s (position %d beyond row of %d)", ErrUnknownColumn, rendered, idx, len(row))
-				}
-				return row[idx], nil
-			}, idx, nil
+			return x.Idx, x.Col.String(), true, nil
 		}
 		// Positions bound against a table during query planning are stale
 		// here; rebind by name against the compile-time index.
-		return c.col(x.Name, x.Col.String())
+		idx, found := c.ix[x.Name]
+		if !found {
+			return 0, "", false, fmt.Errorf("%w: %s", ErrUnknownColumn, x.Col.String())
+		}
+		return idx, x.Col.String(), true, nil
+	}
+	return 0, "", false, nil
+}
+
+// code compiles e as a dictionary-code producer when possible: literals
+// intern at compile time, column references load crow[idx]. ok=false
+// means e needs full value evaluation (calls, ternaries, cases).
+func (c *compiler) code(e Expr) (codeFn, int, bool, error) {
+	if x, isLit := e.(Lit); isLit {
+		cc := dict.Code(x.Val)
+		return func(*Instance, []uint32) (uint32, error) { return cc, nil }, -1, true, nil
+	}
+	idx, rendered, ok, err := c.colPos(e)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	return func(_ *Instance, crow []uint32) (uint32, error) {
+		if idx >= len(crow) {
+			return rel.NullCode, fmt.Errorf("%w: %s (position %d beyond row of %d)", ErrUnknownColumn, rendered, idx, len(crow))
+		}
+		return crow[idx], nil
+	}, idx, true, nil
+}
+
+// val compiles e as a value producer, mirroring Evaluator.Eval. Column
+// loads decode their code through the shared dictionary.
+func (c *compiler) val(e Expr) (valFn, int, error) {
+	switch x := e.(type) {
+	case Lit:
+		v := x.Val
+		return func(*Instance, []uint32) (rel.Value, error) { return v, nil }, -1, nil
+	case Col, boundCol:
+		idx, rendered, ok, err := c.colPos(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: %v", ErrUnknownColumn, e)
+		}
+		return func(_ *Instance, crow []uint32) (rel.Value, error) {
+			if idx >= len(crow) {
+				return rel.Null(), fmt.Errorf("%w: %s (position %d beyond row of %d)", ErrUnknownColumn, rendered, idx, len(crow))
+			}
+			return dict.Value(crow[idx]), nil
+		}, idx, nil
 	case Call:
 		fn, ok := c.ev.Funcs[x.Name]
 		if !ok {
@@ -431,10 +533,10 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 			}
 			args[i], mp = afn, maxPos(mp, p)
 		}
-		return c.cacheVal(func(in *Instance, row []rel.Value) (rel.Value, error) {
+		return c.cacheVal(func(in *Instance, crow []uint32) (rel.Value, error) {
 			vals := make([]rel.Value, len(args))
 			for i, a := range args {
-				v, err := a(in, row)
+				v, err := a(in, crow)
 				if err != nil {
 					return rel.Null(), err
 				}
@@ -458,16 +560,16 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 			return nil, 0, err
 		}
 		mp := maxPos(cp, maxPos(tp, ep))
-		return c.cacheVal(func(in *Instance, row []rel.Value) (rel.Value, error) {
-			t, err := cond(in, row)
+		return c.cacheVal(func(in *Instance, crow []uint32) (rel.Value, error) {
+			t, err := cond(in, crow)
 			if err != nil {
 				return rel.Null(), err
 			}
 			// Unknown behaves as false: the else branch (paper's ternary).
 			if t == triTrue {
-				return then(in, row)
+				return then(in, crow)
 			}
-			return els(in, row)
+			return els(in, crow)
 		}, mp), mp, nil
 	case Case:
 		// As a value, CASE yields the first matching WHEN's value; no
@@ -495,18 +597,18 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 			}
 			els, mp = fn, maxPos(mp, p)
 		}
-		return c.cacheVal(func(in *Instance, row []rel.Value) (rel.Value, error) {
+		return c.cacheVal(func(in *Instance, crow []uint32) (rel.Value, error) {
 			for i, cond := range conds {
-				t, err := cond(in, row)
+				t, err := cond(in, crow)
 				if err != nil {
 					return rel.Null(), err
 				}
 				if t == triTrue {
-					return vals[i](in, row)
+					return vals[i](in, crow)
 				}
 			}
 			if els != nil {
-				return els(in, row)
+				return els(in, crow)
 			}
 			return rel.Null(), nil
 		}, mp), mp, nil
@@ -516,8 +618,8 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		return func(in *Instance, row []rel.Value) (rel.Value, error) {
-			t, err := b(in, row)
+		return func(in *Instance, crow []uint32) (rel.Value, error) {
+			t, err := b(in, crow)
 			if err != nil {
 				return rel.Null(), err
 			}
@@ -527,8 +629,41 @@ func (c *compiler) val(e Expr) (valFn, int, error) {
 }
 
 // compare specializes a comparison on its operator and the NULL dialect
-// at compile time.
+// at compile time. Equality over code-loadable operands (columns and
+// literals) is a pure integer compare: the shared dictionary is injective,
+// so equal codes ⇔ equal values, and code 0 is NULL in both dialects.
 func (c *compiler) compare(x Binary) (triFn, int, error) {
+	nullEq := c.ev.NullEq
+	switch x.Op {
+	case "=", "<>":
+		lc, lp, lok, err := c.code(x.L)
+		if err != nil {
+			return nil, 0, err
+		}
+		rc, rp, rok, err := c.code(x.R)
+		if err != nil {
+			return nil, 0, err
+		}
+		if lok && rok {
+			mp := maxPos(lp, rp)
+			want := x.Op == "="
+			fn := func(in *Instance, crow []uint32) (tri, error) {
+				la, err := lc(in, crow)
+				if err != nil {
+					return triUnknown, err
+				}
+				ra, err := rc(in, crow)
+				if err != nil {
+					return triUnknown, err
+				}
+				if !nullEq && (la == rel.NullCode || ra == rel.NullCode) {
+					return triUnknown, nil
+				}
+				return triBool((la == ra) == want), nil
+			}
+			return c.cacheTri(fn, mp), mp, nil
+		}
+	}
 	l, lp, err := c.val(x.L)
 	if err != nil {
 		return nil, 0, err
@@ -538,17 +673,16 @@ func (c *compiler) compare(x Binary) (triFn, int, error) {
 		return nil, 0, err
 	}
 	mp := maxPos(lp, rp)
-	nullEq := c.ev.NullEq
 	var fn triFn
 	switch x.Op {
 	case "=", "<>":
 		want := x.Op == "="
-		fn = func(in *Instance, row []rel.Value) (tri, error) {
-			lv, err := l(in, row)
+		fn = func(in *Instance, crow []uint32) (tri, error) {
+			lv, err := l(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
-			rv, err := r(in, row)
+			rv, err := r(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
@@ -559,12 +693,12 @@ func (c *compiler) compare(x Binary) (triFn, int, error) {
 		}
 	case "<", "<=", ">", ">=":
 		op := x.Op
-		fn = func(in *Instance, row []rel.Value) (tri, error) {
-			lv, err := l(in, row)
+		fn = func(in *Instance, crow []uint32) (tri, error) {
+			lv, err := l(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
-			rv, err := r(in, row)
+			rv, err := r(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
@@ -578,13 +712,10 @@ func (c *compiler) compare(x Binary) (triFn, int, error) {
 
 // in compiles membership tests. When every set element is a literal — the
 // overwhelmingly common shape after ResolveSymbols turns bare identifiers
-// into string literals — the set compiles to a hash set keyed by
-// Value.Key, turning the O(|set|) scan per candidate into one lookup.
+// into string literals — the set compiles to a hash set of dictionary
+// codes, turning the O(|set|) scan per candidate into one integer-keyed
+// lookup with no Value boxing.
 func (c *compiler) in(x InList) (triFn, int, error) {
-	inner, mp, err := c.val(x.X)
-	if err != nil {
-		return nil, 0, err
-	}
 	neg := x.Negate
 	nullEq := c.ev.NullEq
 
@@ -596,7 +727,7 @@ func (c *compiler) in(x InList) (triFn, int, error) {
 		}
 	}
 	if allLit {
-		keys := make(map[string]struct{}, len(x.Set))
+		codes := make(map[uint32]struct{}, len(x.Set))
 		hasNull := false
 		for _, s := range x.Set {
 			v := s.(Lit).Val
@@ -606,36 +737,75 @@ func (c *compiler) in(x InList) (triFn, int, error) {
 					continue // NULL elements never match in 3VL; they only taint
 				}
 			}
-			keys[v.Key()] = struct{}{}
+			codes[dict.Code(v)] = struct{}{}
 		}
 		empty := len(x.Set) == 0
-		return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-			v, err := inner(in, row)
+		if cf, mp, ok, err := c.code(x.X); err != nil {
+			return nil, 0, err
+		} else if ok {
+			return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+				cv, err := cf(in, crow)
+				if err != nil {
+					return triUnknown, err
+				}
+				var res tri
+				switch {
+				case nullEq:
+					// Constraint dialect: NULL is an ordinary value, the set
+					// lookup decides outright.
+					if _, ok := codes[cv]; ok {
+						res = triTrue
+					} else {
+						res = triFalse
+					}
+				case empty:
+					res = triFalse
+				case cv == rel.NullCode:
+					res = triUnknown // NULL compared to a non-empty set
+				default:
+					if _, ok := codes[cv]; ok {
+						res = triTrue
+					} else if hasNull {
+						res = triUnknown // no match, but a NULL element taints
+					} else {
+						res = triFalse
+					}
+				}
+				if neg {
+					res = -res
+				}
+				return res, nil
+			}, mp), mp, nil
+		}
+		// Computed operand (call, case): evaluate the value, then intern-
+		// free membership via a read-only dictionary probe.
+		inner, mp, err := c.val(x.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+			v, err := inner(in, crow)
 			if err != nil {
 				return triUnknown, err
+			}
+			inSet := false
+			if cv, known := dict.LookupCode(v); known {
+				_, inSet = codes[cv]
 			}
 			var res tri
 			switch {
 			case nullEq:
-				// Constraint dialect: NULL is an ordinary value, the set
-				// lookup decides outright.
-				if _, ok := keys[v.Key()]; ok {
-					res = triTrue
-				} else {
-					res = triFalse
-				}
+				res = triBool(inSet)
 			case empty:
 				res = triFalse
 			case v.IsNull():
-				res = triUnknown // NULL compared to a non-empty set
+				res = triUnknown
+			case inSet:
+				res = triTrue
+			case hasNull:
+				res = triUnknown
 			default:
-				if _, ok := keys[v.Key()]; ok {
-					res = triTrue
-				} else if hasNull {
-					res = triUnknown // no match, but a NULL element taints
-				} else {
-					res = triFalse
-				}
+				res = triFalse
 			}
 			if neg {
 				res = -res
@@ -646,6 +816,10 @@ func (c *compiler) in(x InList) (triFn, int, error) {
 
 	// General form: compiled element expressions, scanned with the same
 	// short-circuit as the interpreter.
+	inner, mp, err := c.val(x.X)
+	if err != nil {
+		return nil, 0, err
+	}
 	set := make([]valFn, len(x.Set))
 	for i, s := range x.Set {
 		fn, p, err := c.val(s)
@@ -654,14 +828,14 @@ func (c *compiler) in(x InList) (triFn, int, error) {
 		}
 		set[i], mp = fn, maxPos(mp, p)
 	}
-	return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-		v, err := inner(in, row)
+	return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+		v, err := inner(in, crow)
 		if err != nil {
 			return triUnknown, err
 		}
 		res := triFalse
 		for _, s := range set {
-			sv, err := s(in, row)
+			sv, err := s(in, crow)
 			if err != nil {
 				return triUnknown, err
 			}
@@ -694,16 +868,16 @@ func (c *compiler) between(x Between) (triFn, int, error) {
 	mp = maxPos(mp, p)
 	neg := x.Negate
 	nullEq := c.ev.NullEq
-	return c.cacheTri(func(in *Instance, row []rel.Value) (tri, error) {
-		v, err := inner(in, row)
+	return c.cacheTri(func(in *Instance, crow []uint32) (tri, error) {
+		v, err := inner(in, crow)
 		if err != nil {
 			return triUnknown, err
 		}
-		lv, err := lo(in, row)
+		lv, err := lo(in, crow)
 		if err != nil {
 			return triUnknown, err
 		}
-		hv, err := hi(in, row)
+		hv, err := hi(in, crow)
 		if err != nil {
 			return triUnknown, err
 		}

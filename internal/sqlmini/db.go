@@ -406,6 +406,8 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *
 		db.observe(qs)
 		if span != nil {
 			span.SetAttr(
+				obs.String("storage", "columnar"),
+				obs.Int("dict_size", rel.SharedDict().Len()),
 				obs.Int("rows_scanned", qs.RowsScanned),
 				obs.Int("rows_produced", qs.RowsProduced),
 				obs.Int("hash_joins", qs.HashJoins),

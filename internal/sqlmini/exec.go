@@ -3,17 +3,18 @@ package sqlmini
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"coherdb/internal/rel"
 )
 
 // frame is the working relation during SELECT execution: a list of columns,
-// each tagged with the alias of the table it came from, and the joined rows.
+// each tagged with the alias of the table it came from, and the joined rows
+// as dictionary-code rows — the same []uint32 layout the columnar store
+// holds, so scans, filters and joins never box values.
 type frame struct {
 	aliases []string
 	names   []string
-	rows    [][]rel.Value
+	rows    [][]uint32
 	// base is the backing table when the frame is an untransformed whole-
 	// table scan — the precondition for probing the table's persistent
 	// indexes with frame row positions. Any filter, join or index-reduced
@@ -29,10 +30,10 @@ type frame struct {
 func frameOf(t *rel.Table, alias string) *frame {
 	f := schemaFrame(t, alias)
 	f.base = t
-	// Zero-copy scan: the frame shares the table's row storage. Frames
+	// Zero-copy scan: the frame shares the table's code-row storage. Frames
 	// never mutate rows, and the statement holds the DB lock for its whole
 	// execution, so the storage cannot move underneath it.
-	f.rows = t.RawRows()
+	f.rows = t.CodeRows()
 	return f
 }
 
@@ -82,10 +83,10 @@ func (f *frame) cross(g *frame) *frame {
 		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
 		names:   append(append([]string(nil), f.names...), g.names...),
 	}
-	out.rows = make([][]rel.Value, 0, len(f.rows)*len(g.rows))
+	out.rows = make([][]uint32, 0, len(f.rows)*len(g.rows))
 	for _, a := range f.rows {
 		for _, b := range g.rows {
-			row := make([]rel.Value, 0, len(a)+len(b))
+			row := make([]uint32, 0, len(a)+len(b))
 			row = append(row, a...)
 			row = append(row, b...)
 			out.rows = append(out.rows, row)
@@ -94,10 +95,12 @@ func (f *frame) cross(g *frame) *frame {
 	return out
 }
 
-// frameEnv evaluates expressions against one row of a frame.
+// frameEnv evaluates expressions against one code row of a frame, decoding
+// through the shared dictionary on lookup — only the interpreted fallback
+// paths pay this; compiled predicates read the codes directly.
 type frameEnv struct {
 	f   *frame
-	row []rel.Value
+	row []uint32
 }
 
 func (e frameEnv) Lookup(q, name string) (rel.Value, bool) {
@@ -105,7 +108,7 @@ func (e frameEnv) Lookup(q, name string) (rel.Value, bool) {
 	if i < 0 {
 		return rel.Null(), false
 	}
-	return e.row[i], true
+	return dict.Value(e.row[i]), true
 }
 
 // At implements posEnv for plan-bound column references. An out-of-range
@@ -115,7 +118,7 @@ func (e frameEnv) At(i int) (rel.Value, bool) {
 	if i < 0 || i >= len(e.row) {
 		return rel.Null(), false
 	}
-	return e.row[i], true
+	return dict.Value(e.row[i]), true
 }
 
 func (r *run) execSelect(s *SelectStmt) (*rel.Table, error) {
@@ -185,7 +188,7 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 	// equality conjunct, with remaining pushed conjuncts filtered in place.
 	var f *frame
 	if len(s.From) == 0 {
-		f = &frame{rows: [][]rel.Value{{}}} // one empty row for FROM-less SELECT
+		f = &frame{rows: [][]uint32{{}}} // one empty row for FROM-less SELECT
 	}
 	si := 0
 	for _, ref := range s.From {
@@ -236,10 +239,10 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 		t.MustInsert(rel.I(int64(len(f.rows))))
 		return t, nil
 	}
-	// Projection list. Direct column references copy straight off the row;
-	// anything else evaluates through one reused Env. Output values are
-	// carved from a single arena allocation covering every row, which the
-	// result table then shares (InsertRow does not copy).
+	// Projection list. Direct column references copy their code straight
+	// off the row; anything else evaluates through one reused Env and the
+	// result is interned. Output codes are carved from a single arena
+	// allocation covering every row.
 	cols, exprs, err := projection(s.Items, f)
 	if err != nil {
 		return nil, err
@@ -253,11 +256,11 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 		}
 	}
 	type outRow struct {
-		vals []rel.Value
+		vals []uint32
 		keys []rel.Value
 	}
 	rows := make([]outRow, 0, len(f.rows))
-	arena := make([]rel.Value, len(f.rows)*width)
+	arena := make([]uint32, len(f.rows)*width)
 	var keyArena []rel.Value
 	if len(s.OrderBy) > 0 {
 		keyArena = make([]rel.Value, len(f.rows)*len(s.OrderBy))
@@ -275,7 +278,7 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 			if err != nil {
 				return nil, err
 			}
-			vals[i] = v
+			vals[i] = dict.Code(v)
 		}
 		var keys []rel.Value
 		if nk := len(s.OrderBy); nk > 0 {
@@ -326,7 +329,7 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 		return nil, err
 	}
 	for _, row := range rows {
-		if err := out.InsertRow(row.vals); err != nil {
+		if err := out.AppendCodeRow(row.vals); err != nil {
 			return nil, err
 		}
 	}
@@ -349,9 +352,10 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 			r.qs.addScanned(len(matched))
 			r.qs.addPushdown(len(sp.eqCols) + len(sp.filters))
 			f := schemaFrame(t, ref.Alias)
-			f.rows = make([][]rel.Value, len(matched))
+			crows := t.CodeRows()
+			f.rows = make([][]uint32, len(matched))
 			for i, ri := range matched {
-				f.rows[i] = t.RawRow(ri)
+				f.rows[i] = crows[ri]
 			}
 			if len(sp.filters) > 0 {
 				return r.filterFrame(f, sp.filters, sp.progs)
@@ -380,14 +384,16 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 // the bucket size for the select list and the HAVING filter.
 func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	type group struct {
-		rows [][]rel.Value
+		rows [][]uint32
 	}
 	var order []string
 	groups := map[string]*group{}
-	// Group keys: direct column references append straight off the row and
-	// everything else evaluates through one reused Env. The byte-buffer
-	// key costs a string allocation only the first time a group is seen
-	// (the map probe with string(buf) does not allocate).
+	// Group keys: 4 bytes per grouping expression — direct column
+	// references append their code straight off the row, everything else
+	// evaluates through one reused Env and interns its result. Codes are
+	// injective over values, so code-byte keys bucket exactly as value
+	// keys did; the string allocation happens only the first time a group
+	// is seen (the map probe with string(buf) does not allocate).
 	gidx := make([]int, len(s.GroupBy))
 	for i, ge := range s.GroupBy {
 		gidx[i] = -1
@@ -401,18 +407,17 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 		env.row = row
 		buf = buf[:0]
 		for i, ge := range s.GroupBy {
-			var v rel.Value
+			var c uint32
 			if j := gidx[i]; j >= 0 {
-				v = row[j]
+				c = row[j]
 			} else {
-				var err error
-				v, err = r.ev.Eval(ge, env)
+				v, err := r.ev.Eval(ge, env)
 				if err != nil {
 					return nil, err
 				}
+				c = dict.Code(v)
 			}
-			buf = append(buf, v.Key()...)
-			buf = append(buf, 0x1f)
+			buf = rel.AppendCodeKey(buf, c)
 		}
 		g, ok := groups[string(buf)]
 		if !ok {
@@ -431,7 +436,6 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ar valueArena
 	for _, key := range order {
 		g := groups[key]
 		genv := frameEnv{f: f, row: g.rows[0]}
@@ -448,7 +452,7 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 				continue
 			}
 		}
-		vals := ar.next(len(exprs))
+		vals := make([]rel.Value, len(exprs))
 		for i, e := range exprs {
 			re, err := r.rewriteAggs(e, f, g.rows)
 			if err != nil {
@@ -573,7 +577,7 @@ func containsAgg(e Expr) bool {
 // remaining expression evaluates against the group's representative row.
 // Aggregate-free expressions are returned as-is: rewriting them would
 // produce an identical copy per group.
-func (r *run) rewriteAggs(e Expr, f *frame, rows [][]rel.Value) (Expr, error) {
+func (r *run) rewriteAggs(e Expr, f *frame, rows [][]uint32) (Expr, error) {
 	if !containsAgg(e) {
 		return e, nil
 	}
@@ -723,11 +727,12 @@ func (e groupOutEnv) Lookup(q, name string) (rel.Value, bool) {
 	return rel.Null(), false
 }
 
-// orderEnv lets ORDER BY reference both source columns and output aliases.
+// orderEnv lets ORDER BY reference both source columns and output aliases
+// (the latter held as projected codes, decoded on lookup).
 type orderEnv struct {
 	frame frameEnv
 	cols  []string
-	vals  []rel.Value
+	vals  []uint32
 }
 
 func (e orderEnv) Lookup(q, name string) (rel.Value, bool) {
@@ -737,7 +742,7 @@ func (e orderEnv) Lookup(q, name string) (rel.Value, bool) {
 	if q == "" {
 		for i, c := range e.cols {
 			if c == name {
-				return e.vals[i], true
+				return dict.Value(e.vals[i]), true
 			}
 		}
 	}
@@ -830,7 +835,7 @@ func projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
 // When every conjunct compiled and the input spans at least two morsels,
 // the scan runs on the worker pool; kept rows merge in input order, so
 // the parallel result is byte-identical to the serial scan's.
-func (r *run) filterFrame(f *frame, conjuncts []Expr, progs []Pred) (*frame, error) {
+func (r *run) filterFrame(f *frame, conjuncts []Expr, progs []CodePred) (*frame, error) {
 	compiled := len(progs) == len(conjuncts)
 	if compiled {
 		for _, p := range progs {
@@ -1011,7 +1016,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		// Nested loop with ON filter; candidate rows carve from an arena
 		// and rejected candidates return their space.
 		r.qs.addLoopJoin()
-		var ar valueArena
+		var ar codeArena
 		env := &frameEnv{f: out}
 		for _, a := range f.rows {
 			for _, b := range g.rows {
@@ -1042,21 +1047,21 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		}
 		if ix, err := g.base.IndexOn(cols...); err == nil {
 			r.qs.addIndexJoin()
-			var ar valueArena
-			vals := make([]rel.Value, len(pairs))
+			var ar codeArena
+			codes := make([]uint32, len(pairs))
 			for _, a := range f.rows {
 				ok := true
 				for k, p := range pairs {
-					if a[p.li].IsNull() {
+					if a[p.li] == rel.NullCode {
 						ok = false // NULL keys never match
 						break
 					}
-					vals[k] = a[p.li]
+					codes[k] = a[p.li]
 				}
 				if !ok {
 					continue
 				}
-				for _, j := range ix.Lookup(vals...) {
+				for _, j := range ix.LookupCodes(codes...) {
 					out.rows = append(out.rows, ar.joinRow(a, g.rows[j]))
 				}
 			}
@@ -1073,20 +1078,20 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 			// Probe with g's rows, bucketing matches per f row so the
 			// output stays f-major.
 			matches := make([][]int, len(f.rows))
-			vals := make([]rel.Value, len(pairs))
+			codes := make([]uint32, len(pairs))
 			for j, b := range g.rows {
 				ok := true
 				for k, p := range pairs {
-					if b[p.ri].IsNull() {
+					if b[p.ri] == rel.NullCode {
 						ok = false
 						break
 					}
-					vals[k] = b[p.ri]
+					codes[k] = b[p.ri]
 				}
 				if !ok {
 					continue
 				}
-				for _, i := range ix.Lookup(vals...) {
+				for _, i := range ix.LookupCodes(codes...) {
 					matches[i] = append(matches[i], j)
 				}
 			}
@@ -1119,8 +1124,8 @@ func emitMatches(out *frame, f, g *frame, matches [][]int) {
 		return
 	}
 	width := len(f.names) + len(g.names)
-	flat := make([]rel.Value, total*width)
-	out.rows = make([][]rel.Value, 0, total)
+	flat := make([]uint32, total*width)
+	out.rows = make([][]uint32, 0, total)
 	k := 0
 	for i, a := range f.rows {
 		for _, j := range matches[i] {
@@ -1140,11 +1145,13 @@ func splitAnd(e Expr) []Expr {
 	return []Expr{e}
 }
 
-func rowKeyOf(vals []rel.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		sb.WriteString(v.Key())
-		sb.WriteByte(0x1f)
+// rowKeyOf encodes a code row as a fixed-width injective key: 4 bytes per
+// column, comparable across frames because every code comes from the one
+// shared dictionary.
+func rowKeyOf(vals []uint32) string {
+	buf := make([]byte, 0, len(vals)*4)
+	for _, c := range vals {
+		buf = rel.AppendCodeKey(buf, c)
 	}
-	return sb.String()
+	return string(buf)
 }

@@ -12,24 +12,28 @@ import (
 // Because batch k always covers rows [k*morsel, (k+1)*morsel), the merged
 // output is byte-identical to the serial scan regardless of worker count
 // or scheduling — the determinism guarantee the golden equivalence tests
-// pin down. Parallel phases evaluate only compiled predicates (Pred),
+// pin down. Parallel phases evaluate only compiled predicates (CodePred),
 // which are safe for concurrent use; the tree-walking interpreter touches
 // the frame's resolution memo and therefore always runs serially.
+//
+// All row traffic here is dictionary codes: join keys are 4 bytes per
+// column, partition selection hashes those bytes, and no rel.Value is
+// boxed anywhere on the parallel path.
 
-// valueArena carves row slices out of geometrically grown blocks, so
-// emitting joined or projected rows costs one allocation per block rather
-// than one per row. The zero value is ready to use; arenas are not safe
-// for concurrent use (parallel batches each carve from their own).
-type valueArena struct {
-	block []rel.Value
+// codeArena carves code rows out of geometrically grown blocks, so
+// emitting joined rows costs one allocation per block rather than one per
+// row. The zero value is ready to use; arenas are not safe for concurrent
+// use (parallel batches each carve from their own).
+type codeArena struct {
+	block []uint32
 	off   int
 }
 
 const arenaMinBlock = 2048
 
-// next carves an n-value row with capacity clamped to n, so appending to
+// next carves an n-code row with capacity clamped to n, so appending to
 // the returned slice can never bleed into the next row.
-func (a *valueArena) next(n int) []rel.Value {
+func (a *codeArena) next(n int) []uint32 {
 	if n == 0 {
 		return nil
 	}
@@ -41,7 +45,7 @@ func (a *valueArena) next(n int) []rel.Value {
 		if size < n {
 			size = n
 		}
-		a.block = make([]rel.Value, size)
+		a.block = make([]uint32, size)
 		a.off = 0
 	}
 	out := a.block[a.off : a.off+n : a.off+n]
@@ -51,21 +55,21 @@ func (a *valueArena) next(n int) []rel.Value {
 
 // undo returns the most recent next(n) carve to the arena, for callers
 // that build a candidate row and then discard it.
-func (a *valueArena) undo(n int) { a.off -= n }
+func (a *codeArena) undo(n int) { a.off -= n }
 
 // joinRow carves one row holding l followed by r.
-func (a *valueArena) joinRow(l, r []rel.Value) []rel.Value {
+func (a *codeArena) joinRow(l, r []uint32) []uint32 {
 	row := a.next(len(l) + len(r))
 	copy(row, l)
 	copy(row[len(l):], r)
 	return row
 }
 
-// evalPreds evaluates compiled conjuncts over one positional row with
-// WHERE short-circuiting: the first false or erroring conjunct decides.
-func evalPreds(progs []Pred, row []rel.Value) (bool, error) {
+// evalPreds evaluates compiled conjuncts over one code row with WHERE
+// short-circuiting: the first false or erroring conjunct decides.
+func evalPreds(progs []CodePred, crow []uint32) (bool, error) {
 	for _, p := range progs {
-		ok, err := p(row)
+		ok, err := p(crow)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -75,12 +79,12 @@ func evalPreds(progs []Pred, row []rel.Value) (bool, error) {
 
 // mergeParts concatenates per-morsel row buffers in batch order — the
 // stable merge that keeps parallel output identical to the serial scan.
-func mergeParts(parts [][][]rel.Value) [][]rel.Value {
+func mergeParts(parts [][][]uint32) [][]uint32 {
 	n := 0
 	for _, p := range parts {
 		n += len(p)
 	}
-	out := make([][]rel.Value, 0, n)
+	out := make([][]uint32, 0, n)
 	for _, p := range parts {
 		out = append(out, p...)
 	}
@@ -90,14 +94,14 @@ func mergeParts(parts [][][]rel.Value) [][]rel.Value {
 // parallelFilter runs the compiled filter over morsels of rows on the
 // pool. ran reports whether the parallel path was taken; when it is false
 // the caller falls back to the serial scan.
-func (r *run) parallelFilter(rows [][]rel.Value, progs []Pred) (kept [][]rel.Value, ran bool, err error) {
+func (r *run) parallelFilter(rows [][]uint32, progs []CodePred) (kept [][]uint32, ran bool, err error) {
 	p, workers, morsel := r.parallel(len(rows))
 	if p == nil {
 		return nil, false, nil
 	}
-	parts := make([][][]rel.Value, pool.Batches(len(rows), morsel))
+	parts := make([][][]uint32, pool.Batches(len(rows), morsel))
 	st, err := p.Each(workers, len(rows), morsel, func(batch, lo, hi int) error {
-		part := make([][]rel.Value, 0, hi-lo)
+		part := make([][]uint32, 0, hi-lo)
 		for _, row := range rows[lo:hi] {
 			keep, err := evalPreds(progs, row)
 			if err != nil {
@@ -137,34 +141,24 @@ func (h *hashTable) lookup(key []byte) *bucket {
 	if len(h.parts) == 1 {
 		return h.parts[0][string(key)]
 	}
-	return h.parts[fnv1a(key)%uint64(len(h.parts))][string(key)]
-}
-
-// fnv1a hashes a join key for partition selection (FNV-1a, 64-bit).
-func fnv1a(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return h
+	return h.parts[rel.HashBytes(key)%uint64(len(h.parts))][string(key)]
 }
 
 // appendRowKey appends the injective join-key encoding of the row's key
-// columns (the left or right half of each pair); ok is false when any key
-// column is NULL, which never matches.
-func appendRowKey(buf []byte, row []rel.Value, pairs []joinPair, left bool) ([]byte, bool) {
+// columns (the left or right half of each pair): 4 bytes per code, no
+// separators needed because codes are fixed width. ok is false when any
+// key column is NULL, which never matches.
+func appendRowKey(buf []byte, crow []uint32, pairs []joinPair, left bool) ([]byte, bool) {
 	for _, p := range pairs {
 		i := p.ri
 		if left {
 			i = p.li
 		}
-		v := row[i]
-		if v.IsNull() {
+		c := crow[i]
+		if c == rel.NullCode {
 			return buf, false
 		}
-		buf = append(buf, v.Key()...)
-		buf = append(buf, 0x1f)
+		buf = rel.AppendCodeKey(buf, c)
 	}
 	return buf, true
 }
@@ -174,7 +168,7 @@ func appendRowKey(buf []byte, row []rel.Value, pairs []joinPair, left bool) ([]b
 // staged into per-batch partition lists, then one worker per partition
 // assembles its map, walking the batches in order so every bucket's row
 // list matches a serial build's exactly.
-func (r *run) buildHashTable(rows [][]rel.Value, pairs []joinPair, left bool) *hashTable {
+func (r *run) buildHashTable(rows [][]uint32, pairs []joinPair, left bool) *hashTable {
 	p, workers, morsel := r.parallel(len(rows))
 	if p == nil {
 		m := make(map[string]*bucket, len(rows))
@@ -208,7 +202,7 @@ func (r *run) buildHashTable(rows [][]rel.Value, pairs []joinPair, left bool) *h
 			if !ok {
 				continue
 			}
-			pi := int(fnv1a(buf) % uint64(nparts))
+			pi := int(rel.HashBytes(buf) % uint64(nparts))
 			parts[pi] = append(parts[pi], keyed{idx: i, key: string(buf)})
 		}
 		staged[batch] = parts
@@ -241,7 +235,7 @@ func (r *run) probeEmit(out *frame, f, g *frame, pairs []joinPair, ht *hashTable
 	rows := f.rows
 	p, workers, morsel := r.parallel(len(rows))
 	if p == nil {
-		var ar valueArena
+		var ar codeArena
 		var buf []byte
 		for _, a := range rows {
 			b, ok := appendRowKey(buf[:0], a, pairs, true)
@@ -259,11 +253,11 @@ func (r *run) probeEmit(out *frame, f, g *frame, pairs []joinPair, ht *hashTable
 		}
 		return
 	}
-	parts := make([][][]rel.Value, pool.Batches(len(rows), morsel))
+	parts := make([][][]uint32, pool.Batches(len(rows), morsel))
 	st, _ := p.Each(workers, len(rows), morsel, func(batch, lo, hi int) error {
-		var ar valueArena
+		var ar codeArena
 		var buf []byte
-		var part [][]rel.Value
+		var part [][]uint32
 		for _, a := range rows[lo:hi] {
 			b, ok := appendRowKey(buf[:0], a, pairs, true)
 			buf = b
@@ -290,7 +284,7 @@ func (r *run) probeEmit(out *frame, f, g *frame, pairs []joinPair, ht *hashTable
 // matching it, in probe order — emitMatches then emits them f-major.
 // Parallel batches stage (build, probe) hit pairs and merge them in batch
 // order, reproducing the serial fill exactly.
-func (r *run) probeMatches(rows [][]rel.Value, pairs []joinPair, ht *hashTable, nBuild int) [][]int {
+func (r *run) probeMatches(rows [][]uint32, pairs []joinPair, ht *hashTable, nBuild int) [][]int {
 	matches := make([][]int, nBuild)
 	p, workers, morsel := r.parallel(len(rows))
 	if p == nil {

@@ -33,7 +33,7 @@ func (r *run) parallelDetail(kind string, n int) string {
 // fullyCompiled reports whether all n conjuncts lowered to compiled
 // predicates — the executor's other precondition for a parallel filter
 // (the tree-walking interpreter always runs serially).
-func fullyCompiled(progs []Pred, n int) bool {
+func fullyCompiled(progs []CodePred, n int) bool {
 	if n == 0 || len(progs) != n {
 		return false
 	}
@@ -86,6 +86,17 @@ func eqExprs(sp srcPlan) []Expr {
 		out[i] = Binary{Op: "=", L: Col{Name: c}, R: Lit{Val: sp.eqVals[i]}}
 	}
 	return out
+}
+
+// withStorage appends the storage-engine annotation to a leaf scan step's
+// detail: every table access reads dictionary-code column vectors, and the
+// plan says so the same way it reports parallelism.
+func withStorage(detail string) string {
+	const s = "storage=columnar"
+	if detail == "" {
+		return s
+	}
+	return detail + "; " + s
 }
 
 // indexScanDetail renders "index(col, ...) = (val, ...)".
@@ -196,7 +207,7 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 				// Mirrors the executor's fallback: the equalities run as
 				// ordinary pushed filters.
 				e = estFilter(e, len(sp.eqCols)+len(sp.filters))
-				err = planRow(out, "scan", sc.alias, e, "pushdown: "+andString(append(eqExprs(sp), sp.filters...)))
+				err = planRow(out, "scan", sc.alias, e, withStorage("pushdown: "+andString(append(eqExprs(sp), sp.filters...))))
 				break
 			}
 			if e > 0 {
@@ -207,7 +218,7 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 				e = estFilter(e, len(sp.filters))
 				detail += "; filter: " + andString(sp.filters)
 			}
-			err = planRow(out, "indexscan", sc.alias, e, detail)
+			err = planRow(out, "indexscan", sc.alias, e, withStorage(detail))
 		case len(sp.filters) > 0:
 			detail := "pushdown: " + andString(sp.filters)
 			if fullyCompiled(sp.progs, len(sp.filters)) {
@@ -216,9 +227,9 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 				}
 			}
 			e = estFilter(e, len(sp.filters))
-			err = planRow(out, "scan", sc.alias, e, detail)
+			err = planRow(out, "scan", sc.alias, e, withStorage(detail))
 		default:
-			err = planRow(out, "scan", sc.alias, e, r.parallelDetail("scan", sc.rows))
+			err = planRow(out, "scan", sc.alias, e, withStorage(r.parallelDetail("scan", sc.rows)))
 		}
 		if err != nil {
 			return 0, err

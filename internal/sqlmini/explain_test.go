@@ -49,8 +49,8 @@ func TestExplainHashJoinWithPushdown(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT D.inmsg FROM D JOIN V ON D.inmsg = V.m WHERE D.dirst = 'SI' AND V.d = 'home'`,
 		[]string{
-			`indexscan|D|1|index(dirst) = ('SI')`,
-			`indexscan|V|1|index(d) = ('home')`,
+			`indexscan|D|1|index(dirst) = ('SI'); storage=columnar`,
+			`indexscan|V|1|index(d) = ('home'); storage=columnar`,
 			`join|V|1|hash, 1 key(s), build=right`,
 		})
 }
@@ -62,8 +62,8 @@ func TestExplainIndexJoin(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg = V.m`,
 		[]string{
-			`scan|D|6|`,
-			`scan|V|5|`,
+			`scan|D|6|storage=columnar`,
+			`scan|V|5|storage=columnar`,
 			`join|V|7|index nested-loop via D(inmsg)`,
 		})
 }
@@ -73,8 +73,8 @@ func TestExplainNestedLoopJoin(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg <> V.m`,
 		[]string{
-			`scan|D|6|`,
-			`scan|V|5|`,
+			`scan|D|6|storage=columnar`,
+			`scan|V|5|storage=columnar`,
 			`join|V|10|nested-loop: (D.inmsg <> V.m)`,
 		})
 }
@@ -86,8 +86,8 @@ func TestExplainCrossWithResidue(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT * FROM D, V WHERE D.inmsg = V.m AND D.dirst = 'SI'`,
 		[]string{
-			`indexscan|D|1|index(dirst) = ('SI')`,
-			`scan|V|5|`,
+			`indexscan|D|1|index(dirst) = ('SI'); storage=columnar`,
+			`scan|V|5|storage=columnar`,
 			`cross|V|5|cross product`,
 			`filter||1|(D.inmsg = V.m)`,
 		})
@@ -99,7 +99,7 @@ func TestExplainSingleTableShape(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT DISTINCT inmsg FROM D WHERE dirst = 'SI' ORDER BY inmsg DESC LIMIT 1`,
 		[]string{
-			`indexscan|D|1|index(dirst) = ('SI')`,
+			`indexscan|D|1|index(dirst) = ('SI'); storage=columnar`,
 			`distinct||1|`,
 			`sort||1|1 key(s)`,
 			`limit||1|LIMIT 1`,
@@ -112,9 +112,9 @@ func TestExplainGroupAndUnion(t *testing.T) {
 		`EXPLAIN SELECT dirst, COUNT(*) FROM D GROUP BY dirst
 		 UNION ALL SELECT m, COUNT(*) FROM V GROUP BY m`,
 		[]string{
-			`scan|D|6|`,
+			`scan|D|6|storage=columnar`,
 			`group||1|1 key(s)`,
-			`scan|V|5|`,
+			`scan|V|5|storage=columnar`,
 			`group||1|1 key(s)`,
 			`union||2|ALL`,
 		})
@@ -125,7 +125,7 @@ func TestExplainAggregateWithoutGroup(t *testing.T) {
 	checkPlan(t, db,
 		`EXPLAIN SELECT COUNT(*) FROM D`,
 		[]string{
-			`scan|D|6|`,
+			`scan|D|6|storage=columnar`,
 			`aggregate||1|`,
 		})
 }

@@ -32,10 +32,10 @@ type srcPlan struct {
 	// filters are the remaining pushed conjuncts, evaluated over the
 	// (index-reduced) scan of this source.
 	filters []Expr
-	// progs holds the compiled form of each filter conjunct (same index);
-	// a nil slot means the compiler declined that conjunct and it is
-	// interpreted per row.
-	progs []Pred
+	// progs holds the compiled form of each filter conjunct (same index),
+	// evaluated directly over dictionary-code rows; a nil slot means the
+	// compiler declined that conjunct and it is interpreted per row.
+	progs []CodePred
 }
 
 // pristine reports whether the source is scanned whole, with no pushed
@@ -51,13 +51,13 @@ type branchPlan struct {
 	// and their compiled forms (nil slots interpreted), so execution never
 	// re-splits or re-lowers the post-join filter.
 	resConj  []Expr
-	resProgs []Pred
+	resProgs []CodePred
 }
 
 // residueConjuncts returns the post-join filter as conjuncts plus their
 // compiled forms; plans built through planBranch carry both precomputed,
 // while the defensive fallback plan (planAt) splits on demand.
-func (p *branchPlan) residueConjuncts() ([]Expr, []Pred) {
+func (p *branchPlan) residueConjuncts() ([]Expr, []CodePred) {
 	if p.resConj != nil {
 		return p.resConj, p.resProgs
 	}
@@ -217,17 +217,18 @@ func (r *run) planBranch(s *SelectStmt) (*branchPlan, error) {
 	return plan, nil
 }
 
-// compilePreds lowers each bound conjunct through CompileBound. A conjunct
-// the compiler declines — an unresolved column reference, or an operator
-// outside the compilable subset — keeps a nil slot and is interpreted per
-// row, which preserves the unplanned path's error reporting exactly.
-func compilePreds(ev *Evaluator, conjuncts []Expr) []Pred {
+// compilePreds lowers each bound conjunct through CompileBoundCodes. A
+// conjunct the compiler declines — an unresolved column reference, or an
+// operator outside the compilable subset — keeps a nil slot and is
+// interpreted per row, which preserves the unplanned path's error
+// reporting exactly.
+func compilePreds(ev *Evaluator, conjuncts []Expr) []CodePred {
 	if len(conjuncts) == 0 {
 		return nil
 	}
-	out := make([]Pred, len(conjuncts))
+	out := make([]CodePred, len(conjuncts))
 	for i, c := range conjuncts {
-		if p, err := ev.CompileBound(c); err == nil {
+		if p, err := ev.CompileBoundCodes(c); err == nil {
 			out[i] = p
 		}
 	}

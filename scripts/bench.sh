@@ -1,7 +1,7 @@
 #!/bin/sh
 # bench.sh — gate the solver/SQL hot paths, then run the benchmarks with
-# -benchmem and emit a compact JSON summary (name, ns/op, allocs/op) for
-# revision-over-revision diffing.
+# -benchmem and emit a compact JSON summary (name, ns/op, B/op, allocs/op)
+# for revision-over-revision diffing.
 #
 # Usage:
 #   scripts/bench.sh                 # default pattern and output file
@@ -10,9 +10,10 @@
 #
 # Before benchmarking, the script fails loudly (non-zero exit) if `go vet`
 # or the race-detector runs fail: compiled constraint kernels are shared
-# across solver workers, and the morsel-parallel executor shares one pool
-# and plan cache across concurrent statements — a racy hot path must never
-# produce a green benchmark report.
+# across solver workers, the morsel-parallel executor shares one pool and
+# plan cache across concurrent statements, and every table now encodes
+# into one process-wide dictionary whose decode side is lock-free — a racy
+# hot path must never produce a green benchmark report.
 #
 # The default pattern covers the generation-sensitive benchmarks (the
 # compiled-kernel solver on table D and the Fig. 3 incremental sweep)
@@ -21,22 +22,26 @@
 # and the prepared-statement floor.
 #
 # After writing the summary, the script diffs it against the previous
-# revision's baseline (BENCH_BASELINE, default BENCH_3.json) and prints a
-# WARNING line for every benchmark whose ns/op regressed by more than 10%.
-# The warnings are advisory (the script still exits 0): some hosts are
-# noisy, and the acceptance gate reads the warnings, not the exit code.
+# revision's baseline (BENCH_BASELINE, default BENCH_4.json) and prints a
+# WARNING line for every benchmark whose ns/op or B/op regressed by more
+# than 10%. The warnings are advisory (the script still exits 0): some
+# hosts are noisy, and the acceptance gate reads the warnings, not the
+# exit code.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
-OUT="${BENCH_OUT:-BENCH_4.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_3.json}"
+OUT="${BENCH_OUT:-BENCH_5.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_4.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go vet ./... =="
 go vet ./...
+
+echo "== race-detector storage-engine tests =="
+go test -race ./internal/rel/...
 
 echo "== race-detector solver tests =="
 go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolveEqualsMonolithic|TestBatchCursor|TestCompiledPredConcurrentUse' \
@@ -55,14 +60,16 @@ awk '
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
     if (out != "") out = out ",\n"
-    out = out sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? "null" : allocs)
+    out = out sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
 }
 END { printf "[\n%s\n]\n", out }
 ' "$RAW" > "$OUT"
@@ -70,27 +77,36 @@ END { printf "[\n%s\n]\n", out }
 echo "wrote $OUT"
 
 if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
-    echo "== regression check vs $BASELINE (warn > 10% ns/op) =="
+    echo "== regression check vs $BASELINE (warn > 10% ns/op or B/op) =="
     awk -v base="$BASELINE" '
-    function parse(file, tab,   line, name, ns) {
+    function parse(file, ns, by,   line, name, v) {
         while ((getline line < file) > 0) {
             if (line !~ /"name"/) continue
             name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
-            ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
-            tab[name] = ns + 0
+            v = line; sub(/.*"ns_per_op": /, "", v); sub(/[,}].*/, "", v)
+            ns[name] = v + 0
+            if (line ~ /"bytes_per_op": [0-9]/) {
+                v = line; sub(/.*"bytes_per_op": /, "", v); sub(/[,}].*/, "", v)
+                by[name] = v + 0
+            }
         }
         close(file)
     }
+    function warn(metric, name, o, n) {
+        printf "WARNING: %s regressed %.1f%% %s (%.0f -> %.0f)\n",
+            name, 100 * (n / o - 1), metric, o, n
+    }
     BEGIN {
-        parse(base, old)
-        parse(ARGV[1], new)
+        parse(base, oldns, oldby)
+        parse(ARGV[1], newns, newby)
         warned = 0
-        for (name in new) {
-            if (!(name in old) || old[name] <= 0) continue
-            ratio = new[name] / old[name]
-            if (ratio > 1.10) {
-                printf "WARNING: %s regressed %.1f%% (%.0f -> %.0f ns/op)\n",
-                    name, 100 * (ratio - 1), old[name], new[name]
+        for (name in newns) {
+            if ((name in oldns) && oldns[name] > 0 && newns[name] / oldns[name] > 1.10) {
+                warn("ns/op", name, oldns[name], newns[name])
+                warned = 1
+            }
+            if ((name in oldby) && oldby[name] > 0 && (name in newby) && newby[name] / oldby[name] > 1.10) {
+                warn("B/op", name, oldby[name], newby[name])
                 warned = 1
             }
         }
