@@ -232,6 +232,41 @@ func BenchmarkInvariantSuiteObserved(b *testing.B) {
 	}
 }
 
+// --- O2: EXPLAIN ANALYZE cost over the plain statement --------------------
+// ANALYZE re-executes the statement with per-operator counters and clocks
+// attached (see sqlmini/analyze.go); the pair below prices that against the
+// uninstrumented run of the same join. The off path is protected separately:
+// every az hook starts with a nil check, so plain statements never pay for
+// the instrumentation (TestNilTracerOverheadBound bounds the same discipline
+// on the tracer side).
+
+func BenchmarkExplainAnalyzeOverhead(b *testing.B) {
+	p := pipeline(b)
+	v, err := protocol.BuildAssignment(protocol.AssignVC4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.DB.DropTable("V")
+	p.DB.PutTable(v)
+	const stmt = `SELECT D.inmsg, V.v FROM D JOIN V ON D.inmsg = V.m`
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.DB.Query(stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("analyze", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.DB.Query("EXPLAIN ANALYZE " + stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestNilTracerOverheadBound checks the <5% acceptance bound directly: the
 // per-invariant instrumentation with a nil tracer (one child span, a few
 // attrs, a finish) must cost under 5% of an average invariant query, so the

@@ -16,12 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"coherdb/internal/check"
 	"coherdb/internal/core"
 	"coherdb/internal/deadlock"
 	"coherdb/internal/modelcheck"
-	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
 	"coherdb/internal/sim"
 )
@@ -34,8 +35,11 @@ func main() {
 	repair := flag.Bool("repair", false, "with -assign: iteratively repair the assignment until cycle free")
 	mc := flag.Bool("modelcheck", false, "explore the Fig. 4 configuration with the explicit-state model checker (baseline)")
 	verbose := flag.Bool("v", false, "print per-invariant results and VCG details")
+	stats := flag.Bool("stats", false, "print a per-invariant execution profile (elapsed, rows scanned, join strategies, morsels) sorted by elapsed")
 	traceFlag := flag.Bool("trace", false, "collect spans (phases, solves, statements) and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
+	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	workers := flag.Int("workers", 0, "bound parallelism in generation, checking and deadlock analysis (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -44,30 +48,19 @@ func main() {
 		return
 	}
 
-	var (
-		col *obs.Collector
-		tr  obs.Tracer
-		reg *obs.Registry
-	)
-	if *traceFlag {
-		col = obs.NewCollector(0)
-		tr = col
+	diag, err := core.StartDiag(core.DiagConfig{
+		Trace: *traceFlag, Metrics: *metricsFlag,
+		Listen: *listen, TraceOut: *traceOut,
+	})
+	if err != nil {
+		fail(err)
 	}
-	if *metricsFlag {
-		reg = obs.Default
-	}
-	flush := func() {
-		if col != nil {
-			col.WriteJSONL(os.Stderr)
-		}
-		if reg != nil {
-			reg.WriteMetrics(os.Stdout)
-		}
-	}
+	tr, reg := diag.Tracer, diag.Registry
+	flush := diag.Close
 
 	p := core.New()
 	p.SetWorkers(*workers)
-	p.Observe(tr, reg)
+	diag.Attach(p)
 	if err := p.Generate(); err != nil {
 		fail(err)
 	}
@@ -93,6 +86,9 @@ func main() {
 				}
 				fmt.Printf("  %-28s %-9s %s\n", r.Invariant.Name, r.Invariant.Ref, status)
 			}
+		}
+		if *stats {
+			printInvariantStats(results)
 		}
 		if sum.Failed > 0 || sum.Errors > 0 {
 			flush()
@@ -205,6 +201,24 @@ func runModelCheck(p *core.Pipeline, assign string) error {
 		}
 	}
 	return nil
+}
+
+// printInvariantStats renders the per-invariant execution profile, most
+// expensive query first: where the suite's time goes, which queries scan
+// the most rows and which strategies (hash / index / loop joins, index
+// scans, morsel parallelism) the executor picked for each.
+func printInvariantStats(results []check.Result) {
+	sorted := append([]check.Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Elapsed > sorted[j].Elapsed })
+	fmt.Printf("  %-28s %9s %8s %8s %6s %6s %6s %7s\n",
+		"invariant", "elapsed", "scanned", "rows", "hashj", "idxj", "loopj", "morsels")
+	for _, r := range sorted {
+		st := r.Stats
+		fmt.Printf("  %-28s %9s %8d %8d %6d %6d %6d %7d\n",
+			r.Invariant.Name, r.Elapsed.Round(time.Microsecond),
+			st.RowsScanned, st.RowsProduced,
+			st.HashJoins, st.IndexJoins, st.LoopJoins, st.Morsels)
+	}
 }
 
 func fail(err error) {

@@ -35,6 +35,7 @@ func main() {
 	table := flag.String("table", "", "print one generated table (D, M, C, N, R, IO, INT, SY)")
 	filter := flag.String("filter", "", "restrict -table output to rows whose inmsg matches")
 	stats := flag.Bool("stats", false, "print generation statistics for all tables")
+	steps := flag.Bool("steps", false, "with -stats: also print the per-column solve profile (domain, candidates, memo hits, rows, elapsed)")
 	out := flag.String("out", "", "dump all tables as CSV into this directory")
 	compare := flag.Bool("compare", false, "compare incremental vs monolithic solving on a reduced spec")
 	specPath := flag.String("spec", "", "solve a spec file (see specs/readex.spec) instead of the built-in protocol")
@@ -43,29 +44,20 @@ func main() {
 	exportSpec := flag.String("export-spec", "", "write a controller's database input (schema + constraints) to stdout: D, M, C, N, R, IO, INT, SY")
 	traceFlag := flag.Bool("trace", false, "collect per-solve spans and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style solver metrics to stdout at exit")
+	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	workers := flag.Int("workers", 0, "bound solver and check parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var (
-		col *obs.Collector
-		tr  obs.Tracer
-		reg *obs.Registry
-	)
-	if *traceFlag {
-		col = obs.NewCollector(0)
-		tr = col
+	diag, err := core.StartDiag(core.DiagConfig{
+		Trace: *traceFlag, Metrics: *metricsFlag,
+		Listen: *listen, TraceOut: *traceOut,
+	})
+	if err != nil {
+		fail(err)
 	}
-	if *metricsFlag {
-		reg = obs.Default
-	}
-	defer func() {
-		if col != nil {
-			col.WriteJSONL(os.Stderr)
-		}
-		if reg != nil {
-			reg.WriteMetrics(os.Stdout)
-		}
-	}()
+	tr, reg := diag.Tracer, diag.Registry
+	defer diag.Close()
 
 	if *compare {
 		if err := runCompare(tr, reg, *workers); err != nil {
@@ -104,7 +96,7 @@ func main() {
 
 	p := core.New()
 	p.SetWorkers(*workers)
-	p.Observe(tr, reg)
+	diag.Attach(p)
 	start := time.Now()
 	if err := p.Generate(); err != nil {
 		fail(err)
@@ -118,6 +110,13 @@ func main() {
 			fmt.Printf("  %-4s %4d rows x %2d cols  (%7d candidates, %d memo hits, %d steps, compiled in %v)\n",
 				sb.Name, t.NumRows(), t.NumCols(), st.Candidates, st.MemoHits, st.Steps,
 				st.CompileTime.Round(time.Microsecond))
+			if *steps {
+				for i, step := range st.StepStats {
+					fmt.Printf("       step %d %-10s domain=%-3d candidates=%-6d memo=%-6d rows=%-5d %v\n",
+						i+1, step.Column, step.Domain, step.Candidates, step.MemoHits,
+						step.Rows, step.Elapsed.Round(time.Microsecond))
+				}
+			}
 		}
 	}
 	if *table != "" {

@@ -22,9 +22,23 @@ import (
 func main() {
 	emit := flag.String("emit", "", "emit generated code: go or verilog")
 	pkg := flag.String("pkg", "dctrl", "package name for -emit go")
+	spansFlag := flag.Bool("spans", false, "collect generation/mapping spans and dump them as JSON lines to stderr at exit")
+	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
+	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	flag.Parse()
 
+	diag, err := core.StartDiag(core.DiagConfig{
+		Trace: *spansFlag, Metrics: *metricsFlag,
+		Listen: *listen, TraceOut: *traceOut,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer diag.Close()
+
 	p := core.New()
+	diag.Attach(p)
 	if err := p.Generate(); err != nil {
 		fail(err)
 	}

@@ -30,9 +30,23 @@ func main() {
 	impl := flag.Bool("impl", false, "run the directory as the Figure 5 implementation (nine tables + queues + feedback)")
 	trace := flag.Bool("trace", false, "print the event trace")
 	chart := flag.Bool("chart", false, "print the message sequence chart of the scenario's line (Fig. 2 style)")
+	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
+	spansFlag := flag.Bool("spans", false, "collect generation/solver spans and dump them as JSON lines to stderr at exit")
+	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	flag.Parse()
 
+	diag, derr := core.StartDiag(core.DiagConfig{
+		Trace: *spansFlag, Metrics: *metricsFlag,
+		Listen: *listen, TraceOut: *traceOut,
+	})
+	if derr != nil {
+		fail(derr)
+	}
+	defer diag.Close()
+
 	p := core.New()
+	diag.Attach(p)
 	if err := p.Generate(); err != nil {
 		fail(err)
 	}
@@ -119,6 +133,7 @@ func main() {
 	if sys != nil && res.Outcome == sim.Completed {
 		if v := sys.CheckCoherence(); len(v) > 0 {
 			fmt.Printf("COHERENCE VIOLATIONS: %v\n", v)
+			diag.Close()
 			os.Exit(1)
 		}
 		fmt.Println("final state coherent")
@@ -136,6 +151,7 @@ func main() {
 		fmt.Print(sys.SequenceChart(addr))
 	}
 	if res.Outcome == sim.Deadlocked {
+		diag.Close()
 		os.Exit(1)
 	}
 }

@@ -8,9 +8,12 @@
 //	cohersql                                       # REPL on stdin
 //	cohersql -q "SELECT COUNT(*) FROM D"           # one-shot query
 //	cohersql -q "EXPLAIN SELECT ..."               # show the query plan without executing
+//	cohersql -q "EXPLAIN ANALYZE SELECT ..."       # run it and show per-operator rows/time/morsels
 //	echo "SELECT DISTINCT inmsg FROM D" | cohersql
 //	cohersql -metrics -q "..."                     # Prometheus-style metrics to stdout at exit
 //	cohersql -trace -q "..."                       # per-statement spans as JSON lines to stderr
+//	cohersql -listen :8080                         # live diagnostics: /metrics /healthz /debug/pprof /traces /queries
+//	cohersql -trace-out trace.json -q "..."        # Perfetto-loadable Chrome trace of the session
 package main
 
 import (
@@ -31,23 +34,20 @@ func main() {
 	morsel := flag.Int("morsel", 0, "rows per parallel scan batch (0 = default 1024)")
 	traceFlag := flag.Bool("trace", false, "collect per-statement spans and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics and session query stats to stdout at exit")
+	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
+	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	flag.Parse()
 
-	var (
-		col *obs.Collector
-		tr  obs.Tracer
-		reg *obs.Registry
-	)
-	if *traceFlag {
-		col = obs.NewCollector(0)
-		tr = col
-	}
-	if *metricsFlag {
-		reg = obs.Default
+	diag, err := core.StartDiag(core.DiagConfig{
+		Trace: *traceFlag, Metrics: *metricsFlag,
+		Listen: *listen, TraceOut: *traceOut,
+	})
+	if err != nil {
+		fail(err)
 	}
 
 	p := core.New()
-	p.Observe(tr, reg)
+	diag.Attach(p)
 	fmt.Fprintln(os.Stderr, "generating controller tables...")
 	if err := p.Generate(); err != nil {
 		fail(err)
@@ -59,13 +59,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tables: %s\n", strings.Join(p.DB.Names(), ", "))
 	defer func() {
-		if col != nil {
-			col.WriteJSONL(os.Stderr)
+		if diag.Registry != nil {
+			publishDBStats(diag.Registry, p)
 		}
-		if reg != nil {
-			publishDBStats(reg, p)
-			reg.WriteMetrics(os.Stdout)
-		}
+		diag.Close()
 	}()
 
 	exec := func(stmt string) {

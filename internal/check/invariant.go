@@ -41,6 +41,10 @@ type Result struct {
 	Violations *rel.Table
 	Elapsed    time.Duration
 	Err        error
+	// Stats is the invariant query's execution profile (rows scanned,
+	// join strategies, morsel/steal counts). Zero when the query fell
+	// back to the unprepared path.
+	Stats sqlmini.QueryStats
 }
 
 // Passed reports whether the invariant held.
@@ -142,9 +146,17 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 		sp := suite.Child("check.invariant", obs.String("invariant", inv.Name))
 		start := time.Now()
 		var tab *rel.Table
+		var qs sqlmini.QueryStats
 		var err error
 		if p := prepared[i]; p != nil {
-			tab, err = p.Query()
+			var res *sqlmini.Result
+			res, qs, err = p.ExecStats()
+			if err == nil {
+				tab = res.Table
+				if tab == nil {
+					err = fmt.Errorf("check: invariant %q is not a query", inv.Name)
+				}
+			}
 		} else {
 			tab, err = db.Query(inv.SQL)
 		}
@@ -153,6 +165,7 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 			Violations: tab,
 			Elapsed:    time.Since(start),
 			Err:        err,
+			Stats:      qs,
 		}
 		if sp != nil {
 			violations := 0

@@ -30,6 +30,28 @@ type Stats struct {
 	// CompileTime is the one-off cost of lowering the column constraints
 	// into position-bound closures before the solve loop.
 	CompileTime time.Duration
+	// StepStats holds one entry per column-extension step, in step order
+	// (incremental solves only; Monolithic tests complete assignments and
+	// has no steps).
+	StepStats []StepStat
+}
+
+// StepStat describes one column-extension step of an incremental solve:
+// which column was added, how hard the step's constraint sweep worked and
+// what survived it.
+type StepStat struct {
+	// Column is the column the step appended.
+	Column string
+	// Domain is the size of the column's domain.
+	Domain int
+	// Rows is the partial table's row count after the step's constraints
+	// pruned.
+	Rows int
+	// Candidates is the number of partial assignments the step tested;
+	// MemoHits counts the verdicts served by the projection memo.
+	Candidates, MemoHits uint64
+	// Elapsed is the step's wall time, including domain interning.
+	Elapsed time.Duration
 }
 
 // Options tunes the solvers.
@@ -130,6 +152,8 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 
 	for i, col := range spec.cols {
 		stats.Steps++
+		t0 := time.Now()
+		stepSpan := span.Child("constraint.step", obs.String("column", col.Name))
 
 		// Constraints that become checkable at this step, and the union of
 		// the row positions they read.
@@ -145,7 +169,8 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 			}
 		}
 
-		next, est, err := extendCompiled(cur, i+1, encodeDomain(col.Domain()), fire, fireRefs, workers)
+		domain := encodeDomain(col.Domain())
+		next, est, err := extendCompiled(cur, i+1, domain, fire, fireRefs, workers)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -153,6 +178,21 @@ func SolveOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err error) 
 		stats.MemoHits += est.memoHits
 		stats.Pruned += est.tested - uint64(len(next))
 		cur = next
+		stats.StepStats = append(stats.StepStats, StepStat{
+			Column:     col.Name,
+			Domain:     len(domain),
+			Rows:       len(cur),
+			Candidates: est.tested,
+			MemoHits:   est.memoHits,
+			Elapsed:    time.Since(t0),
+		})
+		stepSpan.SetAttr(
+			obs.Int("domain", len(domain)),
+			obs.Int("rows", len(cur)),
+			obs.Uint64("candidates", est.tested),
+			obs.Uint64("memo_hits", est.memoHits),
+		)
+		stepSpan.Finish()
 		if len(cur) == 0 {
 			break // inconsistent constraints: empty table (paper §3)
 		}

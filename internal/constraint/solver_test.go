@@ -145,6 +145,38 @@ func TestSolveFigure3(t *testing.T) {
 	}
 }
 
+func TestSolveStepStats(t *testing.T) {
+	spec := figure3Spec(t)
+	tab, stats, err := Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.StepStats) != stats.Steps {
+		t.Fatalf("len(StepStats) = %d, Steps = %d", len(stats.StepStats), stats.Steps)
+	}
+	var cand, memo uint64
+	for i, st := range stats.StepStats {
+		if st.Column != spec.cols[i].Name {
+			t.Errorf("step %d column = %q, want %q", i, st.Column, spec.cols[i].Name)
+		}
+		if st.Domain != len(spec.cols[i].Domain()) {
+			t.Errorf("step %d domain = %d, want %d", i, st.Domain, len(spec.cols[i].Domain()))
+		}
+		if st.Candidates == 0 {
+			t.Errorf("step %d tested no candidates", i)
+		}
+		cand += st.Candidates
+		memo += st.MemoHits
+	}
+	if cand != stats.Candidates || memo != stats.MemoHits {
+		t.Errorf("step sums candidates=%d memo=%d, totals %d/%d",
+			cand, memo, stats.Candidates, stats.MemoHits)
+	}
+	if last := stats.StepStats[len(stats.StepStats)-1]; last.Rows != tab.NumRows() {
+		t.Errorf("final step rows = %d, table has %d", last.Rows, tab.NumRows())
+	}
+}
+
 func TestSolveMatchesMonolithic(t *testing.T) {
 	spec := figure3Spec(t)
 	inc, _, err := Solve(spec)

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"coherdb/internal/obs"
+	"coherdb/internal/obs/obshttp"
+	"coherdb/internal/pool"
+	"coherdb/internal/rel"
+)
+
+// DiagConfig selects the observability surfaces a command turns on; every
+// cmd exposes these as the -trace, -metrics, -listen and -trace-out flags.
+type DiagConfig struct {
+	// Trace dumps finished spans as JSON lines to stderr at Close.
+	Trace bool
+	// Metrics writes Prometheus-style metrics to stdout at Close.
+	Metrics bool
+	// Listen, when non-empty, serves the live diagnostics plane (metrics,
+	// healthz, pprof, traces, queries) on this address for the process's
+	// lifetime.
+	Listen string
+	// TraceOut, when non-empty, writes the span tree as a Chrome
+	// trace_event JSON file (loadable in Perfetto) at Close.
+	TraceOut string
+}
+
+// enabled reports whether any surface is on; StartDiag returns a no-op
+// Diag otherwise, so commands can wire it unconditionally.
+func (c DiagConfig) enabled() bool {
+	return c.Trace || c.Metrics || c.Listen != "" || c.TraceOut != ""
+}
+
+// Diag bundles a command's observability state: one span collector, one
+// metrics registry and one query log feed every enabled surface, so the
+// exported trace, the /metrics page and the stderr dump all agree.
+type Diag struct {
+	// Collector receives finished spans; nil when no tracing surface is on.
+	Collector *obs.Collector
+	// Tracer is the Collector as a Tracer (nil interface when off), ready
+	// to pass to Pipeline.Observe and friends.
+	Tracer obs.Tracer
+	// Registry receives metrics; nil when no metrics surface is on.
+	Registry *obs.Registry
+	// QueryLog tracks in-flight and slow statements for /queries; nil
+	// unless a server is listening.
+	QueryLog *obs.QueryLog
+
+	cfg     DiagConfig
+	server  *obshttp.Server
+	refresh []func()
+}
+
+// StartDiag builds the command's observability state and, under
+// cfg.Listen, starts the diagnostics server. The returned Diag is never
+// nil; Close flushes every enabled surface.
+func StartDiag(cfg DiagConfig) (*Diag, error) {
+	d := &Diag{cfg: cfg}
+	if !cfg.enabled() {
+		return d, nil
+	}
+	if cfg.Trace || cfg.TraceOut != "" || cfg.Listen != "" {
+		d.Collector = obs.NewCollector(0)
+		d.Tracer = d.Collector
+	}
+	if cfg.Metrics || cfg.Listen != "" {
+		d.Registry = obs.Default
+		d.refresh = append(d.refresh, rel.PublishDictMetrics(d.Registry))
+	}
+	// The shared worker pool reports into the same collector and registry:
+	// its per-worker lane spans are what give the exported trace one
+	// timeline per worker.
+	pool.Shared().SetTracer(d.Tracer)
+	pool.Shared().SetMetrics(d.Registry)
+	if cfg.Listen != "" {
+		d.QueryLog = obs.NewQueryLog(0, 0)
+		srv, err := obshttp.Serve(cfg.Listen, obshttp.Options{
+			Registry:  d.Registry,
+			Collector: d.Collector,
+			QueryLog:  d.QueryLog,
+			OnScrape:  d.refresh,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diagnostics server: %w", err)
+		}
+		d.server = srv
+		fmt.Fprintf(os.Stderr, "diagnostics on http://%s/ (metrics, healthz, debug/pprof, traces, queries)\n", srv.Addr())
+	}
+	return d, nil
+}
+
+// Attach wires the pipeline (and its database) to the diagnostics state.
+func (d *Diag) Attach(p *Pipeline) {
+	p.Observe(d.Tracer, d.Registry)
+	p.DB.SetQueryLog(d.QueryLog)
+}
+
+// Close flushes every enabled surface: the JSONL span dump to stderr
+// (-trace), the Chrome trace file (-trace-out), the metrics text to stdout
+// (-metrics), then stops the server. Safe to call on a no-op Diag.
+func (d *Diag) Close() {
+	d.CloseTo(os.Stdout, os.Stderr)
+}
+
+// CloseTo is Close with explicit metrics and trace destinations, for
+// tests.
+func (d *Diag) CloseTo(metricsW, traceW io.Writer) {
+	if d.Collector != nil && d.cfg.Trace {
+		_ = d.Collector.WriteJSONL(traceW)
+	}
+	if d.Collector != nil && d.cfg.TraceOut != "" {
+		if err := obs.WriteChromeTraceFile(d.cfg.TraceOut, d.Collector.Spans()); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+		}
+	}
+	if d.Registry != nil && d.cfg.Metrics {
+		for _, f := range d.refresh {
+			f()
+		}
+		_ = d.Registry.WriteMetrics(metricsW)
+	}
+	if d.server != nil {
+		_ = d.server.Close()
+	}
+	pool.Shared().SetTracer(nil)
+	pool.Shared().SetMetrics(nil)
+}

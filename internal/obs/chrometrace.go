@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one entry in the Chrome trace_event JSON format, the
+// interchange format Perfetto and chrome://tracing load. "X" events are
+// complete slices (ts + dur); "M" events carry process/thread metadata.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`            // microseconds
+	Dur  int64             `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// laneAttr is the span attribute that assigns a span (and its descendants)
+// to a named timeline lane; internal/pool tags per-worker spans with it so
+// parallel morsel execution renders as one track per worker.
+const laneAttr = "lane"
+
+const mainLane = "main"
+
+// WriteChromeTrace converts finished spans into Chrome trace_event JSON
+// ({"traceEvents": [...]}) loadable in Perfetto or chrome://tracing.
+//
+// Each span becomes a complete ("X") slice. Slices are grouped into
+// threads (tid) by lane: a span with a "lane" attribute opens (or joins)
+// the lane of that name, a span without one inherits the nearest
+// ancestor's lane, and spans with no laned ancestor land on the "main"
+// lane. A thread_name metadata event names every lane.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+
+	laneOf := func(s *Span) string {
+		// Walk ancestors (including self) for the nearest lane tag.
+		for cur := s; cur != nil; {
+			for _, a := range cur.Attrs {
+				if a.Key == laneAttr {
+					return a.Value
+				}
+			}
+			if cur.ParentID == 0 {
+				break
+			}
+			cur = byID[cur.ParentID]
+		}
+		return mainLane
+	}
+
+	tids := map[string]int{mainLane: 0}
+	laneNames := []string{mainLane}
+	events := make([]traceEvent, 0, len(spans)+1)
+	for i := range spans {
+		s := &spans[i]
+		lane := laneOf(s)
+		tid, ok := tids[lane]
+		if !ok {
+			tid = len(tids)
+			tids[lane] = tid
+			laneNames = append(laneNames, lane)
+		}
+		var args map[string]string
+		if len(s.Attrs) > 0 {
+			args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		dur := int64(0)
+		if !s.End.IsZero() {
+			dur = s.End.Sub(s.Start).Microseconds()
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   s.Start.UnixMicro(),
+			Dur:  dur,
+			PID:  1,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	meta := make([]traceEvent, 0, len(laneNames))
+	for _, lane := range laneNames {
+		meta = append(meta, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tids[lane],
+			Args: map[string]string{"name": lane},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{append(meta, events...)})
+}
+
+// WriteChromeTraceFile writes the spans as a Chrome trace JSON file.
+func WriteChromeTraceFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeTraceDoc mirrors the trace_event container for decoding in tests.
+type chromeTraceDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TS   int64             `json:"ts"`
+		Dur  int64             `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// syntheticSpans builds the span tree a parallel query produces:
+//
+//	sql.stmt (main)
+//	└── pool.parallel (main)
+//	    ├── pool.worker lane=worker-1
+//	    │   └── pool.each          (inherits worker-1 via ancestor walk)
+//	    └── pool.worker lane=worker-2
+func syntheticSpans() []Span {
+	t0 := time.UnixMicro(1_000_000)
+	at := func(us, durUS int64) (time.Time, time.Time) {
+		return t0.Add(time.Duration(us) * time.Microsecond),
+			t0.Add(time.Duration(us+durUS) * time.Microsecond)
+	}
+	s1, e1 := at(0, 500)
+	s2, e2 := at(10, 480)
+	s3, e3 := at(20, 200)
+	s4, e4 := at(30, 100)
+	s5, e5 := at(20, 210)
+	return []Span{
+		{ID: 1, Name: "sql.stmt", Start: s1, End: e1, Attrs: []Attr{String("sql", "SELECT 1")}},
+		{ID: 2, ParentID: 1, Name: "pool.parallel", Start: s2, End: e2},
+		{ID: 3, ParentID: 2, Name: "pool.worker", Start: s3, End: e3, Attrs: []Attr{String("lane", "worker-1")}},
+		{ID: 4, ParentID: 3, Name: "pool.each", Start: s4, End: e4},
+		{ID: 5, ParentID: 2, Name: "pool.worker", Start: s5, End: e5, Attrs: []Attr{String("lane", "worker-2")}},
+	}
+}
+
+func TestWriteChromeTraceLanes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	lanes := map[string]int{} // lane name -> tid, from metadata events
+	slices := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", ev.Name)
+			}
+			lanes[ev.Args["name"]] = ev.TID
+		case "X":
+			slices[ev.Name] = ev.TID
+			if ev.PID != 1 {
+				t.Errorf("slice %q pid = %d, want 1", ev.Name, ev.PID)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("slice %q dur = %d, want > 0", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+
+	for _, lane := range []string{"main", "worker-1", "worker-2"} {
+		if _, ok := lanes[lane]; !ok {
+			t.Fatalf("missing thread_name metadata for lane %q (have %v)", lane, lanes)
+		}
+	}
+	if lanes["main"] != 0 {
+		t.Errorf("main lane tid = %d, want 0", lanes["main"])
+	}
+	// Root spans with no lane tag land on main; workers get their own lane;
+	// pool.each inherits worker-1 from its ancestor.
+	if slices["sql.stmt"] != lanes["main"] || slices["pool.parallel"] != lanes["main"] {
+		t.Errorf("untagged spans not on main lane: %v vs lanes %v", slices, lanes)
+	}
+	if slices["pool.each"] != lanes["worker-1"] {
+		t.Errorf("pool.each tid = %d, want worker-1 tid %d", slices["pool.each"], lanes["worker-1"])
+	}
+	if slices["pool.worker"] != lanes["worker-2"] && slices["pool.worker"] != lanes["worker-1"] {
+		t.Errorf("pool.worker tid = %d, not a worker lane %v", slices["pool.worker"], lanes)
+	}
+}
+
+func TestWriteChromeTraceSliceOrderingAndArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, syntheticSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	lastTS := int64(-1)
+	sawSQL := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.TS < lastTS {
+			t.Fatalf("slices not sorted by ts: %d after %d", ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		if ev.Name == "sql.stmt" && ev.Args["sql"] == "SELECT 1" {
+			sawSQL = true
+		}
+	}
+	if !sawSQL {
+		t.Error("span attrs not carried into slice args")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Still announces the main lane so the file loads cleanly.
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Ph != "M" {
+		t.Fatalf("events = %+v, want just the main thread_name metadata", doc.TraceEvents)
+	}
+}
+
+func TestCollectorRoundTripsThroughChromeTrace(t *testing.T) {
+	c := NewCollector(64)
+	root := c.StartSpan("sql.stmt")
+	child := root.Child("pool.worker", String("lane", "worker-1"))
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, c.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["sql.stmt"] || !names["pool.worker"] {
+		t.Fatalf("live collector spans missing from trace: %v", names)
+	}
+}

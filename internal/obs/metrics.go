@@ -61,41 +61,51 @@ var DurationBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// Histogram is a fixed-bucket distribution metric. Safe for concurrent
-// use.
+// Histogram is a fixed-bucket distribution metric. Observe is lock-free
+// (atomic bucket counters), so per-morsel duration samples from the
+// parallel executor never serialize on a mutex. Safe for concurrent use.
+//
+// Under concurrent observation a reader may see a sample reflected in a
+// bucket before it is reflected in count/sum (or vice versa); the text
+// exposition tolerates that, and the series converge once observers
+// quiesce.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
-	counts []uint64  // len(bounds)+1
-	count  uint64
-	sum    float64
+	bounds  []float64       // sorted upper bounds, immutable after creation
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.count++
-	h.sum += v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
 }
 
 // ObserveDuration records a duration sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot copies the bucket counters for rendering.
+func (h *Histogram) snapshot() (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.Sum()
 }
 
 // metricKind tags what a registry entry is.
@@ -165,10 +175,27 @@ func labelKey(name string, labels []Label) string {
 	return sb.String()
 }
 
+// escapeLabel escapes a label value for the text exposition format:
+// inside double quotes, backslash, double quote and line feed must be
+// rendered as \\, \" and \n. Backslashes are escaped first so the
+// backslashes introduced for quotes and newlines are not re-escaped.
 func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text: only backslash and line feed, per the
+// exposition format (quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 func (r *Registry) get(name string, kind metricKind, labels []Label) *metric {
@@ -223,7 +250,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		}
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		m.h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		m.h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
 	}
 	return m.h
 }
@@ -257,7 +284,7 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 			return labelKey(ms[i].name, ms[i].labels) < labelKey(ms[j].name, ms[j].labels)
 		})
 		if h := help[name]; h != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
 				return err
 			}
 		}
@@ -311,20 +338,16 @@ func writeMetric(w io.Writer, m *metric) error {
 		if h == nil {
 			return nil
 		}
-		h.mu.Lock()
-		bounds := append([]float64(nil), h.bounds...)
-		counts := append([]uint64(nil), h.counts...)
-		count, sum := h.count, h.sum
-		h.mu.Unlock()
+		counts, count, sum := h.snapshot()
 		var cum uint64
-		for i, b := range bounds {
+		for i, b := range h.bounds {
 			cum += counts[i]
 			le := strconv.FormatFloat(b, 'g', -1, 64)
 			if _, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, L("le", le)), cum); err != nil {
 				return err
 			}
 		}
-		cum += counts[len(bounds)]
+		cum += counts[len(h.bounds)]
 		if _, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", m.labels, L("le", "+Inf")), cum); err != nil {
 			return err
 		}
@@ -336,9 +359,17 @@ func writeMetric(w io.Writer, m *metric) error {
 	}
 }
 
+// formatFloat renders a sample value; the exposition format spells the
+// IEEE specials as +Inf, -Inf and NaN (they were previously flattened to
+// "0", which silently corrupted overflowed sums).
 func formatFloat(f float64) string {
-	if math.IsInf(f, 0) || math.IsNaN(f) {
-		return "0"
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
 	}
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -1,0 +1,132 @@
+// Package obshttp serves the live diagnostics plane over HTTP: Prometheus
+// metrics, health, pprof profiles, recent trace spans and the query log.
+// It is opt-in (the cmds only start it under -listen) and is the
+// groundwork for the ROADMAP's "coherdb server mode": the same mux will
+// later carry query endpoints.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"coherdb/internal/obs"
+)
+
+// Options wires the diagnostics handler to a process's observability
+// state. Any field may be nil; the corresponding endpoint then reports an
+// empty (but well-formed) payload.
+type Options struct {
+	// Registry backs /metrics (Prometheus text exposition).
+	Registry *obs.Registry
+	// Collector backs /traces (recent finished spans as JSON).
+	Collector *obs.Collector
+	// QueryLog backs /queries (in-flight + slow statements).
+	QueryLog *obs.QueryLog
+	// OnScrape callbacks run before each /metrics render, letting callers
+	// refresh pull-style gauges (dictionary size, pool occupancy).
+	OnScrape []func()
+}
+
+// Handler builds the diagnostics mux:
+//
+//	/metrics       Prometheus text exposition
+//	/healthz       "ok"
+//	/debug/pprof/  net/http/pprof index, profiles, cmdline, symbol, trace
+//	/traces        recent spans from the Collector ring as JSON
+//	/queries       in-flight + slow-query log as JSON
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		for _, f := range o.OnScrape {
+			f()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o.Registry != nil {
+			_ = o.Registry.WriteMetrics(w)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var spans []obs.Span
+		var dropped uint64
+		if o.Collector != nil {
+			spans = o.Collector.Spans()
+			dropped = o.Collector.Dropped()
+		}
+		out := make([]spanJSON, len(spans))
+		for i, s := range spans {
+			out[i] = spanJSON{
+				ID:       s.ID,
+				ParentID: s.ParentID,
+				Name:     s.Name,
+				StartUS:  s.Start.UnixMicro(),
+				DurUS:    s.End.Sub(s.Start).Microseconds(),
+				Attrs:    s.Attrs,
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Spans   []spanJSON `json:"spans"`
+			Dropped uint64     `json:"dropped"`
+		}{out, dropped})
+	})
+
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = o.QueryLog.WriteJSON(w)
+	})
+
+	return mux
+}
+
+// spanJSON is the /traces wire form of one finished span.
+type spanJSON struct {
+	ID       uint64     `json:"id"`
+	ParentID uint64     `json:"parent_id,omitempty"`
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"`
+	DurUS    int64      `json:"dur_us"`
+	Attrs    []obs.Attr `json:"attrs,omitempty"`
+}
+
+// Server is a running diagnostics listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// diagnostics handler in a background goroutine until Close.
+func Serve(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(o), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -24,10 +24,13 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"coherdb/internal/obs"
 )
 
 // Stats describes one Each call: how many morsels were dealt, how many
@@ -56,6 +59,63 @@ type Pool struct {
 	size  int
 	once  sync.Once
 	ready chan func()
+
+	// tracer holds an obs.Tracer (may be unset). When set, every Each
+	// call opens a "pool.each" span with one "pool.worker" child per
+	// participant, each tagged with a lane attribute so trace viewers
+	// render one track per worker.
+	tracer atomic.Value
+	// metrics holds a *poolMetrics (may be unset).
+	metrics atomic.Pointer[poolMetrics]
+}
+
+// poolMetrics is the instrument set registered by SetMetrics.
+type poolMetrics struct {
+	morsels     *obs.Counter
+	steals      *obs.Counter
+	busy        *obs.Gauge
+	workers     *obs.Gauge
+	recruitMiss *obs.Counter
+}
+
+// tracerBox wraps the Tracer interface so atomic.Value sees one concrete
+// type even if callers pass different Tracer implementations over time.
+type tracerBox struct{ t obs.Tracer }
+
+// SetTracer attaches a tracer; Each calls made after this emit per-worker
+// lane spans. Safe to call concurrently with Each.
+func (p *Pool) SetTracer(t obs.Tracer) { p.tracer.Store(tracerBox{t}) }
+
+func (p *Pool) loadTracer() obs.Tracer {
+	if b, ok := p.tracer.Load().(tracerBox); ok {
+		return b.t
+	}
+	return nil
+}
+
+// SetMetrics registers the pool's instruments on reg and starts
+// publishing: morsels dealt, steals, currently busy participants, the
+// participant cap, and recruit misses (Each calls that found a helper
+// slot already busy and degraded toward inline execution).
+func (p *Pool) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		p.metrics.Store(nil)
+		return
+	}
+	reg.Help("coherdb_pool_morsels_total", "Morsel batches dealt by the worker pool.")
+	reg.Help("coherdb_pool_steals_total", "Morsels claimed beyond a participant's fair share.")
+	reg.Help("coherdb_pool_busy_workers", "Participants currently draining a morsel cursor.")
+	reg.Help("coherdb_pool_workers", "Participant cap of the pool.")
+	reg.Help("coherdb_pool_recruit_misses_total", "Helper recruitments that found no idle worker.")
+	m := &poolMetrics{
+		morsels:     reg.Counter("coherdb_pool_morsels_total"),
+		steals:      reg.Counter("coherdb_pool_steals_total"),
+		busy:        reg.Gauge("coherdb_pool_busy_workers"),
+		workers:     reg.Gauge("coherdb_pool_workers"),
+		recruitMiss: reg.Counter("coherdb_pool_recruit_misses_total"),
+	}
+	m.workers.Set(int64(p.size))
+	p.metrics.Store(m)
 }
 
 // New returns a pool that will run at most size concurrent participants
@@ -158,6 +218,13 @@ func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats
 	}
 	cur := &cursor{n: n, morsel: morsel}
 
+	met := p.metrics.Load()
+	var eachSpan *obs.Span
+	if tr := p.loadTracer(); tr != nil {
+		eachSpan = obs.StartSpan(tr, "pool.each",
+			obs.Int("n", n), obs.Int("morsel", morsel), obs.Int("cap", workers))
+	}
+
 	var (
 		stop     atomic.Bool
 		errMu    sync.Mutex
@@ -187,10 +254,49 @@ func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats
 		}
 		return claims, time.Since(start)
 	}
+	// lane runs one participant's drain on a numbered trace lane (0 is the
+	// caller, 1.. are helpers), maintaining the busy-workers gauge around
+	// it. The off path (no tracer, no metrics) adds only nil checks per
+	// participant per Each call — the lane name is never formatted.
+	lane := func(idx int) (claims int, busy time.Duration) {
+		if met != nil {
+			met.busy.Add(1)
+		}
+		var sp *obs.Span
+		if eachSpan != nil {
+			name := "main"
+			if idx > 0 {
+				name = fmt.Sprintf("worker-%d", idx)
+			}
+			sp = eachSpan.Child("pool.worker", obs.String("lane", name))
+		}
+		claims, busy = drain()
+		if sp != nil {
+			sp.SetAttr(obs.Int("morsels", claims), obs.Duration("busy", busy))
+			sp.Finish()
+		}
+		if met != nil {
+			met.busy.Add(-1)
+		}
+		return claims, busy
+	}
+	finishEach := func(st Stats) {
+		if met != nil {
+			met.morsels.Add(int64(st.Morsels))
+			met.steals.Add(int64(st.Steals))
+		}
+		if eachSpan != nil {
+			eachSpan.SetAttr(obs.Int("workers", st.Workers),
+				obs.Int("morsels", st.Morsels), obs.Int("steals", st.Steals))
+			eachSpan.Finish()
+		}
+	}
 
 	if workers <= 1 {
-		claims, busy := drain()
-		return Stats{Workers: 1, Morsels: claims, Busy: []time.Duration{busy}}, firstErr
+		claims, busy := lane(0)
+		st := Stats{Workers: 1, Morsels: claims, Busy: []time.Duration{busy}}
+		finishEach(st)
+		return st, firstErr
 	}
 
 	p.start()
@@ -206,9 +312,10 @@ func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats
 		busys = append(busys, busy)
 		statsMu.Unlock()
 	}
+	var laneIdx atomic.Int32 // helper lane numbers, assigned in run order
 	helper := func() {
 		defer wg.Done()
-		claims, busy := drain()
+		claims, busy := lane(int(laneIdx.Add(1)))
 		if claims > 0 {
 			record(claims, busy)
 		}
@@ -221,9 +328,12 @@ func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats
 		case p.ready <- helper:
 		default:
 			wg.Done()
+			if met != nil {
+				met.recruitMiss.Inc()
+			}
 		}
 	}
-	callerClaims, callerBusy := drain()
+	callerClaims, callerBusy := lane(0)
 	wg.Wait()
 
 	st := Stats{Workers: 1, Morsels: callerClaims, Busy: append([]time.Duration{callerBusy}, busys...)}
@@ -237,5 +347,6 @@ func (p *Pool) Each(cap, n, morsel int, fn func(batch, lo, hi int) error) (Stats
 			st.Steals += c - fair
 		}
 	}
+	finishEach(st)
 	return st, firstErr
 }

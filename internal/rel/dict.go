@@ -31,7 +31,15 @@ type Dict struct {
 	// is guaranteed chunk slot c was written before publication.
 	chunks atomic.Pointer[[]*dictChunk]
 	n      atomic.Uint32
+	// bytes approximates the dictionary's resident size: per-entry fixed
+	// cost (decode slot + map entry) plus interned string payload.
+	bytes atomic.Int64
 }
+
+// dictEntryBytes is the approximate fixed cost of one interned value: the
+// Value in its decode chunk slot plus the codes-map entry (key Value,
+// uint32 code, bucket overhead).
+const dictEntryBytes = 96
 
 const (
 	dictChunkBits = 12
@@ -91,6 +99,7 @@ func (d *Dict) Code(v Value) uint32 {
 	}
 	chunks[ci][n&dictChunkMask] = v
 	d.codes[v] = n
+	d.bytes.Add(int64(dictEntryBytes + 2*len(v.s)))
 	d.n.Store(n + 1)
 	return n
 }
@@ -114,6 +123,12 @@ func (d *Dict) Value(c uint32) Value {
 
 // Len returns the number of interned values (including NULL).
 func (d *Dict) Len() int { return int(d.n.Load()) }
+
+// Bytes approximates the dictionary's resident size in bytes: a fixed
+// per-entry cost plus the interned string payloads (the key copy in the
+// codes map doubles each string). Lock-free and monotone, suitable for a
+// metrics gauge.
+func (d *Dict) Bytes() int64 { return d.bytes.Load() }
 
 // appendCodeKey appends the fixed-width little-endian encoding of c to dst.
 // Four bytes per code gives injective composite keys (under one dictionary)

@@ -1,0 +1,26 @@
+package rel
+
+import "coherdb/internal/obs"
+
+// PublishDictMetrics registers the shared-dictionary gauges on reg and
+// returns a refresh function that re-samples them; call it from a scrape
+// hook so /metrics always reports current values. The gauges:
+//
+//	coherdb_dict_size   — interned values (including NULL)
+//	coherdb_dict_bytes  — approximate resident bytes (see Dict.Bytes)
+func PublishDictMetrics(reg *obs.Registry) func() {
+	if reg == nil {
+		return func() {}
+	}
+	reg.Help("coherdb_dict_size", "Values interned in the shared dictionary (including NULL).")
+	size := reg.Gauge("coherdb_dict_size")
+	reg.Help("coherdb_dict_bytes", "Approximate resident bytes of the shared dictionary.")
+	bytes := reg.Gauge("coherdb_dict_bytes")
+	refresh := func() {
+		d := SharedDict()
+		size.Set(int64(d.Len()))
+		bytes.Set(d.Bytes())
+	}
+	refresh()
+	return refresh
+}

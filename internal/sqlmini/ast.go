@@ -216,8 +216,12 @@ type SelectStmt struct {
 
 // ExplainStmt is EXPLAIN SELECT ...: it reports the query plan (scans,
 // join strategies, estimated row counts) without executing the query.
+// With Analyze set (EXPLAIN ANALYZE SELECT ...) the query is executed
+// and the plan is annotated with measured per-operator rows, time,
+// morsels and steals instead of estimates.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 // CreateStmt is CREATE TABLE name (cols) or CREATE TABLE name AS SELECT.

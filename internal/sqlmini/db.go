@@ -50,6 +50,10 @@ type DB struct {
 	// the coherdb_sql_* counters.
 	tracer  obs.Tracer
 	metrics *obs.Registry
+	// queryLog, when set, tracks every statement as in-flight (with live
+	// phase and rows-so-far) and retains slow ones — the /queries feed of
+	// the diagnostics server.
+	queryLog *obs.QueryLog
 
 	// statsMu guards the aggregate stats separately from mu, so folding a
 	// read-only statement's stats does not serialize concurrent readers.
@@ -80,6 +84,11 @@ type run struct {
 	qs    *QueryStats
 	entry *planEntry
 	epoch uint64
+
+	// az collects per-operator measurements during EXPLAIN ANALYZE; nil
+	// for every other statement, so the executor's azBegin/azEnd hooks
+	// cost one nil check each on the normal path.
+	az *azRun
 
 	pool    *pool.Pool
 	workers int
@@ -214,6 +223,16 @@ func (db *DB) SetMetrics(m *obs.Registry) {
 	}
 }
 
+// SetQueryLog installs (or, with nil, removes) a query log: every
+// statement then registers as in-flight with its statement text, updates
+// its phase and rows-so-far while executing, and lands in the slow-query
+// ring when it exceeds the log's threshold or fails.
+func (db *DB) SetQueryLog(q *obs.QueryLog) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queryLog = q
+}
+
 // Stats returns a snapshot of the aggregate statement statistics.
 func (db *DB) Stats() DBStats {
 	db.statsMu.Lock()
@@ -321,7 +340,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 	if hit {
 		pc = "hit"
 	}
-	return db.execute(entry.stmt, entry, strings.TrimSpace(src), pc)
+	return db.execute(entry.stmt, entry, strings.TrimSpace(src), pc, nil)
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at
@@ -368,14 +387,15 @@ func errNotQuery(src string) error {
 // ExecStmt executes an already-parsed statement. It bypasses the plan
 // cache (there is no text key); plans are built per execution.
 func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
-	return db.execute(stmt, nil, "", "")
+	return db.execute(stmt, nil, "", "", nil)
 }
 
 // execute runs one statement, recording QueryStats (and a span and
 // counters, when a tracer or registry is installed). SELECT and EXPLAIN
 // take the shared lock so queries run in parallel; everything else is
-// exclusive.
-func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *Result, err error) {
+// exclusive. A non-nil into receives the statement's final QueryStats
+// (the per-invariant stats feed of cohercheck -stats).
+func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string, into *QueryStats) (res *Result, err error) {
 	qs := &QueryStats{Kind: stmtKind(stmt), Statement: src, PlanCache: planCache}
 	if qs.Kind == "SELECT" || qs.Kind == "EXPLAIN" {
 		db.mu.RLock()
@@ -384,6 +404,7 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *
 		db.mu.Lock()
 		defer db.mu.Unlock()
 	}
+	qs.tok = db.queryLog.Start(qs.Kind, src)
 	r := &run{
 		db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch,
 		pool: db.exec, workers: db.workers, morsel: db.morsel,
@@ -399,6 +420,10 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string) (res *
 			qs.addProduced(res.Table.NumRows())
 		} else if res != nil {
 			qs.addProduced(res.Affected)
+		}
+		qs.tok.Finish(err)
+		if into != nil {
+			*into = *qs
 		}
 		db.statsMu.Lock()
 		db.stats.fold(qs)
@@ -465,7 +490,13 @@ func (r *run) dispatch(stmt Stmt) (*Result, error) {
 		}
 		return &Result{Table: t}, nil
 	case *ExplainStmt:
-		t, err := r.explainSelect(s.Query)
+		var t *rel.Table
+		var err error
+		if s.Analyze {
+			t, err = r.execAnalyze(s.Query)
+		} else {
+			t, err = r.explainSelect(s.Query)
+		}
 		if err != nil {
 			return nil, err
 		}

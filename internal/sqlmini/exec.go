@@ -3,7 +3,9 @@ package sqlmini
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/rel"
 )
 
@@ -148,6 +150,12 @@ func (r *run) execSelect(s *SelectStmt) (*rel.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		detail := "DISTINCT"
+		if all {
+			detail = "ALL"
+		}
+		r.azBegin("union", "")
+		r.azSet("", detail)
 		if all {
 			out, err = out.Union(renamed)
 		} else {
@@ -156,6 +164,7 @@ func (r *run) execSelect(s *SelectStmt) (*rel.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.azEnd(out.NumRows())
 	}
 	return out, nil
 }
@@ -192,57 +201,88 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 	}
 	si := 0
 	for _, ref := range s.From {
+		r.azBegin("scan", refAlias(ref))
 		g, err := r.scanSource(ref, plan.src(si))
 		if err != nil {
 			return nil, err
 		}
+		r.azEnd(len(g.rows))
 		si++
 		if f == nil {
 			f = g
 		} else {
+			r.azBegin("cross", refAlias(ref))
+			r.azSet("", "cross product")
 			f = f.cross(g)
+			r.azEnd(len(f.rows))
 		}
 	}
 	for _, j := range s.Joins {
+		r.azBegin("scan", refAlias(j.Ref))
 		g, err := r.scanSource(j.Ref, plan.src(si))
 		if err != nil {
 			return nil, err
 		}
+		r.azEnd(len(g.rows))
 		si++
+		r.azBegin("join", refAlias(j.Ref))
 		joined, err := r.join(f, g, j.On)
 		if err != nil {
 			return nil, err
 		}
+		r.azEnd(len(joined.rows))
 		f = joined
 	}
 	// WHERE (residue after pushdown).
 	if plan != nil && plan.residue != nil {
 		conj, progs := plan.residueConjuncts()
+		r.azBegin("filter", "")
+		if r.azTracks() {
+			r.azSet("", andString(conj))
+		}
 		filtered, err := r.filterFrame(f, conj, progs)
 		if err != nil {
 			return nil, err
 		}
+		r.azEnd(len(filtered.rows))
 		f = filtered
 	}
 	// GROUP BY aggregation; aggregates without GROUP BY treat the whole
 	// input as one group.
 	if len(s.GroupBy) > 0 || (hasAggregates(s.Items) && !isCountStar(s.Items)) {
-		return r.execGrouped(s, f)
+		if len(s.GroupBy) > 0 {
+			r.azBegin("group", "")
+			if r.azTracks() {
+				r.azSet("", fmt.Sprintf("%d key(s)", len(s.GroupBy)))
+			}
+		} else {
+			r.azBegin("aggregate", "")
+		}
+		t, err := r.execGrouped(s, f)
+		if err != nil {
+			return nil, err
+		}
+		r.azEnd(t.NumRows())
+		return t, nil
 	}
 	// COUNT(*) aggregate.
 	if isCountStar(s.Items) {
+		r.azBegin("aggregate", "")
 		name := "count"
 		if s.Items[0].Alias != "" {
 			name = s.Items[0].Alias
 		}
 		t := rel.MustNewTable("result", name)
 		t.MustInsert(rel.I(int64(len(f.rows))))
+		r.azEnd(1)
 		return t, nil
 	}
 	// Projection list. Direct column references copy their code straight
 	// off the row; anything else evaluates through one reused Env and the
 	// result is interned. Output codes are carved from a single arena
 	// allocation covering every row.
+	r.qs.phase(obs.PhaseProject)
+	r.azBegin("project", "")
 	cols, exprs, err := projection(s.Items, f)
 	if err != nil {
 		return nil, err
@@ -294,7 +334,9 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 		}
 		rows = append(rows, outRow{vals: vals, keys: keys})
 	}
+	r.azEnd(len(rows))
 	if s.Distinct {
+		r.azBegin("distinct", "")
 		seen := make(map[string]struct{}, len(rows))
 		kept := rows[:0]
 		for _, row := range rows {
@@ -306,8 +348,13 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 			kept = append(kept, row)
 		}
 		rows = kept
+		r.azEnd(len(rows))
 	}
 	if len(s.OrderBy) > 0 {
+		r.azBegin("sort", "")
+		if r.azTracks() {
+			r.azSet("", fmt.Sprintf("%d key(s)", len(s.OrderBy)))
+		}
 		sort.SliceStable(rows, func(a, b int) bool {
 			for i, k := range s.OrderBy {
 				c := rows[a].keys[i].Compare(rows[b].keys[i])
@@ -320,9 +367,17 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 			}
 			return false
 		})
+		r.azEnd(len(rows))
 	}
-	if s.Limit >= 0 && len(rows) > s.Limit {
-		rows = rows[:s.Limit]
+	if s.Limit >= 0 {
+		r.azBegin("limit", "")
+		if r.azTracks() {
+			r.azSet("", fmt.Sprintf("LIMIT %d", s.Limit))
+		}
+		if len(rows) > s.Limit {
+			rows = rows[:s.Limit]
+		}
+		r.azEnd(len(rows))
 	}
 	out, err := rel.NewTable("result", cols...)
 	if err != nil {
@@ -336,6 +391,15 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 	return out, nil
 }
 
+// refAlias is the display alias of a table source: the explicit alias or
+// the table name, matching EXPLAIN's target column.
+func refAlias(ref TableRef) string {
+	if ref.Alias != "" {
+		return ref.Alias
+	}
+	return ref.Name
+}
+
 // scanSource materializes one table source per its srcPlan: an index
 // lookup on the planned equality conjuncts when present, a whole-table
 // scan otherwise, followed by the remaining pushed filters.
@@ -344,6 +408,7 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 	}
+	r.qs.phase(obs.PhaseScan)
 	if len(sp.eqCols) > 0 {
 		ix, err := t.IndexOn(sp.eqCols...)
 		if err == nil {
@@ -351,6 +416,13 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 			r.qs.addIndexScan()
 			r.qs.addScanned(len(matched))
 			r.qs.addPushdown(len(sp.eqCols) + len(sp.filters))
+			if r.azTracks() {
+				detail := indexScanDetail(sp)
+				if len(sp.filters) > 0 {
+					detail += "; filter: " + andString(sp.filters)
+				}
+				r.azSet("indexscan", withStorage(detail))
+			}
 			f := schemaFrame(t, ref.Alias)
 			crows := t.CodeRows()
 			f.rows = make([][]uint32, len(matched))
@@ -371,6 +443,13 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 		sp.progs = nil
 	}
 	r.qs.addScanned(t.NumRows())
+	if r.azTracks() {
+		detail := ""
+		if len(sp.filters) > 0 {
+			detail = "pushdown: " + andString(sp.filters)
+		}
+		r.azSet("scan", withStorage(detail))
+	}
 	f := frameOf(t, ref.Alias)
 	if len(sp.filters) > 0 {
 		r.qs.addPushdown(len(sp.filters))
@@ -383,6 +462,7 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 // expressions; each bucket yields one output row, with COUNT(*) bound to
 // the bucket size for the select list and the HAVING filter.
 func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
+	r.qs.phase(obs.PhaseAggregate)
 	type group struct {
 		rows [][]uint32
 	}
@@ -468,9 +548,17 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 			return nil, err
 		}
 	}
+	// Close the caller's group/aggregate op at the grouped row count, so
+	// the ORDER BY and LIMIT below report as their own plan steps (the
+	// caller's azEnd is a no-op once the op is closed here).
+	r.azEnd(out.NumRows())
 	// ORDER BY over the output columns (aggregates are already
 	// materialized per row).
 	if len(s.OrderBy) > 0 {
+		r.azBegin("sort", "")
+		if r.azTracks() {
+			r.azSet("", fmt.Sprintf("%d key(s)", len(s.OrderBy)))
+		}
 		type keyed struct {
 			row  []rel.Value
 			keys []rel.Value
@@ -510,18 +598,26 @@ func (r *run) execGrouped(s *SelectStmt, f *frame) (*rel.Table, error) {
 			}
 		}
 		out = sorted
+		r.azEnd(out.NumRows())
 	}
-	if s.Limit >= 0 && out.NumRows() > s.Limit {
-		limited, err := rel.NewTable("result", cols...)
-		if err != nil {
-			return nil, err
+	if s.Limit >= 0 {
+		r.azBegin("limit", "")
+		if r.azTracks() {
+			r.azSet("", fmt.Sprintf("LIMIT %d", s.Limit))
 		}
-		for i := 0; i < s.Limit; i++ {
-			if err := limited.InsertRow(out.RawRow(i)); err != nil {
+		if out.NumRows() > s.Limit {
+			limited, err := rel.NewTable("result", cols...)
+			if err != nil {
 				return nil, err
 			}
+			for i := 0; i < s.Limit; i++ {
+				if err := limited.InsertRow(out.RawRow(i)); err != nil {
+					return nil, err
+				}
+			}
+			out = limited
 		}
-		out = limited
+		r.azEnd(out.NumRows())
 	}
 	return out, nil
 }
@@ -836,6 +932,7 @@ func projection(items []SelectItem, f *frame) ([]string, []Expr, error) {
 // the scan runs on the worker pool; kept rows merge in input order, so
 // the parallel result is byte-identical to the serial scan's.
 func (r *run) filterFrame(f *frame, conjuncts []Expr, progs []CodePred) (*frame, error) {
+	r.qs.phase(obs.PhaseFilter)
 	compiled := len(progs) == len(conjuncts)
 	if compiled {
 		for _, p := range progs {
@@ -1007,6 +1104,7 @@ func hashJoinPairs(f, g *frame, on Expr) ([]joinPair, bool) {
 // its matches. Every strategy below — serial or parallel — preserves that
 // order, so results are deterministic regardless of worker count.
 func (r *run) join(f, g *frame, on Expr) (*frame, error) {
+	r.qs.phase(obs.PhaseJoin)
 	pairs, hashable := hashJoinPairs(f, g, on)
 	out := &frame{
 		aliases: append(append([]string(nil), f.aliases...), g.aliases...),
@@ -1016,6 +1114,9 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		// Nested loop with ON filter; candidate rows carve from an arena
 		// and rejected candidates return their space.
 		r.qs.addLoopJoin()
+		if r.azTracks() {
+			r.azSet("", "nested-loop: "+on.String())
+		}
 		var ar codeArena
 		env := &frameEnv{f: out}
 		for _, a := range f.rows {
@@ -1033,6 +1134,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 				}
 			}
 		}
+		r.azArena(ar.grown)
 		return out, nil
 	}
 	r.qs.addHashJoin()
@@ -1047,6 +1149,10 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		}
 		if ix, err := g.base.IndexOn(cols...); err == nil {
 			r.qs.addIndexJoin()
+			if r.azTracks() {
+				r.azSet("", fmt.Sprintf("index nested-loop via %s(%s)",
+					g.aliases[pairs[0].ri], joinCols(cols)))
+			}
 			var ar codeArena
 			codes := make([]uint32, len(pairs))
 			for _, a := range f.rows {
@@ -1065,6 +1171,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 					out.rows = append(out.rows, ar.joinRow(a, g.rows[j]))
 				}
 			}
+			r.azArena(ar.grown)
 			return out, nil
 		}
 	}
@@ -1075,6 +1182,10 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		}
 		if ix, err := f.base.IndexOn(cols...); err == nil {
 			r.qs.addIndexJoin()
+			if r.azTracks() {
+				r.azSet("", fmt.Sprintf("index nested-loop via %s(%s)",
+					f.aliases[pairs[0].li], joinCols(cols)))
+			}
 			// Probe with g's rows, bucketing matches per f row so the
 			// output stays f-major.
 			matches := make([][]int, len(f.rows))
@@ -1096,6 +1207,7 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 				}
 			}
 			emitMatches(out, f, g, matches)
+			r.azEmitted(out)
 			return out, nil
 		}
 	}
@@ -1103,14 +1215,62 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 	// parallel probe over the larger (see exec_parallel.go; both phases
 	// degrade to serial loops below the parallel threshold).
 	if len(f.rows) <= len(g.rows) {
+		if r.azTracks() {
+			r.azSet("", fmt.Sprintf("hash, %d key(s), build=left", len(pairs)))
+		}
+		var t0, t1 time.Time
+		if r.azTracks() {
+			t0 = time.Now()
+		}
 		ht := r.buildHashTable(f.rows, pairs, true)
+		if r.azTracks() {
+			t1 = time.Now()
+		}
 		matches := r.probeMatches(g.rows, pairs, ht, len(f.rows))
 		emitMatches(out, f, g, matches)
+		if r.azTracks() {
+			r.azBuildProbe(t1.Sub(t0), time.Since(t1))
+			r.azEmitted(out)
+		}
 		return out, nil
 	}
+	if r.azTracks() {
+		r.azSet("", fmt.Sprintf("hash, %d key(s), build=right", len(pairs)))
+	}
+	var t0, t1 time.Time
+	if r.azTracks() {
+		t0 = time.Now()
+	}
 	ht := r.buildHashTable(g.rows, pairs, false)
+	if r.azTracks() {
+		t1 = time.Now()
+	}
 	r.probeEmit(out, f, g, pairs, ht)
+	if r.azTracks() {
+		r.azBuildProbe(t1.Sub(t0), time.Since(t1))
+	}
 	return out, nil
+}
+
+// joinCols renders a join-column list for analyze details.
+func joinCols(cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+// azEmitted charges the open analyze op with the bytes of the joined rows
+// emitMatches materialized (4 bytes per code).
+func (r *run) azEmitted(out *frame) {
+	if r.az == nil || r.az.cur < 0 {
+		return
+	}
+	r.azArena(int64(len(out.rows)) * int64(len(out.names)) * 4)
 }
 
 // emitMatches appends f-major joined rows — for each f row in order, its

@@ -27,6 +27,9 @@ import (
 type codeArena struct {
 	block []uint32
 	off   int
+	// grown counts the bytes of fresh blocks allocated, for EXPLAIN
+	// ANALYZE's arena_bytes annotation.
+	grown int64
 }
 
 const arenaMinBlock = 2048
@@ -47,6 +50,7 @@ func (a *codeArena) next(n int) []uint32 {
 		}
 		a.block = make([]uint32, size)
 		a.off = 0
+		a.grown += int64(size) * 4
 	}
 	out := a.block[a.off : a.off+n : a.off+n]
 	a.off += n

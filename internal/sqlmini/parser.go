@@ -121,11 +121,12 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	case p.cur().Kind == TokKeyword && p.cur().Text == "SELECT":
 		return p.parseSelect()
 	case p.acceptKeyword("EXPLAIN"):
+		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	case p.acceptKeyword("CREATE"):
 		return p.parseCreate()
 	case p.acceptKeyword("DROP"):

@@ -404,7 +404,17 @@ func (db *DB) Prepare(src string) (*Prepared, error) {
 // Exec executes the prepared statement. Prepared executions count as
 // plan-cache hits: the whole point of the handle is never re-parsing.
 func (p *Prepared) Exec() (*Result, error) {
-	return p.db.execute(p.entry.stmt, p.entry, p.src, "hit")
+	return p.db.execute(p.entry.stmt, p.entry, p.src, "hit", nil)
+}
+
+// ExecStats executes the prepared statement and additionally returns the
+// execution's QueryStats — rows scanned/produced, join strategies, morsel
+// and steal counts — so callers like the invariant suite can attribute
+// runtime per query without scraping the DB-wide aggregates.
+func (p *Prepared) ExecStats() (*Result, QueryStats, error) {
+	var qs QueryStats
+	res, err := p.db.execute(p.entry.stmt, p.entry, p.src, "hit", &qs)
+	return res, qs, err
 }
 
 // Query executes the prepared statement and returns its result table.

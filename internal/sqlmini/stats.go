@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"time"
 
+	"coherdb/internal/obs"
 	"coherdb/internal/pool"
 )
 
@@ -48,6 +49,11 @@ type QueryStats struct {
 	WorkerBusy []time.Duration
 	// Elapsed is the statement's total evaluation time.
 	Elapsed time.Duration
+
+	// tok is the statement's query-log handle (nil when no log is
+	// installed); the accumulators feed it rows-so-far and phase so the
+	// /queries endpoint shows live progress.
+	tok *obs.QueryToken
 }
 
 // Nil-tolerant accumulators so the executor can record without guarding
@@ -57,12 +63,21 @@ type QueryStats struct {
 func (q *QueryStats) addScanned(n int) {
 	if q != nil {
 		q.RowsScanned += n
+		q.tok.AddRows(int64(n))
 	}
 }
 
 func (q *QueryStats) addProduced(n int) {
 	if q != nil {
 		q.RowsProduced += n
+	}
+}
+
+// phase publishes the statement's current execution phase to the query
+// log, when one is attached; a single nil check otherwise.
+func (q *QueryStats) phase(p obs.QueryPhase) {
+	if q != nil && q.tok != nil {
+		q.tok.SetPhase(p)
 	}
 }
 

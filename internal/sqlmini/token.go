@@ -73,5 +73,5 @@ var keywords = map[string]bool{
 	"WHEN": true, "THEN": true, "ELSE": true, "END": true,
 	"BETWEEN": true, "ASC": true, "DESC": true, "IF": true,
 	"EXISTS": true, "COUNT": true, "GROUP": true, "HAVING": true,
-	"MIN": true, "MAX": true, "EXPLAIN": true,
+	"MIN": true, "MAX": true, "EXPLAIN": true, "ANALYZE": true,
 }

@@ -19,7 +19,10 @@
 # compiled-kernel solver on table D and the Fig. 3 incremental sweep)
 # plus the planner-sensitive ones: the invariant suite (the paper's
 # every-revision workload), the substrate SELECT/JOIN microbenchmarks,
-# and the prepared-statement floor.
+# the prepared-statement floor, and the EXPLAIN ANALYZE pair (plain vs
+# instrumented execution of the same join). The race gates also cover the
+# lock-free metrics plane, and TestNilTracerOverheadBound enforces the
+# <5% off-path instrumentation budget before any number is recorded.
 #
 # After writing the summary, the script diffs it against the previous
 # revision's baseline (BENCH_BASELINE, default BENCH_4.json) and prints a
@@ -31,9 +34,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$}"
-OUT="${BENCH_OUT:-BENCH_5.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_4.json}"
+PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$}"
+OUT="${BENCH_OUT:-BENCH_6.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_5.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -50,6 +53,12 @@ go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolve
 echo "== race-detector parallel-executor tests =="
 go test -race -run 'TestParallelMatchesSerial|TestParallelMatchesSerialControllers|TestConcurrentParallelSelects|TestParallelWorkerStats|TestEach' \
     ./internal/pool/ ./internal/sqlmini/
+
+echo "== race-detector observability tests =="
+go test -race ./internal/obs/...
+
+echo "== nil-tracer overhead bound (<5%) =="
+go test -run 'TestNilTracerOverheadBound' -count=1 .
 
 echo "== benchmarks =="
 go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$RAW"
