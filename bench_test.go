@@ -718,6 +718,32 @@ func BenchmarkSQLSelectWhere(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorizedFilter pins the scalar-vs-vectorized gap on a
+// pushdown filter scan: the same non-indexable predicate over table D,
+// evaluated row-at-a-time by the compiled closure kernel and
+// column-at-a-time by the selection-vector kernel. The pair is what
+// bench.sh records so a regression in either path is visible on its own.
+func BenchmarkVectorizedFilter(b *testing.B) {
+	p := pipeline(b)
+	const q = `SELECT inmsg, dirst FROM D WHERE inmsg <> 'readex' AND locmsg IS NOT NULL`
+	defer p.DB.SetVectorized(true)
+	for _, bench := range []struct {
+		name string
+		vec  bool
+	}{{"scalar", false}, {"vectorized", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			p.DB.SetVectorized(bench.vec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.DB.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSQLPreparedSelect is the plan-cache fast path in isolation: the
 // statement is parsed and planned once, and every iteration re-executes the
 // prepared handle — the per-execution floor for an indexed point query.

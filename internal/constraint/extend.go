@@ -91,14 +91,90 @@ func extendCompiled(cur [][]uint32, width int, domain []uint32, fire []compiledC
 	return next, st, nil
 }
 
+// sweepVectorized gates the solver's column-at-a-time domain sweep;
+// equivalence tests flip it to cross-check the vectorized and scalar
+// sweeps over full protocol generations. Not synchronized: set it before
+// solving, not during.
+var sweepVectorized = true
+
 // evalGroups fills verdicts[g*len(domain)+di] for every group g and domain
 // index di by running the fire programs on the group's representative row
-// extended with domain[di]. Every firing program was sweep-compiled around
-// position width-1, so between NextRow calls (one per group) the subtrees
-// over earlier columns are evaluated once and served from the instance
-// cache for the rest of the domain sweep — for the protocol's rule-chain
-// constraints that is every rule condition.
+// extended with domain[di]. Every firing program carries a column-at-a-
+// time sweep form (see sqlmini.CompileSweepVec): one EvalSweepTrue call
+// decides the whole domain for one (group, constraint) pair, evaluating
+// sweep-stable rule conditions once per group and the sweep-reading
+// leaves as tight loops over the domain's code vector. Constraints
+// conjoin by AND-ing into a shared keep vector, stopping early when no
+// lane survives.
 func evalGroups(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
+	if !sweepVectorized {
+		return evalGroupsScalar(cur, width, domain, fire, reps, verdicts, workers)
+	}
+	dlen := len(domain)
+	cursor := newBatchCursor(uint64(len(reps)), workers)
+	nw := workers
+	if nb := cursor.numBatches(); nw > nb {
+		nw = nb
+	}
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := make([]uint32, width)
+			keep := make([]bool, dlen)
+			insts := make([]*sqlmini.Instance, len(fire))
+			for i, c := range fire {
+				insts[i] = c.sweep.Instance()
+			}
+			defer func() {
+				for i, c := range fire {
+					c.sweep.Release(insts[i])
+				}
+			}()
+			for {
+				_, lo, hi, ok := cursor.grab()
+				if !ok {
+					return
+				}
+				for g := lo; g < hi; g++ {
+					copy(scratch, cur[reps[g]])
+					for _, in := range insts {
+						in.NextRow()
+					}
+					for di := range keep {
+						keep[di] = true
+					}
+					for i, cc := range fire {
+						any, err := cc.sweep.EvalSweepTrue(insts[i], scratch, domain, keep)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						if !any {
+							break
+						}
+					}
+					copy(verdicts[int(g)*dlen:int(g+1)*dlen], keep)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalGroupsScalar is the row-at-a-time sweep the vectorized path
+// replaced: one EvalCodes closure-tree walk per (group, value, constraint)
+// triple, with the sweep cache amortizing subtrees over earlier columns.
+// Kept as the cross-check oracle for the vectorized sweep.
+func evalGroupsScalar(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
 	dlen := len(domain)
 	cursor := newBatchCursor(uint64(len(reps)), workers)
 	nw := workers

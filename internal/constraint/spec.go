@@ -270,10 +270,11 @@ func (s *Spec) ColumnIndex() map[string]int {
 // program, plus its scheduling metadata: the row positions it reads and
 // the step at which it becomes checkable.
 type compiledConstraint struct {
-	col  string
-	prog *sqlmini.Program
-	refs []int // row positions the constraint reads, own column included
-	fire int   // max referenced position: the step the constraint fires at
+	col   string
+	prog  *sqlmini.Program
+	sweep *sqlmini.SweepProg // column-at-a-time form of prog over the fire column
+	refs  []int              // row positions the constraint reads, own column included
+	fire  int                // max referenced position: the step the constraint fires at
 }
 
 // compiledConstraints lowers every column constraint into a position-bound
@@ -307,6 +308,13 @@ func (s *Spec) compiledConstraints() ([]compiledConstraint, error) {
 			return nil, fmt.Errorf("constraint: compiling constraint for %s.%s: %w", s.Name, col, err)
 		}
 		cc.prog = prog
+		// The vectorized sweep accepts exactly what CompileSweep accepts
+		// (irreducible subtrees lower to a looped scalar closure), so a
+		// failure here is the same class of spec error.
+		cc.sweep, err = ev.CompileSweepVec(e, s.colIdx, cc.fire)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: compiling constraint for %s.%s: %w", s.Name, col, err)
+		}
 		out = append(out, cc)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -222,6 +222,37 @@ func (t *Table) AppendCodes(rows [][]uint32) error {
 	return nil
 }
 
+// AppendColumns bulk-appends n rows given column-major: cols[j] holds
+// column j's codes for the new rows. The column-at-a-time result builder
+// uses this — each output column lands with one copy, no per-row
+// scatter.
+func (t *Table) AppendColumns(cols [][]uint32, n int) error {
+	if len(cols) != len(t.cols) {
+		return fmt.Errorf("%w: got %d columns, want %d in table %q", ErrArity, len(cols), len(t.cols), t.name)
+	}
+	for j, c := range cols {
+		if len(c) != n {
+			return fmt.Errorf("%w: column %d has %d rows, want %d in table %q", ErrArity, j, len(c), n, t.name)
+		}
+	}
+	for j := range t.data {
+		t.data[j] = append(t.data[j], cols[j]...)
+	}
+	if t.indexes != nil {
+		base := t.nrows
+		t.nrows += n
+		for i := base; i < t.nrows; i++ {
+			for _, ix := range t.indexes {
+				ix.add(i)
+			}
+		}
+	} else {
+		t.nrows += n
+	}
+	t.dropRowCaches()
+	return nil
+}
+
 // Row returns an accessor for row i. It panics if i is out of range.
 func (t *Table) Row(i int) Row {
 	if i < 0 || i >= t.nrows {

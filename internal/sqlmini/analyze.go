@@ -33,6 +33,12 @@ type azOp struct {
 
 	buildTime, probeTime time.Duration
 	arenaBytes           int64
+
+	// vecBatches counts the selection-vector batches the op's vectorized
+	// filter evaluated; selIn/selOut are the selection sizes entering and
+	// surviving the cascade, rendered as sel_density.
+	vecBatches    int
+	selIn, selOut int
 }
 
 // azRun collects the operator measurements of one EXPLAIN ANALYZE.
@@ -96,6 +102,18 @@ func (r *run) azBuildProbe(build, probe time.Duration) {
 	o.buildTime, o.probeTime = build, probe
 }
 
+// azVec records a vectorized filter cascade on the open op: batches
+// evaluated, selection rows in, survivors out.
+func (r *run) azVec(batches, in, out int) {
+	if r.az == nil || r.az.cur < 0 {
+		return
+	}
+	o := &r.az.ops[r.az.cur]
+	o.vecBatches += batches
+	o.selIn += in
+	o.selOut += out
+}
+
 // azArena adds arena block growth (bytes) to the open op.
 func (r *run) azArena(n int64) {
 	if r.az == nil || r.az.cur < 0 || n <= 0 {
@@ -140,6 +158,13 @@ func (o *azOp) analyzeDetail() string {
 	parts := make([]string, 0, 4)
 	if o.detail != "" {
 		parts = append(parts, o.detail)
+	}
+	if o.vecBatches > 0 {
+		density := 0.0
+		if o.selIn > 0 {
+			density = float64(o.selOut) / float64(o.selIn)
+		}
+		parts = append(parts, fmt.Sprintf("sel_density=%.2f vec_batches=%d", density, o.vecBatches))
 	}
 	if o.morsels > 0 {
 		parts = append(parts, fmt.Sprintf("morsels=%d steals=%d", o.morsels, o.steals))

@@ -92,11 +92,13 @@ func TestExplainAnalyzeParallelScan(t *testing.T) {
 	db := bigTestDB(t, 64)
 	forceParallel(db)
 	// 64 rows at an 8-row morsel split into 8 morsels; the morsel count is
-	// deterministic, steal counts are not.
+	// deterministic, steal counts are not. Both conjuncts vectorize (the
+	// range compare through the memoized single-column kernel), so the scan
+	// reports the measured selection density and batch count.
 	checkAnalyze(t, db,
 		`EXPLAIN ANALYZE SELECT id, val FROM T WHERE val > 50 AND flag IS NOT NULL`,
 		[]string{
-			`scan|T|23|pushdown: (val > 50) AND (flag IS NOT NULL); storage=columnar; morsels=8 steals=S`,
+			`scan|T|23|pushdown: (val > 50) AND (flag IS NOT NULL); eval=vectorized; storage=columnar; sel_density=0.36 vec_batches=8; morsels=8 steals=S`,
 			`project||23|`,
 		})
 }

@@ -80,6 +80,7 @@ type Instance struct {
 	valMemo []uint64 // stamp per val slot
 	vals    []rel.Value
 	crow    []uint32 // scratch for the Value-row Eval wrapper
+	svBufs  [][]tri  // lane buffers for SweepProg combiners (see sweepvec.go)
 }
 
 // Instance creates fresh evaluation state for p.

@@ -72,6 +72,13 @@ type DB struct {
 	exec    *pool.Pool
 	workers int
 	morsel  int
+
+	// vectorized enables the column-at-a-time scan path (on by default).
+	// Plans carry both forms of every compiled conjunct, so toggling
+	// selects the execution path per statement without invalidating
+	// anything — the scalar path exists as the compile-time fallback and
+	// as the reference for the vectorized-vs-scalar golden tests.
+	vectorized bool
 }
 
 // run is the context of one executing statement: the DB, a snapshot of its
@@ -93,6 +100,7 @@ type run struct {
 	pool    *pool.Pool
 	workers int
 	morsel  int
+	vec     bool
 }
 
 // parallel decides whether a phase over n rows runs on the pool: it
@@ -122,11 +130,12 @@ func (r *run) parallel(n int) (*pool.Pool, int, int) {
 // (typename, coalesce2) pre-installed.
 func NewDB() *DB {
 	db := &DB{
-		tables: make(map[string]*rel.Table),
-		eval:   Evaluator{Funcs: make(map[string]Func), NullEq: true},
-		plans:  make(map[string]*planEntry),
-		exec:   pool.Shared(),
-		morsel: DefaultMorselSize,
+		tables:     make(map[string]*rel.Table),
+		eval:       Evaluator{Funcs: make(map[string]Func), NullEq: true},
+		plans:      make(map[string]*planEntry),
+		exec:       pool.Shared(),
+		morsel:     DefaultMorselSize,
+		vectorized: true,
 	}
 	db.eval.Funcs["typename"] = func(args []rel.Value) (rel.Value, error) {
 		if len(args) != 1 {
@@ -196,6 +205,16 @@ func (db *DB) SetMorselSize(n int) {
 	db.morsel = n
 }
 
+// SetVectorized enables or disables the column-at-a-time scan path
+// (enabled by default). Vectorized and scalar execution produce
+// byte-identical results; the knob exists for the golden equivalence
+// tests and the scalar-vs-vectorized benchmark pair.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.vectorized = on
+}
+
 // SetTracer installs (or, with nil, removes) a tracer: every statement
 // then emits one "sql.stmt" span carrying its QueryStats — rows scanned
 // and produced, join strategies, index and plan-cache use, eval time.
@@ -220,6 +239,8 @@ func (db *DB) SetMetrics(m *obs.Registry) {
 		m.Help("coherdb_sql_index_joins_total", "Joins that probed a persistent index instead of building a hash table.")
 		m.Help("coherdb_sql_parallel_morsels_total", "Row batches dealt to the worker pool by parallel scans and join probes.")
 		m.Help("coherdb_sql_parallel_steals_total", "Morsels claimed by a worker beyond its fair share (work-stealing rebalances).")
+		m.Help("coherdb_sql_vectorized_batches_total", "Selection-vector batches evaluated by the column-at-a-time scan path.")
+		m.Help("coherdb_sql_vectorized_rows_total", "Rows entering vectorized filter kernels (selection-vector inputs).")
 	}
 }
 
@@ -407,7 +428,7 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string, into *
 	qs.tok = db.queryLog.Start(qs.Kind, src)
 	r := &run{
 		db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch,
-		pool: db.exec, workers: db.workers, morsel: db.morsel,
+		pool: db.exec, workers: db.workers, morsel: db.morsel, vec: db.vectorized,
 	}
 	span := obs.StartSpan(db.tracer, "sql.stmt", obs.String("kind", qs.Kind))
 	if src != "" {
@@ -477,6 +498,8 @@ func (db *DB) observe(qs *QueryStats) {
 	m.Counter("coherdb_sql_index_joins_total").Add(int64(qs.IndexJoins))
 	m.Counter("coherdb_sql_parallel_morsels_total").Add(int64(qs.Morsels))
 	m.Counter("coherdb_sql_parallel_steals_total").Add(int64(qs.Steals))
+	m.Counter("coherdb_sql_vectorized_batches_total").Add(int64(qs.VecBatches))
+	m.Counter("coherdb_sql_vectorized_rows_total").Add(int64(qs.VecRowsIn))
 }
 
 // dispatch routes a statement to its executor. The caller holds db.mu in

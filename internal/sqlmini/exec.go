@@ -289,11 +289,56 @@ func (r *run) execSelectOne(s *SelectStmt, plan *branchPlan) (*rel.Table, error)
 	}
 	width := len(exprs)
 	colAt := make([]int, width)
+	direct := true
 	for i, e := range exprs {
 		colAt[i] = -1
 		if c, ok := e.(Col); ok {
 			colAt[i] = f.resolve(c.Qualifier, c.Name)
 		}
+		if colAt[i] < 0 {
+			direct = false
+		}
+	}
+	// Fused projection: when every output is a direct column reference and
+	// no reordering or dedup follows, skip the per-row staging entirely —
+	// gather each output column from the frame rows in one pass and bulk-
+	// append the column vectors to the result. Same codes in the same
+	// order as the staged path, so vectorized, scalar, parallel and serial
+	// executions all stay byte-identical.
+	if direct && !s.Distinct && len(s.OrderBy) == 0 {
+		rows := f.rows
+		r.azEnd(len(rows))
+		if s.Limit >= 0 {
+			r.azBegin("limit", "")
+			if r.azTracks() {
+				r.azSet("", fmt.Sprintf("LIMIT %d", s.Limit))
+			}
+			if len(rows) > s.Limit {
+				rows = rows[:s.Limit]
+			}
+			r.azEnd(len(rows))
+		}
+		out, err := rel.NewTable("result", cols...)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return out, nil
+		}
+		n := len(rows)
+		flat := make([]uint32, n*width)
+		gathered := make([][]uint32, width)
+		for k, src := range colAt {
+			col := flat[k*n : (k+1)*n]
+			for i, row := range rows {
+				col[i] = row[src]
+			}
+			gathered[k] = col
+		}
+		if err := out.AppendColumns(gathered, n); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	type outRow struct {
 		vals []uint32
@@ -416,12 +461,16 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 			r.qs.addIndexScan()
 			r.qs.addScanned(len(matched))
 			r.qs.addPushdown(len(sp.eqCols) + len(sp.filters))
+			vec := len(sp.filters) > 0 && r.vecUsable(t, sp)
 			if r.azTracks() {
 				detail := indexScanDetail(sp)
 				if len(sp.filters) > 0 {
-					detail += "; filter: " + andString(sp.filters)
+					detail += "; filter: " + andString(sp.filters) + evalDetail(vec)
 				}
 				r.azSet("indexscan", withStorage(detail))
+			}
+			if vec {
+				return r.vecScan(t, ref.Alias, matched, sp.vecs)
 			}
 			f := schemaFrame(t, ref.Alias)
 			crows := t.CodeRows()
@@ -441,14 +490,20 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 		// fallback is interpreted.
 		sp.filters = append(eqExprs(sp), sp.filters...)
 		sp.progs = nil
+		sp.vecs = nil
 	}
 	r.qs.addScanned(t.NumRows())
+	vec := len(sp.filters) > 0 && r.vecUsable(t, sp)
 	if r.azTracks() {
 		detail := ""
 		if len(sp.filters) > 0 {
-			detail = "pushdown: " + andString(sp.filters)
+			detail = "pushdown: " + andString(sp.filters) + evalDetail(vec)
 		}
 		r.azSet("scan", withStorage(detail))
+	}
+	if vec {
+		r.qs.addPushdown(len(sp.filters))
+		return r.vecScan(t, ref.Alias, nil, sp.vecs)
 	}
 	f := frameOf(t, ref.Alias)
 	if len(sp.filters) > 0 {
@@ -456,6 +511,15 @@ func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
 		return r.filterFrame(f, sp.filters, sp.progs)
 	}
 	return f, nil
+}
+
+// evalDetail renders the filter-evaluation mode annotation shared by
+// EXPLAIN and EXPLAIN ANALYZE scan steps.
+func evalDetail(vec bool) string {
+	if vec {
+		return "; eval=vectorized"
+	}
+	return "; eval=scalar"
 }
 
 // execGrouped evaluates a GROUP BY query: rows are bucketed by the group
@@ -1186,9 +1250,9 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 				r.azSet("", fmt.Sprintf("index nested-loop via %s(%s)",
 					f.aliases[pairs[0].li], joinCols(cols)))
 			}
-			// Probe with g's rows, bucketing matches per f row so the
-			// output stays f-major.
-			matches := make([][]int, len(f.rows))
+			// Probe with g's rows, staging flat (build, probe) hit pairs;
+			// groupHits buckets them per f row so the output stays f-major.
+			var hits []matchHit
 			codes := make([]uint32, len(pairs))
 			for j, b := range g.rows {
 				ok := true
@@ -1203,10 +1267,10 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 					continue
 				}
 				for _, i := range ix.LookupCodes(codes...) {
-					matches[i] = append(matches[i], j)
+					hits = append(hits, matchHit{i: int32(i), j: int32(j)})
 				}
 			}
-			emitMatches(out, f, g, matches)
+			emitMatchSet(out, f, g, groupHits(hits, len(f.rows)))
 			r.azEmitted(out)
 			return out, nil
 		}
@@ -1226,8 +1290,8 @@ func (r *run) join(f, g *frame, on Expr) (*frame, error) {
 		if r.azTracks() {
 			t1 = time.Now()
 		}
-		matches := r.probeMatches(g.rows, pairs, ht, len(f.rows))
-		emitMatches(out, f, g, matches)
+		hits := r.probeHits(g.rows, pairs, ht)
+		emitMatchSet(out, f, g, groupHits(hits, len(f.rows)))
 		if r.azTracks() {
 			r.azBuildProbe(t1.Sub(t0), time.Since(t1))
 			r.azEmitted(out)
@@ -1273,13 +1337,45 @@ func (r *run) azEmitted(out *frame) {
 	r.azArena(int64(len(out.rows)) * int64(len(out.names)) * 4)
 }
 
-// emitMatches appends f-major joined rows — for each f row in order, its
-// matching g rows — carved from one exactly-sized allocation.
-func emitMatches(out *frame, f, g *frame, matches [][]int) {
-	total := 0
-	for _, m := range matches {
-		total += len(m)
+// matchHit is one (build row, probe row) join match. int32 halves the
+// staging footprint; row counts here are bounded far below 2^31 by the
+// protocol tables.
+type matchHit struct{ i, j int32 }
+
+// matchSet is the grouped form of a hit list: for build row i, its probe
+// matches are idx[offs[i]:offs[i+1]], in probe order.
+type matchSet struct {
+	offs []int32
+	idx  []int32
+}
+
+// groupHits buckets probe-order hits per build row with a counting sort —
+// two passes and three exact allocations, replacing the per-build-row
+// append churn that used to dominate join allocation. The sort is stable,
+// so within each build row the probe order (and thus the emitted row
+// order) is exactly the serial nested fill's.
+func groupHits(hits []matchHit, nBuild int) matchSet {
+	offs := make([]int32, nBuild+1)
+	for _, h := range hits {
+		offs[h.i+1]++
 	}
+	for i := 1; i <= nBuild; i++ {
+		offs[i] += offs[i-1]
+	}
+	idx := make([]int32, len(hits))
+	cur := make([]int32, nBuild)
+	copy(cur, offs[:nBuild])
+	for _, h := range hits {
+		idx[cur[h.i]] = h.j
+		cur[h.i]++
+	}
+	return matchSet{offs: offs, idx: idx}
+}
+
+// emitMatchSet appends f-major joined rows — for each f row in order, its
+// matching g rows — carved from one exactly-sized allocation.
+func emitMatchSet(out *frame, f, g *frame, ms matchSet) {
+	total := len(ms.idx)
 	if total == 0 {
 		return
 	}
@@ -1288,7 +1384,7 @@ func emitMatches(out *frame, f, g *frame, matches [][]int) {
 	out.rows = make([][]uint32, 0, total)
 	k := 0
 	for i, a := range f.rows {
-		for _, j := range matches[i] {
+		for _, j := range ms.idx[ms.offs[i]:ms.offs[i+1]] {
 			row := flat[k : k+width : k+width]
 			k += width
 			copy(row, a)

@@ -283,15 +283,16 @@ func (r *run) probeEmit(out *frame, f, g *frame, pairs []joinPair, ht *hashTable
 	out.rows = mergeParts(parts)
 }
 
-// probeMatches probes the hash table (built over the f side) with the
-// probe rows, returning for every build-side row the probe row numbers
-// matching it, in probe order — emitMatches then emits them f-major.
-// Parallel batches stage (build, probe) hit pairs and merge them in batch
-// order, reproducing the serial fill exactly.
-func (r *run) probeMatches(rows [][]uint32, pairs []joinPair, ht *hashTable, nBuild int) [][]int {
-	matches := make([][]int, nBuild)
+// probeHits probes the hash table (built over the f side) with the probe
+// rows, returning the flat (build, probe) hit pairs in probe order —
+// groupHits then buckets them per build row and emitMatchSet emits them
+// f-major. Parallel batches stage their own hit lists and concatenate in
+// batch order, which is exactly probe order, so the serial and parallel
+// hit sequences are identical.
+func (r *run) probeHits(rows [][]uint32, pairs []joinPair, ht *hashTable) []matchHit {
 	p, workers, morsel := r.parallel(len(rows))
 	if p == nil {
+		var hits []matchHit
 		var buf []byte
 		for j, row := range rows {
 			b, ok := appendRowKey(buf[:0], row, pairs, false)
@@ -304,16 +305,15 @@ func (r *run) probeMatches(rows [][]uint32, pairs []joinPair, ht *hashTable, nBu
 				continue
 			}
 			for _, i := range bk.rows {
-				matches[i] = append(matches[i], j)
+				hits = append(hits, matchHit{i: int32(i), j: int32(j)})
 			}
 		}
-		return matches
+		return hits
 	}
-	type hit struct{ i, j int }
-	staged := make([][]hit, pool.Batches(len(rows), morsel))
+	staged := make([][]matchHit, pool.Batches(len(rows), morsel))
 	st, _ := p.Each(workers, len(rows), morsel, func(batch, lo, hi int) error {
 		var buf []byte
-		var hits []hit
+		var hits []matchHit
 		for j := lo; j < hi; j++ {
 			b, ok := appendRowKey(buf[:0], rows[j], pairs, false)
 			buf = b
@@ -325,17 +325,20 @@ func (r *run) probeMatches(rows [][]uint32, pairs []joinPair, ht *hashTable, nBu
 				continue
 			}
 			for _, i := range bk.rows {
-				hits = append(hits, hit{i: i, j: j})
+				hits = append(hits, matchHit{i: int32(i), j: int32(j)})
 			}
 		}
 		staged[batch] = hits
 		return nil
 	})
 	r.qs.addParallel(st)
-	for _, hits := range staged {
-		for _, h := range hits {
-			matches[h.i] = append(matches[h.i], h.j)
-		}
+	total := 0
+	for _, h := range staged {
+		total += len(h)
 	}
-	return matches
+	hits := make([]matchHit, 0, total)
+	for _, h := range staged {
+		hits = append(hits, h...)
+	}
+	return hits
 }

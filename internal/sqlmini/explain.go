@@ -205,9 +205,9 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 			ix, ixErr := sc.t.IndexOn(sp.eqCols...)
 			if ixErr != nil {
 				// Mirrors the executor's fallback: the equalities run as
-				// ordinary pushed filters.
+				// ordinary pushed filters, interpreted (hence scalar).
 				e = estFilter(e, len(sp.eqCols)+len(sp.filters))
-				err = planRow(out, "scan", sc.alias, e, withStorage("pushdown: "+andString(append(eqExprs(sp), sp.filters...))))
+				err = planRow(out, "scan", sc.alias, e, withStorage("pushdown: "+andString(append(eqExprs(sp), sp.filters...))+evalDetail(false)))
 				break
 			}
 			if e > 0 {
@@ -216,11 +216,11 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 			detail := indexScanDetail(sp)
 			if len(sp.filters) > 0 {
 				e = estFilter(e, len(sp.filters))
-				detail += "; filter: " + andString(sp.filters)
+				detail += "; filter: " + andString(sp.filters) + evalDetail(r.vecUsable(sc.t, sp))
 			}
 			err = planRow(out, "indexscan", sc.alias, e, withStorage(detail))
 		case len(sp.filters) > 0:
-			detail := "pushdown: " + andString(sp.filters)
+			detail := "pushdown: " + andString(sp.filters) + evalDetail(r.vecUsable(sc.t, sp))
 			if fullyCompiled(sp.progs, len(sp.filters)) {
 				if pd := r.parallelDetail("scan", sc.rows); pd != "" {
 					detail += "; " + pd

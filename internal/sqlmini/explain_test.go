@@ -130,6 +130,30 @@ func TestExplainAggregateWithoutGroup(t *testing.T) {
 		})
 }
 
+func TestExplainEvalAnnotation(t *testing.T) {
+	db := newTestDB(t)
+	// A non-equality conjunct stays as a pushdown filter; with every
+	// conjunct lowered to a selection-vector kernel the plan advertises the
+	// column-at-a-time path, and flipping the toggle reverts the same plan
+	// to row-at-a-time evaluation.
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D WHERE inmsg <> 'readex'`,
+		[]string{
+			`scan|D|2|pushdown: (inmsg <> 'readex'); eval=vectorized; storage=columnar`,
+		})
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D WHERE dirst = 'SI' AND inmsg <> 'readex'`,
+		[]string{
+			`indexscan|D|1|index(dirst) = ('SI'); filter: (inmsg <> 'readex'); eval=vectorized; storage=columnar`,
+		})
+	db.SetVectorized(false)
+	checkPlan(t, db,
+		`EXPLAIN SELECT * FROM D WHERE inmsg <> 'readex'`,
+		[]string{
+			`scan|D|2|pushdown: (inmsg <> 'readex'); eval=scalar; storage=columnar`,
+		})
+}
+
 func TestExplainDoesNotExecute(t *testing.T) {
 	db := newTestDB(t)
 	if _, err := db.Exec(`EXPLAIN SELECT * FROM D JOIN V ON D.inmsg = V.m`); err != nil {

@@ -262,10 +262,10 @@ func TestCompileBoundValueConditionals(t *testing.T) {
 		R: Lit{Val: rel.S("MESI")},
 	}
 	rows := [][]rel.Value{
-		{rel.S("yes"), rel.S("MESI")},  // branch taken, payload matches
-		{rel.S("yes"), rel.S("SI")},    // branch taken, payload differs
-		{rel.S("no"), rel.S("MESI")},   // CASE: no arm -> NULL; ternary: else
-		{rel.Null(), rel.S("MESI")},    // unknown condition
+		{rel.S("yes"), rel.S("MESI")}, // branch taken, payload matches
+		{rel.S("yes"), rel.S("SI")},   // branch taken, payload differs
+		{rel.S("no"), rel.S("MESI")},  // CASE: no arm -> NULL; ternary: else
+		{rel.Null(), rel.S("MESI")},   // unknown condition
 	}
 	ev := Evaluator{}
 	for name, e := range map[string]Expr{"case": caseExpr, "ternary": ternExpr} {

@@ -36,6 +36,13 @@ type srcPlan struct {
 	// evaluated directly over dictionary-code rows; a nil slot means the
 	// compiler declined that conjunct and it is interpreted per row.
 	progs []CodePred
+	// vecs holds the vectorized form of each filter conjunct (same index),
+	// evaluating a whole morsel's column vectors per call; a nil slot means
+	// the conjunct's shape forces row-at-a-time evaluation. The scan takes
+	// the column-at-a-time path only when every conjunct vectorized (see
+	// fullyVec), so a partially lowered filter never splits evaluation
+	// orders.
+	vecs []*VecPred
 }
 
 // pristine reports whether the source is scanned whole, with no pushed
@@ -208,6 +215,7 @@ func (r *run) planBranch(s *SelectStmt) (*branchPlan, error) {
 			sp.filters[j] = bindExpr(e, sources[i])
 		}
 		sp.progs = compilePreds(&r.ev, sp.filters)
+		sp.vecs = compileVecs(&r.ev, sp.filters)
 	}
 	if plan.residue != nil {
 		plan.residue = bindExpr(plan.residue, joinedSchema(sources))

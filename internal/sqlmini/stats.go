@@ -44,6 +44,12 @@ type QueryStats struct {
 	// beyond its fair share (skewed work rebalanced by stealing). Both
 	// are zero for statements that ran entirely serially.
 	Morsels, Steals int
+	// VecBatches counts selection-vector batches evaluated column-at-a-
+	// time; VecRowsIn/VecRowsOut are the rows entering and surviving the
+	// vectorized filter cascades (their ratio is the statement's overall
+	// selection density). All zero when the statement ran scalar.
+	VecBatches            int
+	VecRowsIn, VecRowsOut int
 	// WorkerBusy is each pool participant's busy time, one entry per
 	// participant per parallel phase (the phase's caller first).
 	WorkerBusy []time.Duration
@@ -111,6 +117,14 @@ func (q *QueryStats) addPushdown(n int) {
 	}
 }
 
+func (q *QueryStats) addVec(batches, in, out int) {
+	if q != nil {
+		q.VecBatches += batches
+		q.VecRowsIn += in
+		q.VecRowsOut += out
+	}
+}
+
 func (q *QueryStats) addParallel(st pool.Stats) {
 	if q == nil || st.Morsels == 0 {
 		return
@@ -132,6 +146,9 @@ type DBStats struct {
 	PushdownHits                                 int64
 	// Morsels and Steals sum the per-statement parallel-phase numbers.
 	Morsels, Steals int64
+	// VecBatches, VecRowsIn and VecRowsOut sum the per-statement
+	// vectorized-filter numbers.
+	VecBatches, VecRowsIn, VecRowsOut int64
 	// PlanCacheHits and PlanCacheMisses count text statements served
 	// from (resp. inserted into) the plan cache.
 	PlanCacheHits, PlanCacheMisses int64
@@ -155,6 +172,9 @@ func (s *DBStats) fold(q *QueryStats) {
 	s.PushdownHits += int64(q.PushdownHits)
 	s.Morsels += int64(q.Morsels)
 	s.Steals += int64(q.Steals)
+	s.VecBatches += int64(q.VecBatches)
+	s.VecRowsIn += int64(q.VecRowsIn)
+	s.VecRowsOut += int64(q.VecRowsOut)
 	switch q.PlanCache {
 	case "hit":
 		s.PlanCacheHits++

@@ -1,0 +1,582 @@
+package sqlmini
+
+import (
+	"sync"
+
+	"coherdb/internal/rel"
+)
+
+// Column-at-a-time sweep evaluation: the vectorized counterpart of
+// CompileSweep. The constraint solver extends a candidate row by sweeping
+// one column across its domain; CompileSweep makes each sweep cheap by
+// caching sweep-stable subtrees per row, but the per-value cost is still a
+// full closure-tree walk — memo checks, ternary-chain dispatch, one
+// virtual call per node per domain value. CompileSweepVec inverts the
+// loop: each compiled node evaluates the WHOLE domain per call, so stable
+// subtrees are computed once per row and broadcast, a ternary with a
+// stable condition descends only the chosen branch, and the sweep-reading
+// leaves (=, <>, IN, IS NULL against the swept column) become tight loops
+// over the domain's code vector. Subtrees the vectorizer cannot lower —
+// ordered comparisons, function calls over the swept column — fall back to
+// the scalar closure looped per domain value, with the scalar sweep cache
+// still amortizing their stable inner subtrees; compilation therefore
+// never declines.
+//
+// Equivalence: for every (row, domain value) pair, the lane written here
+// equals what the scalar CompileSweep program computes on the extended
+// row. AND/OR combine lanes with the same Kleene triMin/triMax the scalar
+// closures use (per-lane short-circuit values agree: triMin(false, x) is
+// false regardless of x), and a ternary's unknown-condition lanes take the
+// else branch exactly as Evaluator.Bool does. Only error ORDER can differ
+// — the scalar sweep stops at the first failing (value, node) in row-major
+// order, the vectorized sweep in node-major order — which is invisible for
+// the solver's pure, total constraint vocabulary.
+
+// svFn evaluates one compiled condition node for a whole domain sweep:
+// out[i] is the node's truth on crow with the sweep column set to
+// domain[i]. crow's sweep position is scratch owned by the evaluation
+// (fallback nodes write it); all other positions are read-only.
+type svFn func(in *Instance, crow []uint32, domain []uint32, out []tri) error
+
+// SweepProg is a compiled column-at-a-time sweep program. Like Program it
+// holds no mutable state; evaluation goes through a per-worker Instance.
+type SweepProg struct {
+	root     svFn
+	triSlots int
+	valSlots int
+	svSlots  int
+	sweep    int
+	insts    sync.Pool
+}
+
+// Instance returns evaluation state for p — the scalar sweep-cache slots
+// its stable and fallback subtrees use, plus the lane buffers of its
+// AND/OR/ternary combiners (one extra slot for the root's output) — reused
+// from the program's pool when possible so short solves don't pay the
+// allocation on every extension step. Return it with Release.
+func (p *SweepProg) Instance() *Instance {
+	if in, _ := p.insts.Get().(*Instance); in != nil {
+		return in
+	}
+	return &Instance{
+		gen:     1,
+		triMemo: make([]uint64, p.triSlots),
+		tris:    make([]tri, p.triSlots),
+		valMemo: make([]uint64, p.valSlots),
+		vals:    make([]rel.Value, p.valSlots),
+		svBufs:  make([][]tri, p.svSlots+1),
+	}
+}
+
+// Release puts an instance back into p's pool. The generation stamp on the
+// cache slots keeps a later user from reading this user's memo entries —
+// NextRow already separates rows within one user the same way.
+func (p *SweepProg) Release(in *Instance) {
+	in.NextRow()
+	p.insts.Put(in)
+}
+
+// EvalSweepTrue evaluates the program for every domain value and clears
+// keep[i] for the lanes that are not definitely true (WHERE semantics),
+// leaving already-false lanes false — the AND-combining shape the solver's
+// per-column constraint conjunction wants. It reports whether any lane is
+// still true, so callers can stop conjoining early. len(keep) must equal
+// len(domain); crow must cover the sweep column.
+func (p *SweepProg) EvalSweepTrue(in *Instance, crow []uint32, domain []uint32, keep []bool) (bool, error) {
+	out := in.svBuf(p.svSlots, len(domain))
+	if err := p.root(in, crow, domain, out); err != nil {
+		return false, err
+	}
+	any := false
+	for i, t := range out {
+		if t != triTrue {
+			keep[i] = false
+		} else if keep[i] {
+			any = true
+		}
+	}
+	return any, nil
+}
+
+// svBuf returns the instance's lane buffer for slot, grown to n lanes.
+func (in *Instance) svBuf(slot, n int) []tri {
+	b := in.svBufs[slot]
+	if cap(b) < n {
+		b = make([]tri, n)
+		in.svBufs[slot] = b
+	}
+	return b[:n]
+}
+
+// CompileSweepVec lowers e into a column-at-a-time sweep program over the
+// column at position sweep. It accepts exactly the expressions CompileSweep
+// accepts (unknown columns and functions are the same compile-time errors)
+// and computes identical truth lanes; see the equivalence note above.
+func (ev *Evaluator) CompileSweepVec(e Expr, colIndex map[string]int, sweep int) (*SweepProg, error) {
+	c := &compiler{ev: ev, ix: colIndex, sweep: sweep}
+	s := &sweepCompiler{c: c}
+	root, err := s.comp(e)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepProg{
+		root:     root,
+		triSlots: c.triSlots,
+		valSlots: c.valSlots,
+		svSlots:  s.svSlots,
+		sweep:    sweep,
+	}, nil
+}
+
+// sweepCompiler drives sweep vectorization, delegating scalar subtree
+// compilation (and its cache-slot bookkeeping) to the shared compiler.
+type sweepCompiler struct {
+	c       *compiler
+	svSlots int
+}
+
+// comp compiles e structurally: subtrees that never read the sweep column
+// broadcast one scalar evaluation, sweep-reading boolean structure lowers
+// to lane combiners, sweep-reading code-space leaves to tight loops, and
+// everything else to the scalar-per-value fallback.
+func (s *sweepCompiler) comp(e Expr) (svFn, error) {
+	reads, err := s.readsSweep(e)
+	if err != nil {
+		return nil, err
+	}
+	if !reads {
+		return s.broadcast(e)
+	}
+	switch x := e.(type) {
+	case Unary:
+		inner, err := s.comp(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+			if err := inner(in, crow, domain, out); err != nil {
+				return err
+			}
+			for i, t := range out {
+				out[i] = -t // NOT flips true/false, keeps unknown
+			}
+			return nil
+		}, nil
+	case Binary:
+		switch x.Op {
+		case "AND", "OR":
+			return s.andOr(x)
+		case "=", "<>":
+			return s.compare(x)
+		}
+		// Ordered comparisons need decoded values (codes are not
+		// order-preserving); the fallback's scalar closure decodes per lane.
+		return s.fallback(e)
+	case InList:
+		return s.in(x)
+	case IsNull:
+		return s.isNull(x)
+	case Ternary:
+		return s.ternary(x)
+	default:
+		// Between, Case, Call, bare truth-valued sweep column.
+		return s.fallback(e)
+	}
+}
+
+// broadcast compiles a sweep-stable subtree: one scalar evaluation per
+// call, copied into every lane. The scalar closure keeps its sweep-cache
+// slots, so nested Calls over stable arguments still memoize per row.
+func (s *sweepCompiler) broadcast(e Expr) (svFn, error) {
+	fn, _, err := s.c.bool(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		t, err := fn(in, crow)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = t
+		}
+		return nil
+	}, nil
+}
+
+// fallback compiles the subtree as a scalar closure looped per domain
+// value through the crow sweep position. The closure's inner sweep-stable
+// subtrees hold cache slots, so the loop pays only for what actually
+// depends on the swept value — the same cost the scalar sweep pays today.
+func (s *sweepCompiler) fallback(e Expr) (svFn, error) {
+	fn, _, err := s.c.bool(e)
+	if err != nil {
+		return nil, err
+	}
+	sweep := s.c.sweep
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		for i, d := range domain {
+			crow[sweep] = d
+			t, err := fn(in, crow)
+			if err != nil {
+				return err
+			}
+			out[i] = t
+		}
+		return nil
+	}, nil
+}
+
+// andOr lowers AND/OR to lane-wise Kleene min/max with a density
+// short-circuit: when the left side already decides every lane (all false
+// under AND, all true under OR) the right side is skipped outright, the
+// vector analogue of the scalar closures' per-row short-circuit.
+func (s *sweepCompiler) andOr(x Binary) (svFn, error) {
+	l, err := s.comp(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.comp(x.R)
+	if err != nil {
+		return nil, err
+	}
+	slot := s.svSlots
+	s.svSlots++
+	isAnd := x.Op == "AND"
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		if err := l(in, crow, domain, out); err != nil {
+			return err
+		}
+		decided := true
+		if isAnd {
+			for _, t := range out {
+				if t != triFalse {
+					decided = false
+					break
+				}
+			}
+		} else {
+			for _, t := range out {
+				if t != triTrue {
+					decided = false
+					break
+				}
+			}
+		}
+		if decided {
+			return nil
+		}
+		rb := in.svBuf(slot, len(out))
+		if err := r(in, crow, domain, rb); err != nil {
+			return err
+		}
+		if isAnd {
+			for i, t := range rb {
+				out[i] = triMin(out[i], t)
+			}
+		} else {
+			for i, t := range rb {
+				out[i] = triMax(out[i], t)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// compare lowers =/<> over code-loadable operands, at least one of which
+// is the swept column: the stable side loads once per call, the swept side
+// is the domain vector itself. Operands outside code space (calls, cases)
+// fall back.
+func (s *sweepCompiler) compare(x Binary) (svFn, error) {
+	c := s.c
+	lc, lp, lok, err := c.code(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rc, rp, rok, err := c.code(x.R)
+	if err != nil {
+		return nil, err
+	}
+	if !lok || !rok {
+		return s.fallback(x)
+	}
+	nullEq := c.ev.NullEq
+	want := x.Op == "="
+	lSweep, rSweep := lp == c.sweep, rp == c.sweep
+	if !lSweep && !rSweep {
+		// readsSweep said the node reads the sweep column, so one operand
+		// must be it once both lowered to code loads; defensive fallback.
+		return s.fallback(x)
+	}
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		var other uint32
+		var err error
+		switch {
+		case lSweep && rSweep:
+			// Same column on both sides: equal codes by construction.
+			for i, d := range domain {
+				if !nullEq && d == rel.NullCode {
+					out[i] = triUnknown
+					continue
+				}
+				out[i] = triBool(want)
+			}
+			return nil
+		case lSweep:
+			other, err = rc(in, crow)
+		default:
+			other, err = lc(in, crow)
+		}
+		if err != nil {
+			return err
+		}
+		if nullEq {
+			// Constraint dialect: NULL is an ordinary code, one integer
+			// compare per lane.
+			for i, d := range domain {
+				out[i] = triBool((d == other) == want)
+			}
+			return nil
+		}
+		if other == rel.NullCode {
+			for i := range out {
+				out[i] = triUnknown
+			}
+			return nil
+		}
+		for i, d := range domain {
+			if d == rel.NullCode {
+				out[i] = triUnknown
+				continue
+			}
+			out[i] = triBool((d == other) == want)
+		}
+		return nil
+	}, nil
+}
+
+// in lowers membership of the swept column in a literal set to one hash
+// probe per lane against codes interned at compile time — the sweep-vector
+// form of the scalar compiler's IN specialization, with identical 3VL
+// casework.
+func (s *sweepCompiler) in(x InList) (svFn, error) {
+	c := s.c
+	for _, e := range x.Set {
+		if _, ok := e.(Lit); !ok {
+			return s.fallback(x)
+		}
+	}
+	idx, _, ok, err := c.colPos(x.X)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || idx != c.sweep {
+		return s.fallback(x)
+	}
+	nullEq := c.ev.NullEq
+	neg := x.Negate
+	codes := make(map[uint32]struct{}, len(x.Set))
+	hasNull := false
+	for _, e := range x.Set {
+		v := e.(Lit).Val
+		if v.IsNull() {
+			hasNull = true
+			if !nullEq {
+				continue // NULL elements never match in 3VL; they only taint
+			}
+		}
+		codes[dict.Code(v)] = struct{}{}
+	}
+	empty := len(x.Set) == 0
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		for i, cv := range domain {
+			var res tri
+			switch {
+			case nullEq:
+				if _, ok := codes[cv]; ok {
+					res = triTrue
+				} else {
+					res = triFalse
+				}
+			case empty:
+				res = triFalse
+			case cv == rel.NullCode:
+				res = triUnknown // NULL compared to a non-empty set
+			default:
+				if _, ok := codes[cv]; ok {
+					res = triTrue
+				} else if hasNull {
+					res = triUnknown // no match, but a NULL element taints
+				} else {
+					res = triFalse
+				}
+			}
+			if neg {
+				res = -res
+			}
+			out[i] = res
+		}
+		return nil
+	}, nil
+}
+
+// isNull lowers IS [NOT] NULL of the swept column to a code compare per
+// lane; NULL is code 0 in both dialects.
+func (s *sweepCompiler) isNull(x IsNull) (svFn, error) {
+	idx, _, ok, err := s.c.colPos(x.X)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || idx != s.c.sweep {
+		return s.fallback(x)
+	}
+	neg := x.Negate
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		for i, d := range domain {
+			out[i] = triBool((d == rel.NullCode) != neg)
+		}
+		return nil
+	}, nil
+}
+
+// ternary lowers cond ? then : else. The protocol constraints are chains
+// of these with sweep-stable rule conditions, so the stable-condition case
+// — evaluate the condition once, descend only the chosen branch — is the
+// one that turns a per-value chain walk into a single dispatch per row.
+// Sweep-dependent conditions evaluate all three lane vectors and select,
+// with all-true/all-other short-circuits.
+func (s *sweepCompiler) ternary(x Ternary) (svFn, error) {
+	condReads, err := s.readsSweep(x.Cond)
+	if err != nil {
+		return nil, err
+	}
+	if !condReads {
+		cond, _, err := s.c.bool(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := s.comp(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := s.comp(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+			t, err := cond(in, crow)
+			if err != nil {
+				return err
+			}
+			// Unknown behaves as false: the else branch (paper's ternary).
+			if t == triTrue {
+				return then(in, crow, domain, out)
+			}
+			return els(in, crow, domain, out)
+		}, nil
+	}
+	cond, err := s.comp(x.Cond)
+	if err != nil {
+		return nil, err
+	}
+	then, err := s.comp(x.Then)
+	if err != nil {
+		return nil, err
+	}
+	els, err := s.comp(x.Else)
+	if err != nil {
+		return nil, err
+	}
+	slot := s.svSlots
+	s.svSlots += 2
+	return func(in *Instance, crow []uint32, domain []uint32, out []tri) error {
+		if err := cond(in, crow, domain, out); err != nil {
+			return err
+		}
+		allTrue, noneTrue := true, true
+		for _, t := range out {
+			if t == triTrue {
+				noneTrue = false
+			} else {
+				allTrue = false
+			}
+		}
+		if allTrue {
+			return then(in, crow, domain, out)
+		}
+		if noneTrue {
+			return els(in, crow, domain, out)
+		}
+		tb := in.svBuf(slot, len(out))
+		if err := then(in, crow, domain, tb); err != nil {
+			return err
+		}
+		eb := in.svBuf(slot+1, len(out))
+		if err := els(in, crow, domain, eb); err != nil {
+			return err
+		}
+		for i, t := range out {
+			if t == triTrue {
+				out[i] = tb[i]
+			} else {
+				out[i] = eb[i]
+			}
+		}
+		return nil
+	}, nil
+}
+
+// readsSweep reports whether any column reference in e resolves to the
+// sweep position. Unknown columns error exactly as scalar compilation
+// would; unrecognized node shapes conservatively claim a sweep read so
+// comp routes them to the fallback, whose scalar compile diagnoses them.
+func (s *sweepCompiler) readsSweep(e Expr) (bool, error) {
+	switch x := e.(type) {
+	case Lit:
+		return false, nil
+	case Col, boundCol:
+		idx, _, ok, err := s.c.colPos(e)
+		if err != nil {
+			return false, err
+		}
+		return ok && idx == s.c.sweep, nil
+	case Unary:
+		return s.readsSweep(x.X)
+	case Binary:
+		return s.readsSweepAll(x.L, x.R)
+	case InList:
+		if r, err := s.readsSweep(x.X); r || err != nil {
+			return r, err
+		}
+		return s.readsSweepAll(x.Set...)
+	case IsNull:
+		return s.readsSweep(x.X)
+	case Between:
+		return s.readsSweepAll(x.X, x.Lo, x.Hi)
+	case Ternary:
+		return s.readsSweepAll(x.Cond, x.Then, x.Else)
+	case Case:
+		for _, w := range x.Whens {
+			if r, err := s.readsSweepAll(w.Cond, w.Val); r || err != nil {
+				return r, err
+			}
+		}
+		if x.Else != nil {
+			return s.readsSweep(x.Else)
+		}
+		return false, nil
+	case Call:
+		return s.readsSweepAll(x.Args...)
+	default:
+		return true, nil
+	}
+}
+
+func (s *sweepCompiler) readsSweepAll(es ...Expr) (bool, error) {
+	for _, e := range es {
+		if r, err := s.readsSweep(e); r || err != nil {
+			return r, err
+		}
+	}
+	return false, nil
+}

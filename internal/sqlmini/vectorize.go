@@ -1,0 +1,690 @@
+package sqlmini
+
+import (
+	"errors"
+	"sync"
+
+	"coherdb/internal/rel"
+)
+
+// errNotVectorizable marks an expression whose shape requires
+// row-at-a-time evaluation (it reads two or more columns outside the
+// kernel subset). The planner keeps a nil vectorized slot and EXPLAIN
+// reports eval=scalar.
+var errNotVectorizable = errors.New("sqlmini: expression not vectorizable")
+
+// Vectorized predicate execution: a compiled WHERE conjunct gains an
+// EvalVec form that evaluates a whole morsel's column vectors per call
+// instead of one code row at a time. The unit of work is a selection
+// vector — the strictly increasing row indices still alive — and every
+// kernel filters it in place:
+//
+//   - =, <>, IN and IS NULL over dictionary codes compile to tight
+//     compare loops over one column vector (codes are injective, so
+//     equality never decodes; NULL is code 0 in both dialects);
+//   - AND is a kernel cascade over the shrinking selection (the second
+//     conjunct only sees survivors, which is also the short-circuit:
+//     an empty selection skips the rest of the chain);
+//   - OR runs the left kernel on a copy, the right kernel on the
+//     remainder (set-minus), and merges the two sorted survivor lists;
+//   - NOT rewrites through Kleene-valid identities (De Morgan, operator
+//     flips) so negation never needs a complement set;
+//   - any other shape that reads exactly one column — range compares,
+//     BETWEEN, CASE, registered calls — falls back to the scalar
+//     compiled closure behind a per-code verdict memo: each distinct
+//     dictionary code is evaluated once and the vector loop reuses the
+//     verdict, which on low-cardinality protocol columns is almost as
+//     tight as a native kernel;
+//   - expressions reading two or more columns decline (CompileBoundVec
+//     errors, the plan keeps a nil slot) and the scan stays scalar,
+//     reported by EXPLAIN as eval=scalar.
+//
+// Selection semantics are WHERE semantics: a row survives iff the
+// conjunct is definitely true. Kernels therefore drop unknown outright,
+// which is what makes the NOT rewrites (rather than complements) exact.
+//
+// Evaluation order differs from the scalar path — conjunct-major over a
+// morsel instead of row-major — so when several rows would error, which
+// error surfaces first can differ. The compiled subset only errors on
+// registered Funcs, which this codebase's workloads keep pure and
+// total; the golden vectorized-vs-scalar tests pin byte-identical
+// results on every successful query.
+//
+// A VecPred is immutable after compilation and safe for concurrent use:
+// all mutable evaluation state (scratch selections, verdict memos) lives
+// in pooled vecStates, one checked out per EvalVec call, so the
+// steady-state vectorized path allocates nothing (see
+// TestVectorizedFilterAllocs).
+
+// memoCap bounds the per-code verdict memo of fallback kernels. Codes
+// beyond it (a dictionary past 64k distinct values) evaluate through the
+// scalar closure each time instead of growing the memo without bound.
+const memoCap = 1 << 16
+
+// vecKernel filters sel in place against the column vectors, returning
+// the surviving prefix. sel is strictly increasing; kernels preserve
+// that (they only compact forward).
+type vecKernel func(st *vecState, cols [][]uint32, sel []uint32) ([]uint32, error)
+
+// vecState is one evaluation's mutable scratch: selection buffers for OR
+// nodes, verdict memos for fallback nodes, and a scratch row for their
+// scalar closures. States are pooled per VecPred; memos persist across
+// calls, which is sound because dictionary codes are append-only and the
+// compiled closure's literals, dialect and functions are fixed at
+// compile time (function re-registration bumps the schema epoch and
+// rebuilds the plan, VecPred included).
+type vecState struct {
+	bufs  [][]uint32
+	memos [][]uint8
+	crow  []uint32
+}
+
+// buf returns scratch selection buffer slot with room for n entries.
+func (st *vecState) buf(slot, n int) []uint32 {
+	b := st.bufs[slot]
+	if cap(b) < n {
+		b = make([]uint32, n)
+		st.bufs[slot] = b
+	}
+	return b[:n]
+}
+
+// growMemo widens memo slot to cover code, returning the grown table.
+// Entries are 0 (unset), 1 (keep) or 2 (drop).
+func (st *vecState) growMemo(slot int, code uint32) []uint8 {
+	n := len(st.memos[slot])
+	if n == 0 {
+		n = 256
+	}
+	for n <= int(code) {
+		n *= 2
+	}
+	if n > memoCap {
+		n = memoCap
+	}
+	m := make([]uint8, n)
+	copy(m, st.memos[slot])
+	st.memos[slot] = m
+	return m
+}
+
+// VecPred is the vectorized form of a compiled WHERE conjunct.
+type VecPred struct {
+	kern      vecKernel
+	bufSlots  int
+	memoSlots int
+	crowLen   int
+	pool      sync.Pool // *vecState
+}
+
+// EvalVec filters sel — strictly increasing row indices into the column
+// vectors — in place and returns the surviving prefix. It is safe for
+// concurrent use; each call checks a vecState out of the pool.
+func (p *VecPred) EvalVec(cols [][]uint32, sel []uint32) ([]uint32, error) {
+	st, _ := p.pool.Get().(*vecState)
+	if st == nil {
+		st = &vecState{
+			bufs:  make([][]uint32, p.bufSlots),
+			memos: make([][]uint8, p.memoSlots),
+			crow:  make([]uint32, p.crowLen),
+		}
+	}
+	out, err := p.kern(st, cols, sel)
+	p.pool.Put(st)
+	return out, err
+}
+
+// Width returns the number of column positions the predicate may read —
+// the minimum length of the cols slice passed to EvalVec.
+func (p *VecPred) Width() int { return p.crowLen }
+
+// CompileBoundVec lowers a plan-bound conjunct into its vectorized form,
+// or errNotVectorizable when the expression's shape forces row-at-a-time
+// evaluation (it reads two or more columns outside the =/<>/IN/IS
+// NULL/AND/OR/NOT kernel subset). Callers keep a nil slot on error and
+// the scan falls back to the scalar compiled predicate.
+func (ev *Evaluator) CompileBoundVec(e Expr) (*VecPred, error) {
+	vc := &vecCompiler{c: &compiler{ev: ev, sweep: -1, bound: true}}
+	k, err := vc.comp(e)
+	if err != nil {
+		return nil, err
+	}
+	return &VecPred{kern: k, bufSlots: vc.bufSlots, memoSlots: vc.memoSlots, crowLen: vc.crowLen}, nil
+}
+
+// compileVecs lowers each bound conjunct through CompileBoundVec,
+// leaving nil slots where the compiler declined — the same convention
+// compilePreds uses for the scalar closures.
+func compileVecs(ev *Evaluator, conjuncts []Expr) []*VecPred {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	out := make([]*VecPred, len(conjuncts))
+	for i, c := range conjuncts {
+		if p, err := ev.CompileBoundVec(c); err == nil {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// fullyVec reports whether all n conjuncts lowered to vectorized
+// kernels — the precondition for the column-at-a-time scan path.
+func fullyVec(vecs []*VecPred, n int) bool {
+	if n == 0 || len(vecs) != n {
+		return false
+	}
+	for _, p := range vecs {
+		if p == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// vecCompiler carries compile-time slot counters; the inner scalar
+// compiler lowers fallback subtrees (bound mode, no sweep).
+type vecCompiler struct {
+	c         *compiler
+	bufSlots  int
+	memoSlots int
+	crowLen   int
+}
+
+func (vc *vecCompiler) needCrow(n int) {
+	if n > vc.crowLen {
+		vc.crowLen = n
+	}
+}
+
+// vecOperand classifies a code-loadable operand: an interned literal or
+// a plan-bound column position.
+func vecOperand(e Expr) (code uint32, idx int, isLit, ok bool) {
+	switch x := e.(type) {
+	case Lit:
+		return dict.Code(x.Val), 0, true, true
+	case boundCol:
+		return 0, x.Idx, false, true
+	}
+	return 0, 0, false, false
+}
+
+// constKernel keeps everything or nothing, for conjuncts decided at
+// compile time.
+func constKernel(keep bool) vecKernel {
+	return func(_ *vecState, _ [][]uint32, sel []uint32) ([]uint32, error) {
+		if keep {
+			return sel, nil
+		}
+		return sel[:0], nil
+	}
+}
+
+func (vc *vecCompiler) comp(e Expr) (vecKernel, error) {
+	nullEq := vc.c.ev.NullEq
+	switch x := e.(type) {
+	case Lit:
+		return constKernel(triOf(x.Val) == triTrue), nil
+	case Unary:
+		if r, ok := negateVec(x.X); ok {
+			return vc.comp(r)
+		}
+		return vc.fallback(e)
+	case Binary:
+		switch x.Op {
+		case "AND":
+			l, err := vc.comp(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := vc.comp(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(st *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+				s, err := l(st, cols, sel)
+				if err != nil || len(s) == 0 {
+					return s, err
+				}
+				return r(st, cols, s)
+			}, nil
+		case "OR":
+			l, err := vc.comp(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := vc.comp(x.R)
+			if err != nil {
+				return nil, err
+			}
+			slotL, slotR := vc.bufSlots, vc.bufSlots+1
+			vc.bufSlots += 2
+			return func(st *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+				if len(sel) == 0 {
+					return sel, nil
+				}
+				b := st.buf(slotL, len(sel))
+				copy(b, sel)
+				selL, err := l(st, cols, b)
+				if err != nil {
+					return nil, err
+				}
+				if len(selL) == len(sel) {
+					return sel, nil // left kept everything; sel is unchanged
+				}
+				// Remainder = sel minus selL: both sorted, selL ⊆ sel.
+				rem := st.buf(slotR, len(sel)-len(selL))
+				k, li := 0, 0
+				for _, ri := range sel {
+					if li < len(selL) && selL[li] == ri {
+						li++
+						continue
+					}
+					rem[k] = ri
+					k++
+				}
+				selR, err := r(st, cols, rem[:k])
+				if err != nil {
+					return nil, err
+				}
+				// Merge the two sorted, disjoint survivor lists into sel.
+				i, j, w := 0, 0, 0
+				for i < len(selL) && j < len(selR) {
+					if selL[i] < selR[j] {
+						sel[w] = selL[i]
+						i++
+					} else {
+						sel[w] = selR[j]
+						j++
+					}
+					w++
+				}
+				w += copy(sel[w:], selL[i:])
+				w += copy(sel[w:], selR[j:])
+				return sel[:w], nil
+			}, nil
+		case "=", "<>":
+			lc, li, llit, lok := vecOperand(x.L)
+			rc, ri, rlit, rok := vecOperand(x.R)
+			if !lok || !rok {
+				return vc.fallback(e)
+			}
+			want := x.Op == "="
+			switch {
+			case llit && rlit:
+				if !nullEq && (lc == rel.NullCode || rc == rel.NullCode) {
+					return constKernel(false), nil // unknown is never kept
+				}
+				return constKernel((lc == rc) == want), nil
+			case llit != rlit:
+				lit, idx := lc, ri
+				if rlit {
+					lit, idx = rc, li
+				}
+				vc.needCrow(idx + 1)
+				if !nullEq && lit == rel.NullCode {
+					return constKernel(false), nil
+				}
+				if want {
+					// col = lit: a matching code is necessarily non-NULL
+					// (lit is), so one compare serves both dialects.
+					return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+						col := cols[idx]
+						k := 0
+						for _, ri := range sel {
+							if col[ri] == lit {
+								sel[k] = ri
+								k++
+							}
+						}
+						return sel[:k], nil
+					}, nil
+				}
+				if nullEq {
+					return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+						col := cols[idx]
+						k := 0
+						for _, ri := range sel {
+							if col[ri] != lit {
+								sel[k] = ri
+								k++
+							}
+						}
+						return sel[:k], nil
+					}, nil
+				}
+				// Strict <>: NULL <> lit is unknown, dropped.
+				return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+					col := cols[idx]
+					k := 0
+					for _, ri := range sel {
+						if c := col[ri]; c != lit && c != rel.NullCode {
+							sel[k] = ri
+							k++
+						}
+					}
+					return sel[:k], nil
+				}, nil
+			default: // column vs column
+				w := li
+				if ri > w {
+					w = ri
+				}
+				vc.needCrow(w + 1)
+				if nullEq {
+					return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+						a, b := cols[li], cols[ri]
+						k := 0
+						for _, rx := range sel {
+							if (a[rx] == b[rx]) == want {
+								sel[k] = rx
+								k++
+							}
+						}
+						return sel[:k], nil
+					}, nil
+				}
+				if want {
+					return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+						a, b := cols[li], cols[ri]
+						k := 0
+						for _, rx := range sel {
+							if ca := a[rx]; ca == b[rx] && ca != rel.NullCode {
+								sel[k] = rx
+								k++
+							}
+						}
+						return sel[:k], nil
+					}, nil
+				}
+				return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+					a, b := cols[li], cols[ri]
+					k := 0
+					for _, rx := range sel {
+						ca, cb := a[rx], b[rx]
+						if ca != cb && ca != rel.NullCode && cb != rel.NullCode {
+							sel[k] = rx
+							k++
+						}
+					}
+					return sel[:k], nil
+				}, nil
+			}
+		default:
+			return vc.fallback(e)
+		}
+	case InList:
+		return vc.inList(x)
+	case IsNull:
+		bc, ok := x.X.(boundCol)
+		if !ok {
+			return vc.fallback(e)
+		}
+		idx, neg := bc.Idx, x.Negate
+		vc.needCrow(idx + 1)
+		// NULL is code 0 in both dialects; IS NULL never yields unknown.
+		return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+			col := cols[idx]
+			k := 0
+			for _, ri := range sel {
+				if (col[ri] == rel.NullCode) != neg {
+					sel[k] = ri
+					k++
+				}
+			}
+			return sel[:k], nil
+		}, nil
+	default:
+		return vc.fallback(e)
+	}
+}
+
+// inList compiles IN over an all-literal set and a column operand to a
+// membership loop: small sets scan a dedup'd code array, larger ones
+// probe a hash set — both per morsel element, no Value boxing.
+func (vc *vecCompiler) inList(x InList) (vecKernel, error) {
+	bc, ok := x.X.(boundCol)
+	if !ok {
+		return vc.fallback(x)
+	}
+	for _, s := range x.Set {
+		if _, lit := s.(Lit); !lit {
+			return vc.fallback(x)
+		}
+	}
+	nullEq := vc.c.ev.NullEq
+	neg := x.Negate
+	idx := bc.Idx
+	vc.needCrow(idx + 1)
+
+	var codes []uint32
+	hasNull := false
+	for _, s := range x.Set {
+		v := s.(Lit).Val
+		if v.IsNull() {
+			hasNull = true
+			if !nullEq {
+				continue // NULL elements never match in 3VL; they only taint
+			}
+		}
+		c := dict.Code(v)
+		dup := false
+		for _, have := range codes {
+			if have == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			codes = append(codes, c)
+		}
+	}
+	if !nullEq && len(x.Set) == 0 {
+		// Strict x IN () is false (NOT IN () true) for every x, NULL
+		// included: the empty-set case precedes the NULL-operand case.
+		return constKernel(neg), nil
+	}
+	var member func(c uint32) bool
+	if len(codes) <= 8 {
+		set := codes
+		member = func(c uint32) bool {
+			for _, s := range set {
+				if s == c {
+					return true
+				}
+			}
+			return false
+		}
+	} else {
+		set := make(map[uint32]struct{}, len(codes))
+		for _, c := range codes {
+			set[c] = struct{}{}
+		}
+		member = func(c uint32) bool {
+			_, ok := set[c]
+			return ok
+		}
+	}
+	if nullEq {
+		// Constraint dialect: NULL is an ordinary value, membership
+		// decides outright.
+		return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+			col := cols[idx]
+			k := 0
+			for _, ri := range sel {
+				if member(col[ri]) != neg {
+					sel[k] = ri
+					k++
+				}
+			}
+			return sel[:k], nil
+		}, nil
+	}
+	// Strict ANSI: NULL operand is unknown (dropped); a NULL element
+	// taints every non-match to unknown (dropped even under NOT IN).
+	return func(_ *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+		col := cols[idx]
+		k := 0
+		for _, ri := range sel {
+			c := col[ri]
+			if c == rel.NullCode {
+				continue
+			}
+			in := member(c)
+			if (in && !neg) || (!in && !hasNull && neg) {
+				sel[k] = ri
+				k++
+			}
+		}
+		return sel[:k], nil
+	}, nil
+}
+
+// negateVec rewrites NOT e through identities exact in Kleene 3VL, so
+// negation reuses the positive kernels instead of needing complement
+// sets: NOT flips true/false and keeps unknown, which is precisely what
+// operator flips and De Morgan do. Ordered comparisons are NOT safe to
+// flip (NOT (a < b) and a >= b disagree on NULL under the constraint
+// dialect) and are left to the fallback.
+func negateVec(e Expr) (Expr, bool) {
+	switch x := e.(type) {
+	case Unary: // NOT NOT e
+		return x.X, true
+	case Binary:
+		switch x.Op {
+		case "=":
+			return Binary{Op: "<>", L: x.L, R: x.R}, true
+		case "<>":
+			return Binary{Op: "=", L: x.L, R: x.R}, true
+		case "AND":
+			return Binary{Op: "OR", L: Unary{Op: "NOT", X: x.L}, R: Unary{Op: "NOT", X: x.R}}, true
+		case "OR":
+			return Binary{Op: "AND", L: Unary{Op: "NOT", X: x.L}, R: Unary{Op: "NOT", X: x.R}}, true
+		}
+	case InList:
+		x.Negate = !x.Negate
+		return x, true
+	case IsNull:
+		x.Negate = !x.Negate
+		return x, true
+	}
+	return nil, false
+}
+
+// fallback vectorizes an arbitrary conjunct that reads at most one
+// column: the scalar compiled closure runs behind a per-code verdict
+// memo, so each distinct dictionary code in the column is evaluated once
+// per state lifetime and the morsel loop is a table lookup. Conjuncts
+// reading two or more columns decline.
+func (vc *vecCompiler) fallback(e Expr) (vecKernel, error) {
+	// Distinct bound positions; a bare Col means the planner could not
+	// bind it, which the scalar compiler rejects below anyway.
+	idx := -1
+	multi := false
+	walkBound(e, func(b boundCol) {
+		if idx < 0 {
+			idx = b.Idx
+		} else if b.Idx != idx {
+			multi = true
+		}
+	})
+	if multi {
+		return nil, errNotVectorizable
+	}
+	fn, _, err := vc.c.bool(e)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 {
+		// No column references: one evaluation decides the whole morsel.
+		return func(_ *vecState, _ [][]uint32, sel []uint32) ([]uint32, error) {
+			t, err := fn(nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			if t == triTrue {
+				return sel, nil
+			}
+			return sel[:0], nil
+		}, nil
+	}
+	slot := vc.memoSlots
+	vc.memoSlots++
+	vc.needCrow(idx + 1)
+	width := idx + 1
+	return func(st *vecState, cols [][]uint32, sel []uint32) ([]uint32, error) {
+		col := cols[idx]
+		m := st.memos[slot]
+		crow := st.crow[:width]
+		k := 0
+		for _, ri := range sel {
+			c := col[ri]
+			var v uint8
+			if int(c) < len(m) {
+				v = m[c]
+			}
+			if v == 0 {
+				crow[idx] = c
+				t, err := fn(nil, crow)
+				if err != nil {
+					return nil, err
+				}
+				v = 2
+				if t == triTrue {
+					v = 1
+				}
+				if c < memoCap {
+					if int(c) >= len(m) {
+						m = st.growMemo(slot, c)
+					}
+					m[c] = v
+				}
+			}
+			if v == 1 {
+				sel[k] = ri
+				k++
+			}
+		}
+		return sel[:k], nil
+	}, nil
+}
+
+// walkBound visits every bound column reference in e.
+func walkBound(e Expr, visit func(boundCol)) {
+	switch x := e.(type) {
+	case boundCol:
+		visit(x)
+	case Unary:
+		walkBound(x.X, visit)
+	case Binary:
+		walkBound(x.L, visit)
+		walkBound(x.R, visit)
+	case InList:
+		walkBound(x.X, visit)
+		for _, s := range x.Set {
+			walkBound(s, visit)
+		}
+	case IsNull:
+		walkBound(x.X, visit)
+	case Between:
+		walkBound(x.X, visit)
+		walkBound(x.Lo, visit)
+		walkBound(x.Hi, visit)
+	case Ternary:
+		walkBound(x.Cond, visit)
+		walkBound(x.Then, visit)
+		walkBound(x.Else, visit)
+	case Case:
+		for _, w := range x.Whens {
+			walkBound(w.Cond, visit)
+			walkBound(w.Val, visit)
+		}
+		if x.Else != nil {
+			walkBound(x.Else, visit)
+		}
+	case Call:
+		for _, a := range x.Args {
+			walkBound(a, visit)
+		}
+	}
+}

@@ -19,13 +19,15 @@
 # compiled-kernel solver on table D and the Fig. 3 incremental sweep)
 # plus the planner-sensitive ones: the invariant suite (the paper's
 # every-revision workload), the substrate SELECT/JOIN microbenchmarks,
-# the prepared-statement floor, and the EXPLAIN ANALYZE pair (plain vs
-# instrumented execution of the same join). The race gates also cover the
-# lock-free metrics plane, and TestNilTracerOverheadBound enforces the
-# <5% off-path instrumentation budget before any number is recorded.
+# the prepared-statement floor, the EXPLAIN ANALYZE pair (plain vs
+# instrumented execution of the same join), and the scalar-vs-vectorized
+# filter pair. The race gates also cover the lock-free metrics plane and
+# the vectorized-vs-scalar equivalence suites, and
+# TestNilTracerOverheadBound enforces the <5% off-path instrumentation
+# budget before any number is recorded.
 #
 # After writing the summary, the script diffs it against the previous
-# revision's baseline (BENCH_BASELINE, default BENCH_4.json) and prints a
+# revision's baseline (BENCH_BASELINE, default BENCH_6.json) and prints a
 # WARNING line for every benchmark whose ns/op or B/op regressed by more
 # than 10%. The warnings are advisory (the script still exits 0): some
 # hosts are noisy, and the acceptance gate reads the warnings, not the
@@ -34,9 +36,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$}"
-OUT="${BENCH_OUT:-BENCH_6.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_5.json}"
+PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter}"
+OUT="${BENCH_OUT:-BENCH_7.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_6.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -47,12 +49,16 @@ echo "== race-detector storage-engine tests =="
 go test -race ./internal/rel/...
 
 echo "== race-detector solver tests =="
-go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolveEqualsMonolithic|TestBatchCursor|TestCompiledPredConcurrentUse' \
+go test -race -run 'TestSolve|TestMonolithic|TestConcurrentSolves|TestQuickSolveEqualsMonolithic|TestBatchCursor|TestCompiledPredConcurrentUse|TestVectorizedSweepMatchesScalar' \
     ./internal/constraint/ ./internal/sqlmini/
 
 echo "== race-detector parallel-executor tests =="
 go test -race -run 'TestParallelMatchesSerial|TestParallelMatchesSerialControllers|TestConcurrentParallelSelects|TestParallelWorkerStats|TestEach' \
     ./internal/pool/ ./internal/sqlmini/
+
+echo "== race-detector vectorized-equivalence tests =="
+go test -race -run 'TestVectorizedMatchesScalarControllers|TestVecPredMatchesScalarKernel|TestSweepVecMatchesScalarSweep' \
+    ./internal/sqlmini/
 
 echo "== race-detector observability tests =="
 go test -race ./internal/obs/...
