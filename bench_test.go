@@ -780,3 +780,104 @@ func BenchmarkSQLJoin(b *testing.B) {
 		}
 	}
 }
+
+// --- D1: delta-driven incremental re-checking -----------------------------
+// The edit-check loop the revision layer buys: after one row of D changes,
+// re-verifying the protocol should cost the handful of D-reading
+// invariants, not a from-scratch re-solve plus the full 61-invariant
+// suite. full-rebuild is that from-scratch baseline; noop-revision prices
+// the pure revision machinery (diff all tables, skip everything);
+// single-row-edit is the workload the layer exists for.
+
+// deltaPipeline is a private generated pipeline for the delta benchmarks,
+// which mutate controller tables and must not corrupt the shared fixture.
+var (
+	deltaOnce sync.Once
+	deltaPipe *core.Pipeline
+	deltaErr  error
+)
+
+func deltaPipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	deltaOnce.Do(func() {
+		p := core.New()
+		if err := p.Generate(); err != nil {
+			deltaErr = err
+			return
+		}
+		deltaPipe = p
+	})
+	if deltaErr != nil {
+		b.Fatal(deltaErr)
+	}
+	return deltaPipe
+}
+
+func BenchmarkDeltaRecheck(b *testing.B) {
+	p := deltaPipeline(b)
+	suite := check.ProtocolSuite()
+	opts := check.Options{}
+
+	b.Run("full-rebuild", func(b *testing.B) {
+		specs, err := protocol.BuildAllSpecs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := specs[protocol.DirectoryTable]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, _, err := constraint.Solve(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.DB.PutTable(d)
+			results := suite.Run(p.DB, opts)
+			if check.Summarize(results).Errors != 0 {
+				b.Fatal("invariant errors")
+			}
+		}
+	})
+
+	b.Run("noop-revision", func(b *testing.B) {
+		rev := p.DB.BeginRevision()
+		prev := suite.Run(p.DB, opts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := rev.Commit()
+			prev = suite.RunDelta(p.DB, prev, d, opts)
+		}
+	})
+
+	b.Run("single-row-edit", func(b *testing.B) {
+		tab := p.DB.MustTable(protocol.DirectoryTable)
+		col := tab.ColumnsRef()[0]
+		// Two distinct values of the column to flip a cell between.
+		v1 := tab.At(0, 0)
+		v2 := v1
+		for i := 1; i < tab.NumRows(); i++ {
+			if !tab.At(i, 0).Equal(v1) {
+				v2 = tab.At(i, 0)
+				break
+			}
+		}
+		if v2.Equal(v1) {
+			b.Fatal("column 0 of D is constant; pick another edit target")
+		}
+		rev := p.DB.BeginRevision()
+		prev := suite.Run(p.DB, opts)
+		vals := [2]rel.Value{v1, v2}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tab.Set(0, col, vals[(i+1)%2]); err != nil {
+				b.Fatal(err)
+			}
+			d := rev.Commit()
+			prev = suite.RunDelta(p.DB, prev, d, opts)
+		}
+		b.StopTimer()
+		// Leave D as generated for any benchmark running after this one.
+		if err := tab.Set(0, col, v1); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

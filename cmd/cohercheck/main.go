@@ -13,16 +13,19 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"coherdb/internal/check"
 	"coherdb/internal/core"
 	"coherdb/internal/deadlock"
 	"coherdb/internal/modelcheck"
+	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
 	"coherdb/internal/sim"
 )
@@ -36,6 +39,7 @@ func main() {
 	mc := flag.Bool("modelcheck", false, "explore the Fig. 4 configuration with the explicit-state model checker (baseline)")
 	verbose := flag.Bool("v", false, "print per-invariant results and VCG details")
 	stats := flag.Bool("stats", false, "print a per-invariant execution profile (elapsed, rows scanned, join strategies, morsels) sorted by elapsed")
+	incremental := flag.Bool("incremental", false, "edit-check loop: read DML statements from stdin and re-verify only the invariants the edit can touch")
 	traceFlag := flag.Bool("trace", false, "collect spans (phases, solves, statements) and dump them as JSON lines to stderr at exit")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
 	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
@@ -68,6 +72,13 @@ func main() {
 		if err := runModelCheck(p, *assign); err != nil {
 			fail(err)
 		}
+		return
+	}
+	if *incremental {
+		if err := runIncremental(p, *workers, tr, reg, *stats); err != nil {
+			fail(err)
+		}
+		flush()
 		return
 	}
 	runAll := !*invariants && !*deadlocks
@@ -147,6 +158,61 @@ func main() {
 	flush()
 }
 
+// runIncremental is the delta-driven edit-check loop: a full invariant run
+// establishes the baseline, then every DML statement read from stdin
+// commits a revision and re-verifies only the invariants whose input
+// tables the revision touched — the rest carry over as skipped.
+func runIncremental(p *core.Pipeline, workers int, tr obs.Tracer, reg *obs.Registry, stats bool) error {
+	suite := check.ProtocolSuite()
+	opts := check.Options{Workers: workers, Tracer: tr, Metrics: reg}
+	rev := p.DB.BeginRevision()
+	t0 := time.Now()
+	prev := suite.Run(p.DB, opts)
+	fmt.Printf("baseline: %s (%v)\n", check.Summarize(prev), time.Since(t0).Round(time.Microsecond))
+	fmt.Println("incremental mode: one DML statement per line (INSERT/UPDATE/DELETE), Ctrl-D to finish")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if _, err := p.DB.Exec(line); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		t0 := time.Now()
+		d := rev.Commit()
+		prev = suite.RunDelta(p.DB, prev, d, opts)
+		skipped, rechecked := 0, 0
+		for _, r := range prev {
+			if r.Skipped {
+				skipped++
+			} else {
+				rechecked++
+			}
+		}
+		fmt.Printf("delta %s: %d rechecked, %d skipped in %v; %s\n",
+			d, rechecked, skipped, time.Since(t0).Round(time.Microsecond), check.Summarize(prev))
+		for _, r := range prev {
+			if !r.Passed() && !r.Skipped {
+				status := "VIOLATED"
+				if r.Err != nil {
+					status = "ERROR: " + r.Err.Error()
+				} else {
+					status = fmt.Sprintf("VIOLATED (%d rows)", r.Violations.NumRows())
+				}
+				fmt.Printf("  %-28s %-9s %s\n", r.Invariant.Name, r.Invariant.Ref, status)
+			}
+		}
+		if stats {
+			printInvariantStats(prev)
+		}
+	}
+	return sc.Err()
+}
+
 // runModelCheck explores the Fig. 4 configuration exhaustively under the
 // given assignment (default: both vc4 and fixed) — the baseline the paper
 // contrasts the SQL analysis with.
@@ -210,12 +276,16 @@ func runModelCheck(p *core.Pipeline, assign string) error {
 func printInvariantStats(results []check.Result) {
 	sorted := append([]check.Result(nil), results...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Elapsed > sorted[j].Elapsed })
-	fmt.Printf("  %-28s %9s %8s %8s %6s %6s %6s %7s\n",
-		"invariant", "elapsed", "scanned", "rows", "hashj", "idxj", "loopj", "morsels")
+	fmt.Printf("  %-28s %-7s %9s %8s %8s %6s %6s %6s %7s\n",
+		"invariant", "exec", "elapsed", "scanned", "rows", "hashj", "idxj", "loopj", "morsels")
 	for _, r := range sorted {
 		st := r.Stats
-		fmt.Printf("  %-28s %9s %8d %8d %6d %6d %6d %7d\n",
-			r.Invariant.Name, r.Elapsed.Round(time.Microsecond),
+		exec := "run"
+		if r.Skipped {
+			exec = "skipped"
+		}
+		fmt.Printf("  %-28s %-7s %9s %8d %8d %6d %6d %6d %7d\n",
+			r.Invariant.Name, exec, r.Elapsed.Round(time.Microsecond),
 			st.RowsScanned, st.RowsProduced,
 			st.HashJoins, st.IndexJoins, st.LoopJoins, st.Morsels)
 	}

@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+	"coherdb/internal/sqlmini"
+)
+
+// renderResults canonicalizes a run for byte-for-byte comparison:
+// invariant name, error, and the violation rows — everything except
+// timing, stats, and the Skipped marker.
+func renderResults(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "== %s ==\n", r.Invariant.Name)
+		if r.Err != nil {
+			fmt.Fprintf(&b, "error: %v\n", r.Err)
+			continue
+		}
+		if r.Violations == nil {
+			b.WriteString("<nil>\n")
+			continue
+		}
+		if err := r.Violations.WriteCSV(&b); err != nil {
+			fmt.Fprintf(&b, "render error: %v\n", err)
+		}
+	}
+	return b.String()
+}
+
+// cloneCatalog builds a fresh DB holding deep copies of src's tables plus
+// the protocol predicates, so edit chains cannot leak into the shared
+// package fixture.
+func cloneCatalog(src *sqlmini.DB) *sqlmini.DB {
+	db := sqlmini.NewDB()
+	protocol.RegisterFuncs(db.Register)
+	for _, name := range src.Names() {
+		if t, ok := src.Table(name); ok {
+			db.PutTable(t.Clone())
+		}
+	}
+	return db
+}
+
+// applyEdit mutates tab with one random row edit: a cell overwrite (70%),
+// a near-duplicate row insert (15%), or a row delete (15%). Values are
+// drawn from the same column so edits stay schema-plausible.
+func applyEdit(rng *rand.Rand, tab *rel.Table) error {
+	n := tab.NumRows()
+	w := tab.NumCols()
+	op := rng.Intn(100)
+	switch {
+	case n == 0 || (op >= 70 && op < 85):
+		if n == 0 {
+			return nil
+		}
+		row := make([]uint32, w)
+		src := rng.Intn(n)
+		for j := 0; j < w; j++ {
+			row[j] = tab.CodeAt(src, j)
+		}
+		row[rng.Intn(w)] = tab.CodeAt(rng.Intn(n), rng.Intn(w))
+		return tab.AppendCodeRow(row)
+	case op >= 85 && n > 2:
+		target := rng.Intn(n)
+		i := 0
+		tab.DeleteWhere(func(rel.Row) bool {
+			hit := i == target
+			i++
+			return hit
+		})
+		return nil
+	default:
+		i, j := rng.Intn(n), rng.Intn(w)
+		return tab.Set(i, tab.ColumnsRef()[j], tab.At(rng.Intn(n), j))
+	}
+}
+
+// TestEditScriptEquivalence is the randomized incremental-vs-monolithic
+// gate: for every controller table it applies a seeded script of random
+// row edits, chains RunDelta across the whole script, and periodically
+// asserts the chained incremental results render byte-identical to a
+// from-scratch Run of the same database state. Chains cover both NULL
+// dialects and both serial and pooled execution; the full 200-edit scripts
+// also run under -race via scripts/bench.sh.
+func TestEditScriptEquivalence(t *testing.T) {
+	base := protocolDB(t)
+	controllers := []string{
+		protocol.DirectoryTable, protocol.MemoryTable, protocol.CacheTable,
+		protocol.NodeTable, protocol.RACTable, protocol.IOBridgeTable,
+		protocol.InterruptTable, protocol.SyncTable,
+	}
+
+	edits := 200
+	checkEvery := 40
+	if testing.Short() {
+		edits, checkEvery = 25, 10
+	} else if raceEnabled {
+		checkEvery = 50
+	}
+
+	for i, ctrl := range controllers {
+		strict := i%2 == 0
+		workers := 1
+		if i%4 >= 2 {
+			workers = 0 // shared pool
+		}
+		t.Run(fmt.Sprintf("%s/strict=%v/workers=%d", ctrl, strict, workers), func(t *testing.T) {
+			db := cloneCatalog(base)
+			db.SetStrictNulls(strict)
+			suite := ProtocolSuite()
+			opts := Options{Workers: workers}
+
+			rev := db.BeginRevision()
+			prev := suite.Run(db, opts)
+			tab := db.MustTable(ctrl)
+			rng := rand.New(rand.NewSource(int64(7919 + 31*i)))
+
+			skippedTotal, recheckedTotal := 0, 0
+			for e := 1; e <= edits; e++ {
+				if err := applyEdit(rng, tab); err != nil {
+					t.Fatalf("edit %d: %v", e, err)
+				}
+				d := rev.Commit()
+				prev = suite.RunDelta(db, prev, d, opts)
+				for _, r := range prev {
+					if r.Skipped {
+						skippedTotal++
+					} else {
+						recheckedTotal++
+					}
+				}
+				if e%checkEvery == 0 || e == edits {
+					full := suite.Run(db, opts)
+					if got, want := renderResults(prev), renderResults(full); got != want {
+						t.Fatalf("edit %d: incremental diverged from full rebuild\n--- incremental ---\n%s\n--- full ---\n%s",
+							e, got, want)
+					}
+				}
+			}
+			if skippedTotal == 0 {
+				t.Fatal("no invariant was ever delta-skipped: the incremental path is vacuous")
+			}
+			if recheckedTotal == 0 {
+				t.Fatal("no invariant was ever re-checked: the edit script is vacuous")
+			}
+		})
+	}
+}

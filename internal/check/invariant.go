@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"coherdb/internal/delta"
 	"coherdb/internal/obs"
 	"coherdb/internal/pool"
 	"coherdb/internal/rel"
@@ -45,6 +46,10 @@ type Result struct {
 	// join strategies, morsel/steal counts). Zero when the query fell
 	// back to the unprepared path.
 	Stats sqlmini.QueryStats
+	// Skipped marks a result carried over from the previous run by
+	// RunDelta because the invariant's input columns were untouched by
+	// the revision's delta; Violations then aliases the prior table.
+	Skipped bool
 }
 
 // Passed reports whether the invariant held.
@@ -53,6 +58,9 @@ func (r Result) Passed() bool { return r.Err == nil && r.Violations != nil && r.
 // Suite is an ordered collection of invariants.
 type Suite struct {
 	invs []Invariant
+	// inputs caches each invariant's (table, columns) dependency list,
+	// extracted from its SQL; see inputSets. Dropped on Add.
+	inputs [][]delta.Input
 }
 
 // NewSuite builds an empty suite.
@@ -76,6 +84,7 @@ func (s *Suite) Add(inv Invariant) *Suite {
 		}
 	}
 	s.invs = append(s.invs, inv)
+	s.inputs = nil
 	return s
 }
 
@@ -121,28 +130,46 @@ func (o Options) observe(r Result) {
 // The db is switched to strict ANSI NULL semantics for the duration of
 // the run and restored afterwards.
 func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
+	results := make([]Result, len(s.invs))
+	idx := make([]int, len(s.invs))
+	for i := range idx {
+		idx[i] = i
+	}
+	s.runSubset(db, idx, results, opts, nil)
+	return results
+}
+
+// runSubset checks the invariants named by idx, writing their results into
+// the matching slots of results; other slots are left as the caller set
+// them. extra attributes land on the "check.suite" span.
+func (s *Suite) runSubset(db *sqlmini.DB, idx []int, results []Result, opts Options, extra []obs.Attr) {
 	exec := pool.Shared()
 	workers := opts.Workers
 	if workers <= 0 || workers > exec.Size() {
 		workers = exec.Size()
 	}
-	if workers > len(s.invs) {
-		workers = len(s.invs)
+	if workers > len(idx) {
+		workers = len(idx)
 	}
 	db.SetStrictNulls(true)
 	defer db.SetStrictNulls(false)
 
 	// Prepare every invariant up front: re-running the suite (the paper's
 	// every-revision workflow) then never re-parses or re-plans a query.
-	prepared := make([]*sqlmini.Prepared, len(s.invs))
-	for i, inv := range s.invs {
-		prepared[i], _ = db.Prepare(inv.SQL) // a nil entry falls back to Query
+	prepared := make([]*sqlmini.Prepared, len(idx))
+	for k, i := range idx {
+		prepared[k], _ = db.Prepare(s.invs[i].SQL) // a nil entry falls back to Query
 	}
 
-	suite := obs.StartSpan(opts.Tracer, "check.suite", obs.Int("invariants", len(s.invs)), obs.Int("workers", workers))
-	results := make([]Result, len(s.invs))
-	st, _ := exec.Each(workers, len(s.invs), 1, func(i, _, _ int) error {
-		inv := s.invs[i]
+	attrs := append([]obs.Attr{obs.Int("invariants", len(idx)), obs.Int("workers", workers)}, extra...)
+	suite := obs.StartSpan(opts.Tracer, "check.suite", attrs...)
+	if len(idx) == 0 {
+		suite.Finish()
+		return
+	}
+	st, _ := exec.Each(workers, len(idx), 1, func(k, _, _ int) error {
+		i := k
+		inv := s.invs[idx[i]]
 		sp := suite.Child("check.invariant", obs.String("invariant", inv.Name))
 		start := time.Now()
 		var tab *rel.Table
@@ -179,12 +206,11 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 			sp.Finish()
 		}
 		opts.observe(r)
-		results[i] = r
+		results[idx[i]] = r
 		return nil
 	})
 	suite.SetAttr(obs.Int("steals", st.Steals))
 	suite.Finish()
-	return results
 }
 
 // Summary aggregates a run.

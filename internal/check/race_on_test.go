@@ -1,0 +1,7 @@
+//go:build race
+
+package check
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_off_test.go for the other half.
+const raceEnabled = true

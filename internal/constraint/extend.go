@@ -97,6 +97,21 @@ func extendCompiled(cur [][]uint32, width int, domain []uint32, fire []compiledC
 // solving, not during.
 var sweepVectorized = true
 
+// sweepScalarCutover is the work volume — groups × domain lanes — below
+// which the vectorized sweep's per-group setup (lane buffers, broadcast
+// of sweep-stable subtrees) costs more than the lanes it amortizes; such
+// steps run the pooled scalar closures instead. Kept small: DirectoryD's
+// production steps have hundreds of groups over single-digit domains,
+// and the vectorized sweep already wins there.
+const sweepScalarCutover = 256
+
+// sweepSmallJob is the work volume below which a step runs inline on the
+// calling goroutine: dealing single-group batches through the cursor to
+// a spawned worker set costs more than the evaluations themselves. The
+// Figure 3 fragment micro-solves (BenchmarkGenerateIncremental) sit
+// entirely below this; see BENCH_8.json for the tuning.
+const sweepSmallJob = 4096
+
 // evalGroups fills verdicts[g*len(domain)+di] for every group g and domain
 // index di by running the fire programs on the group's representative row
 // extended with domain[di]. Every firing program carries a column-at-a-
@@ -107,10 +122,45 @@ var sweepVectorized = true
 // conjoin by AND-ing into a shared keep vector, stopping early when no
 // lane survives.
 func evalGroups(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
-	if !sweepVectorized {
+	if !sweepVectorized || len(reps)*len(domain) < sweepScalarCutover {
 		return evalGroupsScalar(cur, width, domain, fire, reps, verdicts, workers)
 	}
 	dlen := len(domain)
+	if workers <= 1 || len(reps)*dlen < sweepSmallJob {
+		// Small-step fast path: sweep inline on the calling goroutine.
+		scratch := make([]uint32, width)
+		keep := make([]bool, dlen)
+		insts := make([]*sqlmini.Instance, len(fire))
+		for i, c := range fire {
+			insts[i] = c.sweep.Instance()
+		}
+		var firstErr error
+	groups:
+		for g := range reps {
+			copy(scratch, cur[reps[g]])
+			for _, in := range insts {
+				in.NextRow()
+			}
+			for di := range keep {
+				keep[di] = true
+			}
+			for i, cc := range fire {
+				any, err := cc.sweep.EvalSweepTrue(insts[i], scratch, domain, keep)
+				if err != nil {
+					firstErr = err
+					break groups
+				}
+				if !any {
+					break
+				}
+			}
+			copy(verdicts[g*dlen:(g+1)*dlen], keep)
+		}
+		for i, c := range fire {
+			c.sweep.Release(insts[i])
+		}
+		return firstErr
+	}
 	cursor := newBatchCursor(uint64(len(reps)), workers)
 	nw := workers
 	if nb := cursor.numBatches(); nw > nb {
@@ -176,6 +226,45 @@ func evalGroups(cur [][]uint32, width int, domain []uint32, fire []compiledConst
 // Kept as the cross-check oracle for the vectorized sweep.
 func evalGroupsScalar(cur [][]uint32, width int, domain []uint32, fire []compiledConstraint, reps []int32, verdicts []bool, workers int) error {
 	dlen := len(domain)
+	if workers <= 1 || len(reps)*dlen < sweepSmallJob {
+		// Micro-step fast path: the whole sweep runs on the calling
+		// goroutine — spawning workers and dealing single-group batches
+		// through the cursor costs more than the evaluations themselves.
+		scratch := make([]uint32, width)
+		insts := make([]*sqlmini.Instance, len(fire))
+		for i, c := range fire {
+			insts[i] = c.prog.Instance()
+		}
+		var firstErr error
+	groups:
+		for g := range reps {
+			copy(scratch, cur[reps[g]])
+			base := g * dlen
+			for _, in := range insts {
+				in.NextRow()
+			}
+			for di, c := range domain {
+				scratch[width-1] = c
+				pass := true
+				for i, cc := range fire {
+					t, err := cc.prog.EvalCodes(insts[i], scratch)
+					if err != nil {
+						firstErr = err
+						break groups
+					}
+					if !t {
+						pass = false
+						break
+					}
+				}
+				verdicts[base+di] = pass
+			}
+		}
+		for i, c := range fire {
+			c.prog.Release(insts[i])
+		}
+		return firstErr
+	}
 	cursor := newBatchCursor(uint64(len(reps)), workers)
 	nw := workers
 	if nb := cursor.numBatches(); nw > nb {
@@ -192,6 +281,11 @@ func evalGroupsScalar(cur [][]uint32, width int, domain []uint32, fire []compile
 			for i, c := range fire {
 				insts[i] = c.prog.Instance()
 			}
+			defer func() {
+				for i, c := range fire {
+					c.prog.Release(insts[i])
+				}
+			}()
 			for {
 				_, lo, hi, ok := cursor.grab()
 				if !ok {
@@ -237,6 +331,38 @@ func evalGroupsScalar(cur [][]uint32, width int, domain []uint32, fire []compile
 // code rows instead of one per row); batches reassemble in index order.
 func emitExtensions(cur [][]uint32, width int, domain []uint32, groupOf []int32, verdicts []bool, workers int) [][]uint32 {
 	dlen := len(domain)
+	if workers <= 1 || len(cur)*dlen < sweepSmallJob {
+		// Micro-step fast path: emit inline, same index order as the
+		// batched reassembly below.
+		cnt := 0
+		for i := range cur {
+			base := int(groupOf[i]) * dlen
+			for _, pass := range verdicts[base : base+dlen] {
+				if pass {
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			return nil
+		}
+		var arena codeArena
+		arena.reserve(cnt * width)
+		out := make([][]uint32, 0, cnt)
+		for i, row := range cur {
+			base := int(groupOf[i]) * dlen
+			for di, pass := range verdicts[base : base+dlen] {
+				if !pass {
+					continue
+				}
+				nr := arena.row(width)
+				copy(nr, row)
+				nr[width-1] = domain[di]
+				out = append(out, nr)
+			}
+		}
+		return out
+	}
 	cursor := newBatchCursor(uint64(len(cur)), workers)
 	nb := cursor.numBatches()
 	nw := workers
@@ -295,6 +421,20 @@ func emitExtensions(cur [][]uint32, width int, domain []uint32, groupOf []int32,
 // crossExtend is the unconstrained fast path: every extension survives.
 func crossExtend(cur [][]uint32, width int, domain []uint32, workers int) [][]uint32 {
 	dlen := len(domain)
+	if workers <= 1 || len(cur)*dlen < sweepSmallJob {
+		var arena codeArena
+		arena.reserve(len(cur) * dlen * width)
+		out := make([][]uint32, 0, len(cur)*dlen)
+		for _, row := range cur {
+			for _, c := range domain {
+				nr := arena.row(width)
+				copy(nr, row)
+				nr[width-1] = c
+				out = append(out, nr)
+			}
+		}
+		return out
+	}
 	cursor := newBatchCursor(uint64(len(cur)), workers)
 	nb := cursor.numBatches()
 	nw := workers

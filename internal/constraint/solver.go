@@ -22,6 +22,10 @@ type Stats struct {
 	Pruned uint64
 	// Steps is the number of column-extension steps (incremental only).
 	Steps int
+	// ReusedSteps is the number of leading steps served from an
+	// IncrementalSolver's memo instead of being re-executed; always zero
+	// for the one-shot solvers.
+	ReusedSteps int
 	// MemoHits is the number of candidates whose constraint verdict was
 	// served by the projection memo instead of being evaluated: candidates
 	// sharing a referenced-column projection with an earlier candidate at
@@ -74,6 +78,7 @@ type Options struct {
 func (o Options) observe(span *obs.Span, controller string, stats Stats, err error) {
 	span.SetAttr(
 		obs.Int("steps", stats.Steps),
+		obs.Int("reused_steps", stats.ReusedSteps),
 		obs.Uint64("candidates", stats.Candidates),
 		obs.Uint64("pruned", stats.Pruned),
 		obs.Uint64("memo_hits", stats.MemoHits),
@@ -345,19 +350,24 @@ func MonolithicOpts(spec *Spec, opts Options) (_ *rel.Table, stats Stats, err er
 	return out, stats, nil
 }
 
-// GenerateInputs solves only the input columns of the spec: the table of
-// all legal input combinations, which the paper generates first and then
-// extends with output columns one at a time.
-func GenerateInputs(spec *Spec) (*rel.Table, Stats, error) {
+// InputSpec projects the spec onto its input columns: the sub-spec whose
+// solution is the table of all legal input combinations. Constraints that
+// mention any output column are dropped (they cannot fire over inputs
+// alone). The sub-spec shares the parent's function table and inherits its
+// mutation stamps, so rebuilding InputSpec from an unchanged parent yields
+// a sub-spec an IncrementalSolver recognizes as identical.
+func InputSpec(spec *Spec) (*Spec, error) {
 	sub := NewSpec(spec.Name + "_inputs")
 	sub.funcs = spec.funcs
+	sub.funcGen = spec.funcGen
+	sub.genCtr = spec.genCtr
 	inputs := make(map[string]struct{})
 	for _, c := range spec.cols {
 		if c.Kind != Input {
 			continue
 		}
 		if err := sub.AddColumn(c); err != nil {
-			return nil, Stats{}, err
+			return nil, err
 		}
 		inputs[c.Name] = struct{}{}
 	}
@@ -375,7 +385,19 @@ func GenerateInputs(spec *Spec) (*rel.Table, Stats, error) {
 		}
 		if onlyInputs {
 			sub.constraints[col] = e
+			sub.conGen[col] = spec.conGen[col]
 		}
+	}
+	return sub, nil
+}
+
+// GenerateInputs solves only the input columns of the spec: the table of
+// all legal input combinations, which the paper generates first and then
+// extends with output columns one at a time.
+func GenerateInputs(spec *Spec) (*rel.Table, Stats, error) {
+	sub, err := InputSpec(spec)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	return Solve(sub)
 }

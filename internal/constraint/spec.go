@@ -87,6 +87,16 @@ type Spec struct {
 	// changes. Guarded by mu so concurrent solves of one spec share it.
 	mu       sync.Mutex
 	compiled []compiledConstraint
+
+	// Incremental-solve bookkeeping: genCtr is a monotone mutation stamp;
+	// conGen records the stamp of the last Constrain per column and funcGen
+	// the stamp of the last RegisterFunc. IncrementalSolver memo entries
+	// key on these, so a re-constrained column dirties exactly the steps
+	// its constraint fires at, while a re-registered function (whose
+	// behavior the solver cannot inspect) dirties everything.
+	genCtr  uint64
+	conGen  map[string]uint64
+	funcGen uint64
 }
 
 // NewSpec creates an empty specification for a controller table.
@@ -96,6 +106,7 @@ func NewSpec(name string) *Spec {
 		colIdx:      make(map[string]int),
 		constraints: make(map[string]sqlmini.Expr),
 		funcs:       make(map[string]sqlmini.Func),
+		conGen:      make(map[string]uint64),
 	}
 }
 
@@ -176,6 +187,8 @@ func (s *Spec) HasColumn(name string) bool {
 // RegisterFunc makes fn callable from constraints (e.g. isrequest).
 func (s *Spec) RegisterFunc(name string, fn sqlmini.Func) {
 	s.funcs[name] = fn
+	s.genCtr++
+	s.funcGen = s.genCtr
 	s.invalidate()
 }
 
@@ -207,6 +220,8 @@ func (s *Spec) Constrain(col, expr string) error {
 		}
 	}
 	s.constraints[col] = resolved
+	s.genCtr++
+	s.conGen[col] = s.genCtr
 	s.invalidate()
 	return nil
 }

@@ -85,6 +85,10 @@ type Pipeline struct {
 	// so the database's statement tracer is wired too.
 	Tracer  obs.Tracer
 	Metrics *obs.Registry
+
+	// partitioner caches the §5 hardware mapping across MapToHardware
+	// calls, keyed on D's pointer and revision.
+	partitioner hwmap.Partitioner
 }
 
 // New creates a pipeline with an empty database.
@@ -235,9 +239,14 @@ func (p *Pipeline) MapToHardware() error {
 	if !ok {
 		return fmt.Errorf("core: table D not generated yet")
 	}
-	m, err := hwmap.Partition(p.DB, d)
+	m, reused, err := p.partitioner.PartitionIncremental(p.DB, d)
 	if err != nil {
 		return err
+	}
+	if reused && p.Report.Mapping == m && p.Report.ImplChecks != nil {
+		// D has not moved since the last mapping: ED, the nine
+		// implementation tables, and their checks are all still valid.
+		return nil
 	}
 	if _, err := m.Verify(); err != nil {
 		return err

@@ -1,0 +1,37 @@
+package deadlock
+
+import (
+	"coherdb/internal/delta"
+	"coherdb/internal/rel"
+)
+
+// AnalyzeDelta is Analyze with delta awareness: when prev is the report of
+// an earlier Analyze over the same controllers and channel assignment, and
+// d — a revision delta over the database those tables live in — shows none
+// of them touched, prev is returned unchanged (reused=true) without
+// re-deriving any dependency edges. A touched table, or a nil prev or d,
+// falls back to a full Analyze.
+//
+// The analysis reads entire controller tables (every edge derivation joins
+// across all columns), so any touch re-runs it; the win is the common edit
+// loop where a revision changes invariant-adjacent tables but no
+// controller, and the deadlock pass drops to a map lookup.
+func AnalyzeDelta(controllers []*rel.Table, v *rel.Table, prev *Report, d *delta.Set, opts Options) (*Report, bool, error) {
+	if prev != nil && d != nil {
+		dirty := v != nil && d.TableTouched(v.Name())
+		for _, c := range controllers {
+			if dirty {
+				break
+			}
+			dirty = d.TableTouched(c.Name())
+		}
+		if !dirty {
+			if _, skipped := delta.Counters(opts.Metrics); skipped != nil {
+				skipped.Add(1)
+			}
+			return prev, true, nil
+		}
+	}
+	r, err := Analyze(controllers, v, opts)
+	return r, false, err
+}

@@ -1,0 +1,82 @@
+package deadlock
+
+import (
+	"testing"
+
+	"coherdb/internal/delta"
+	"coherdb/internal/protocol"
+	"coherdb/internal/rel"
+)
+
+// catalogOf adapts a table list to the delta.Catalog interface so the
+// tests can drive a Tracker over exactly the analysis inputs.
+type catalogOf map[string]*rel.Table
+
+func (c catalogOf) Names() []string {
+	out := make([]string, 0, len(c))
+	for n := range c {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (c catalogOf) Table(name string) (*rel.Table, bool) {
+	t, ok := c[name]
+	return t, ok
+}
+
+func TestAnalyzeDeltaReuse(t *testing.T) {
+	// Clone the shared fixture: this test mutates a controller table.
+	tables := make([]*rel.Table, 0, 8)
+	for _, tab := range controllerTables(t) {
+		tables = append(tables, tab.Clone())
+	}
+	v := assignment(t, protocol.AssignVC4)
+	cat := catalogOf{v.Name(): v}
+	for _, tab := range tables {
+		cat[tab.Name()] = tab
+	}
+	tr := delta.NewTracker()
+	tr.Capture(cat)
+
+	prev, err := Analyze(tables, v, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No edits: the previous report comes back untouched.
+	d := tr.DiffAndCapture(cat)
+	rep, reused, err := AnalyzeDelta(tables, v, prev, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || rep != prev {
+		t.Fatalf("clean revision: reused=%v rep==prev=%v", reused, rep == prev)
+	}
+
+	// Nil delta or nil prev must run the full analysis.
+	if _, reused, err := AnalyzeDelta(tables, v, prev, nil, DefaultOptions()); err != nil || reused {
+		t.Fatalf("nil delta: reused=%v err=%v", reused, err)
+	}
+	if _, reused, err := AnalyzeDelta(tables, v, nil, d, DefaultOptions()); err != nil || reused {
+		t.Fatalf("nil prev: reused=%v err=%v", reused, err)
+	}
+
+	// Editing a controller dirties the analysis: duplicate its first row.
+	tab := tables[0]
+	row := make([]uint32, tab.NumCols())
+	for j := range row {
+		row[j] = tab.CodeAt(0, j)
+	}
+	if err := tab.AppendCodeRow(row); err != nil {
+		t.Fatal(err)
+	}
+	d = tr.DiffAndCapture(cat)
+	rep2, reused, err := AnalyzeDelta(tables, v, prev, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || rep2 == prev {
+		t.Fatal("controller edit: expected a fresh analysis")
+	}
+}

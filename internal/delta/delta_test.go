@@ -1,0 +1,131 @@
+package delta
+
+import (
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// mapCatalog is a test double for sqlmini.DB's catalog surface.
+type mapCatalog map[string]*rel.Table
+
+func (c mapCatalog) Names() []string {
+	out := make([]string, 0, len(c))
+	for n := range c {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (c mapCatalog) Table(name string) (*rel.Table, bool) {
+	t, ok := c[name]
+	return t, ok
+}
+
+func twoColTable(name string) *rel.Table {
+	t := rel.MustNewTable(name, "st", "pv")
+	t.MustInsert(rel.S("I"), rel.S("0"))
+	t.MustInsert(rel.S("M"), rel.S("1"))
+	return t
+}
+
+func TestTrackerDiffFastPathAndEdit(t *testing.T) {
+	cat := mapCatalog{"D": twoColTable("D"), "M": twoColTable("M")}
+	tr := NewTracker()
+	tr.Capture(cat)
+
+	if s := tr.Diff(cat); !s.Empty() {
+		t.Fatalf("no-edit diff not empty: %s", s)
+	}
+
+	if err := cat["D"].Set(0, "pv", rel.S("7")); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Diff(cat)
+	if s.Empty() || !s.TableTouched("D") || s.TableTouched("M") {
+		t.Fatalf("edit diff wrong: %s", s)
+	}
+	if !s.Touches("D", "pv") || s.Touches("D", "st") {
+		t.Fatalf("column attribution wrong: %s", s)
+	}
+	if s.Rows() != 2 { // one removed old row, one added new row
+		t.Fatalf("rows = %d, want 2", s.Rows())
+	}
+
+	// Diff does not advance the baseline; DiffAndCapture does.
+	if s2 := tr.Diff(cat); s2.Empty() {
+		t.Fatal("baseline moved without Capture")
+	}
+	tr.Capture(cat)
+	if s3 := tr.Diff(cat); !s3.Empty() {
+		t.Fatalf("diff after recapture not empty: %s", s3)
+	}
+}
+
+func TestTrackerCreateDropReplace(t *testing.T) {
+	cat := mapCatalog{"D": twoColTable("D")}
+	tr := NewTracker()
+	tr.Capture(cat)
+
+	cat["N"] = twoColTable("N")
+	delete(cat, "D")
+	s := tr.Diff(cat)
+	nd := s.Table("N")
+	if nd == nil || len(nd.Added) != 2 || len(nd.Removed) != 0 {
+		t.Fatalf("created table delta wrong: %s", s)
+	}
+	dd := s.Table("D")
+	if dd == nil || len(dd.Removed) != 2 || len(dd.Added) != 0 {
+		t.Fatalf("dropped table delta wrong: %s", s)
+	}
+
+	// Replacing a table object with identical contents must still be
+	// detected as untouched (real diff, empty result).
+	tr.Capture(cat)
+	cat["N"] = cat["N"].Clone()
+	if s := tr.Diff(cat); !s.Empty() {
+		t.Fatalf("identical replacement reported a delta: %s", s)
+	}
+}
+
+func TestGraphDirty(t *testing.T) {
+	g := NewGraph()
+	g.Add("inv-a", Input{Table: "D", Cols: []string{"st"}})
+	g.Add("inv-b", Input{Table: "D", Cols: []string{"pv"}})
+	g.Add("inv-c", Input{Table: "M"}) // whole-table dependency
+	g.Add("inv-d", Input{Table: "D", Cols: []string{"st"}}, Input{Table: "M", Cols: []string{"pv"}})
+
+	d := twoColTable("D")
+	snap := d.Snapshot()
+	if err := d.Set(1, "pv", rel.S("9")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet()
+	s.Add(rel.DiffCodes(snap, d))
+
+	dirty := g.Dirty(s)
+	if dirty["inv-a"] || !dirty["inv-b"] || dirty["inv-c"] || dirty["inv-d"] {
+		t.Fatalf("dirty set wrong: %v", dirty)
+	}
+	if got := g.DirtyList(s); len(got) != 1 || got[0] != "inv-b" {
+		t.Fatalf("DirtyList = %v", got)
+	}
+
+	// nil Set ⇒ everything dirty (no history).
+	all := g.Dirty(nil)
+	for _, n := range g.Nodes() {
+		if !all[n] {
+			t.Fatalf("nil set did not dirty %s", n)
+		}
+	}
+}
+
+func TestSetConservativeNil(t *testing.T) {
+	var s *Set
+	if s.Empty() {
+		t.Fatal("nil set must not report empty")
+	}
+	if !s.TableTouched("anything") || !s.Touches("anything", "col") {
+		t.Fatal("nil set must be conservative")
+	}
+}

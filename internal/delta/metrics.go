@@ -1,0 +1,24 @@
+package delta
+
+import "coherdb/internal/obs"
+
+// Counters registers (or fetches) the delta-layer counters on reg:
+//
+//	coherdb_delta_rows_reused_total   — input rows a consumer did not
+//	                                    re-scan because its node was skipped
+//	coherdb_delta_nodes_skipped_total — consumer nodes (invariants,
+//	                                    analyses, reconstructions) skipped
+//	                                    because their inputs were untouched
+//
+// Both return nil when reg is nil; callers guard their Inc/Add sites.
+func Counters(reg *obs.Registry) (rowsReused, nodesSkipped *obs.Counter) {
+	if reg == nil {
+		return nil, nil
+	}
+	reg.Help("coherdb_delta_rows_reused_total",
+		"Input rows not re-scanned because the consuming node was delta-skipped.")
+	reg.Help("coherdb_delta_nodes_skipped_total",
+		"Consumer nodes skipped because their input columns were untouched by the delta.")
+	return reg.Counter("coherdb_delta_rows_reused_total"),
+		reg.Counter("coherdb_delta_nodes_skipped_total")
+}

@@ -1,0 +1,101 @@
+package delta
+
+import "coherdb/internal/rel"
+
+// Catalog is the table source a Tracker watches. *sqlmini.DB satisfies it;
+// so does any map-backed test double.
+type Catalog interface {
+	// Names returns the catalog's table names.
+	Names() []string
+	// Table returns the named table and whether it exists.
+	Table(name string) (*rel.Table, bool)
+}
+
+// Tracker captures a baseline of a catalog — copy-on-write snapshots plus
+// (pointer, revision) pairs — and diffs the live catalog against it.
+// Capture costs O(tables × cols); Diff costs O(1) per unchanged table
+// (pointer identity + revision compare, no data access) and a real
+// rel.DiffCodes only for tables that mutated, were replaced, created, or
+// dropped.
+//
+// A Tracker must not race with writers: capture and diff inside whatever
+// exclusion the catalog's mutations already require (sqlmini.DB's revision
+// API handles this for its own catalog).
+type Tracker struct {
+	snaps map[string]*rel.Table // frozen snapshot at capture
+	live  map[string]*rel.Table // live pointer at capture
+	revs  map[string]uint64     // live revision at capture
+}
+
+// NewTracker returns a tracker with no baseline; Diff before the first
+// Capture returns a full delta for every table.
+func NewTracker() *Tracker {
+	return &Tracker{
+		snaps: make(map[string]*rel.Table),
+		live:  make(map[string]*rel.Table),
+		revs:  make(map[string]uint64),
+	}
+}
+
+// Capture (re-)baselines the tracker against the catalog's current state.
+func (tr *Tracker) Capture(c Catalog) {
+	clear(tr.snaps)
+	clear(tr.live)
+	clear(tr.revs)
+	for _, name := range c.Names() {
+		t, ok := c.Table(name)
+		if !ok {
+			continue
+		}
+		tr.snaps[name] = t.Snapshot()
+		tr.live[name] = t
+		tr.revs[name] = t.Revision()
+	}
+}
+
+// Diff returns the delta from the captured baseline to the catalog's
+// current state. It does not move the baseline; call Capture (or
+// DiffAndCapture) to advance it.
+func (tr *Tracker) Diff(c Catalog) *Set {
+	s := NewSet()
+	seen := make(map[string]bool, len(tr.snaps))
+	for _, name := range c.Names() {
+		cur, ok := c.Table(name)
+		if !ok {
+			continue
+		}
+		seen[name] = true
+		snap, had := tr.snaps[name]
+		if !had {
+			// Created since capture: everything is added.
+			s.Add(rel.DiffCodes(emptyLike(cur), cur))
+			continue
+		}
+		if tr.live[name] == cur && tr.revs[name] == cur.Revision() {
+			continue // same object, same revision: provably unchanged
+		}
+		s.Add(rel.DiffCodes(snap, cur))
+	}
+	for name, snap := range tr.snaps {
+		if !seen[name] {
+			// Dropped since capture: everything is removed.
+			s.Add(rel.DiffCodes(snap, emptyLike(snap)))
+		}
+	}
+	return s
+}
+
+// DiffAndCapture diffs, then re-baselines, in one pass — the edit-loop
+// primitive: each call returns what the edits since the previous call
+// changed.
+func (tr *Tracker) DiffAndCapture(c Catalog) *Set {
+	s := tr.Diff(c)
+	tr.Capture(c)
+	return s
+}
+
+// emptyLike returns a rowless table with t's schema, for diffing created
+// and dropped tables.
+func emptyLike(t *rel.Table) *rel.Table {
+	return rel.MustNewTable(t.Name(), t.ColumnsRef()...)
+}

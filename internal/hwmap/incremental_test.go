@@ -1,0 +1,52 @@
+package hwmap
+
+import (
+	"testing"
+
+	"coherdb/internal/sqlmini"
+)
+
+func TestPartitionIncrementalReuse(t *testing.T) {
+	db := sqlmini.NewDB()
+	d := directoryTable(t).Clone() // this test mutates D
+	var p Partitioner
+
+	m1, reused, err := p.PartitionIncremental(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first partition reported reused")
+	}
+
+	// Same db, same table, same revision: cached mapping by pointer.
+	m2, reused, err := p.PartitionIncremental(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused || m2 != m1 {
+		t.Fatalf("clean repeat: reused=%v same=%v", reused, m2 == m1)
+	}
+
+	// A revision bump on D forces a fresh partition.
+	if err := d.Set(0, d.ColumnsRef()[0], d.At(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m3, reused, err := p.PartitionIncremental(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused || m3 == m1 {
+		t.Fatal("post-edit partition was served from cache")
+	}
+	if _, err := m3.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different database never reuses, even with an unmoved D.
+	db2 := sqlmini.NewDB()
+	if _, reused, err = p.PartitionIncremental(db2, d); err != nil || reused {
+		t.Fatalf("fresh db: reused=%v err=%v", reused, err)
+	}
+
+}

@@ -41,6 +41,18 @@ type Table struct {
 	data  [][]uint32
 	nrows int
 
+	// rev counts mutations. Every mutating path funnels through exactly one
+	// of the two bookkeeping points (appended / rewritten), which bump it
+	// atomically with the cache/index invalidation they already perform —
+	// so a revision number plus a pointer identity check is a sound
+	// "nothing changed" test for the delta layer.
+	rev uint64
+
+	// shared marks the column vectors as aliased by a Snapshot (in either
+	// direction); the next mutation copies them first (copy-on-write), so
+	// snapshots stay immutable at O(cols) capture cost.
+	shared bool
+
 	// idxMu serializes lazy index construction by concurrent readers.
 	// Mutators do not take it: a table must not be mutated concurrently
 	// with reads (sqlmini.DB enforces this with its reader/writer lock),
@@ -135,17 +147,80 @@ func (t *Table) CodeAt(i, j int) uint32 { return t.data[j][i] }
 // At returns the value at row i, column j (positional Get).
 func (t *Table) At(i, j int) Value { return t.dict.Value(t.data[j][i]) }
 
+// Revision returns the table's mutation counter. It starts at zero and is
+// bumped exactly once by every mutating operation (Insert, Set, DeleteWhere,
+// sorts, bulk appends), so "same *Table pointer, same revision" proves the
+// contents are unchanged — the O(1) fast path delta tracking relies on.
+func (t *Table) Revision() uint64 { return t.rev }
+
+// Snapshot returns an immutable O(cols) copy of the table: the column
+// vectors are shared, and both tables are marked copy-on-write so the
+// first subsequent mutation of either side copies the codes before
+// writing. Snapshots carry the source's revision number and no index or
+// row caches.
+func (t *Table) Snapshot() *Table {
+	s := &Table{
+		name:   t.name,
+		cols:   t.cols,
+		pos:    t.pos,
+		dict:   t.dict,
+		data:   append([][]uint32(nil), t.data...),
+		nrows:  t.nrows,
+		rev:    t.rev,
+		shared: true,
+	}
+	t.shared = true
+	return s
+}
+
+// ensureOwned copies the column vectors if a Snapshot aliases them, so
+// in-place writes and appends cannot leak into the snapshot's view. Every
+// mutator calls it before touching data.
+func (t *Table) ensureOwned() {
+	if !t.shared {
+		return
+	}
+	for j, col := range t.data {
+		t.data[j] = append(make([]uint32, 0, t.nrows), col[:t.nrows]...)
+	}
+	t.shared = false
+}
+
+// appended is the single bookkeeping point for mutations that only add
+// rows (from index base): bump the revision, drop row-major caches, and
+// maintain cached indexes incrementally for the new rows.
+func (t *Table) appended(base int) {
+	t.rev++
+	t.dropRowCaches()
+	if t.indexes != nil {
+		for i := base; i < t.nrows; i++ {
+			for _, ix := range t.indexes {
+				ix.add(i)
+			}
+		}
+	}
+}
+
+// rewritten is the single bookkeeping point for mutations that rewrite,
+// remove, or reorder existing rows: bump the revision, drop row-major
+// caches, and invalidate cached indexes wholesale.
+func (t *Table) rewritten() {
+	t.rev++
+	t.dropRowCaches()
+	t.invalidateIndexes()
+}
+
 // Insert appends a row. The number of values must equal the column count.
 func (t *Table) Insert(vals ...Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(vals), len(t.cols), t.name)
 	}
+	t.ensureOwned()
 	for j, v := range vals {
 		t.data[j] = append(t.data[j], t.dict.Code(v))
 	}
 	t.nrows++
-	t.dropRowCaches()
-	t.maintainInsert()
+	t.appended(t.nrows - 1)
 	return nil
 }
 
@@ -162,12 +237,12 @@ func (t *Table) InsertRow(row []Value) error {
 	if len(row) != len(t.cols) {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(row), len(t.cols), t.name)
 	}
+	t.ensureOwned()
 	for j, v := range row {
 		t.data[j] = append(t.data[j], t.dict.Code(v))
 	}
 	t.nrows++
-	t.dropRowCaches()
-	t.maintainInsert()
+	t.appended(t.nrows - 1)
 	return nil
 }
 
@@ -178,12 +253,12 @@ func (t *Table) AppendCodeRow(codes []uint32) error {
 	if len(codes) != len(t.cols) {
 		return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(codes), len(t.cols), t.name)
 	}
+	t.ensureOwned()
 	for j, c := range codes {
 		t.data[j] = append(t.data[j], c)
 	}
 	t.nrows++
-	t.dropRowCaches()
-	t.maintainInsert()
+	t.appended(t.nrows - 1)
 	return nil
 }
 
@@ -195,6 +270,10 @@ func (t *Table) AppendCodes(rows [][]uint32) error {
 			return fmt.Errorf("%w: got %d, want %d in table %q", ErrArity, len(r), len(t.cols), t.name)
 		}
 	}
+	if len(rows) == 0 {
+		return nil
+	}
+	t.ensureOwned()
 	for j := range t.data {
 		col := t.data[j]
 		if n := len(col) + len(rows); cap(col) < n {
@@ -207,18 +286,9 @@ func (t *Table) AppendCodes(rows [][]uint32) error {
 		}
 		t.data[j] = col
 	}
-	if t.indexes != nil {
-		base := t.nrows
-		t.nrows += len(rows)
-		for i := base; i < t.nrows; i++ {
-			for _, ix := range t.indexes {
-				ix.add(i)
-			}
-		}
-	} else {
-		t.nrows += len(rows)
-	}
-	t.dropRowCaches()
+	base := t.nrows
+	t.nrows += len(rows)
+	t.appended(base)
 	return nil
 }
 
@@ -235,21 +305,16 @@ func (t *Table) AppendColumns(cols [][]uint32, n int) error {
 			return fmt.Errorf("%w: column %d has %d rows, want %d in table %q", ErrArity, j, len(c), n, t.name)
 		}
 	}
+	if n == 0 {
+		return nil
+	}
+	t.ensureOwned()
 	for j := range t.data {
 		t.data[j] = append(t.data[j], cols[j]...)
 	}
-	if t.indexes != nil {
-		base := t.nrows
-		t.nrows += n
-		for i := base; i < t.nrows; i++ {
-			for _, ix := range t.indexes {
-				ix.add(i)
-			}
-		}
-	} else {
-		t.nrows += n
-	}
-	t.dropRowCaches()
+	base := t.nrows
+	t.nrows += n
+	t.appended(base)
 	return nil
 }
 
@@ -345,9 +410,9 @@ func (t *Table) Set(i int, name string, v Value) error {
 	if j < 0 {
 		return fmt.Errorf("%w: %q in table %q", ErrUnknownColumn, name, t.name)
 	}
+	t.ensureOwned()
 	t.data[j][i] = t.dict.Code(v)
-	t.dropRowCaches()
-	t.invalidateIndexes()
+	t.rewritten()
 	return nil
 }
 
@@ -365,6 +430,7 @@ func (t *Table) ReplaceInCol(name string, from, to Value) int {
 	if !ok {
 		return 0
 	}
+	t.ensureOwned()
 	col := t.data[j][:t.nrows]
 	n := 0
 	var tc uint32
@@ -378,8 +444,7 @@ func (t *Table) ReplaceInCol(name string, from, to Value) int {
 		}
 	}
 	if n > 0 {
-		t.dropRowCaches()
-		t.invalidateIndexes()
+		t.rewritten()
 	}
 	return n
 }
@@ -397,6 +462,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 	if removed == 0 {
 		return 0
 	}
+	t.ensureOwned()
 	for j, col := range t.data {
 		for k, i := range kept {
 			col[k] = col[i]
@@ -404,8 +470,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		t.data[j] = col[:len(kept)]
 	}
 	t.nrows = len(kept)
-	t.dropRowCaches()
-	t.invalidateIndexes()
+	t.rewritten()
 	return removed
 }
 
@@ -482,8 +547,7 @@ func (t *Table) SortAll() {
 // sortByIdx stable-sorts the rows by the given column positions via a
 // permutation, then gathers each column vector once.
 func (t *Table) sortByIdx(idx []int) {
-	t.invalidateIndexes()
-	t.dropRowCaches()
+	t.rewritten()
 	perm := make([]int, t.nrows)
 	for i := range perm {
 		perm[i] = i
@@ -508,6 +572,9 @@ func (t *Table) sortByIdx(idx []int) {
 		}
 		t.data[j] = sorted
 	}
+	// The gather above replaced every vector with a fresh allocation, so
+	// any snapshot aliasing is gone regardless of how we entered.
+	t.shared = false
 }
 
 // IndexOn returns a persistent hash index over the given columns, building
@@ -534,17 +601,6 @@ func (t *Table) IndexOn(cols ...string) (*Index, error) {
 	}
 	t.indexes[key] = ix
 	return ix, nil
-}
-
-// maintainInsert appends the just-inserted last row to every cached index.
-func (t *Table) maintainInsert() {
-	if t.indexes == nil {
-		return
-	}
-	i := t.nrows - 1
-	for _, ix := range t.indexes {
-		ix.add(i)
-	}
 }
 
 // invalidateIndexes drops the cached indexes after a mutation that moves

@@ -27,7 +27,7 @@
 # budget before any number is recorded.
 #
 # After writing the summary, the script diffs it against the previous
-# revision's baseline (BENCH_BASELINE, default BENCH_6.json) and prints a
+# revision's baseline (BENCH_BASELINE, default BENCH_7.json) and prints a
 # WARNING line for every benchmark whose ns/op or B/op regressed by more
 # than 10%. The warnings are advisory (the script still exits 0): some
 # hosts are noisy, and the acceptance gate reads the warnings, not the
@@ -36,9 +36,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter}"
-OUT="${BENCH_OUT:-BENCH_7.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_6.json}"
+PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkDeltaRecheck$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter}"
+OUT="${BENCH_OUT:-BENCH_8.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -62,6 +62,12 @@ go test -race -run 'TestVectorizedMatchesScalarControllers|TestVecPredMatchesSca
 
 echo "== race-detector observability tests =="
 go test -race ./internal/obs/...
+
+echo "== race-detector delta-tracking tests =="
+go test -race ./internal/delta/...
+
+echo "== race-detector incremental-recheck equivalence =="
+go test -race -run 'TestEditScriptEquivalence' ./internal/check/
 
 echo "== nil-tracer overhead bound (<5%) =="
 go test -run 'TestNilTracerOverheadBound' -count=1 .
