@@ -6,6 +6,7 @@
 package coherdb_test
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -698,6 +699,76 @@ func BenchmarkSimulatorScaling(b *testing.B) {
 			}
 			b.ReportMetric(float64(totalOps)/float64(b.N), "ops/run")
 		})
+	}
+}
+
+// --- X1: out-of-core state exploration (ISSUE 9) --------------------------
+
+// BenchmarkStateExplore measures how many states each engine reaches at a
+// FIXED memory budget, plus throughput (states/s) and footprint
+// (bytes/state). The in-memory engine retains a full System clone and
+// fingerprint string per state (~KBs) and hits ErrBudget within a few
+// hundred states; the segmented engine keeps compressed code tuples
+// (~tens of bytes incl. index) and, with a spill directory, holds its
+// residency under the same budget indefinitely — the x_vs_inmem metric
+// records the ≥100x headroom.
+func BenchmarkStateExplore(b *testing.B) {
+	st := simTables(b)
+	fixedTable, err := protocol.BuildAssignment(protocol.AssignFixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *sim.System {
+		sys, err := figure4ModelSystem(st, fixedTable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Widen the state space past the spilled engine's state cap.
+		for k := 0; k < 4; k++ {
+			sys.Node(k % 2).Script(sim.Op{Kind: "prread", Addr: sim.Addr(0x100 + k)})
+		}
+		return sys
+	}
+	const budget = 1 << 20 // 1 MiB for every engine
+	var inmemStates, spilledStates int
+
+	run := func(name string, opts modelcheck.Options, out *int) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := modelcheck.Explore(build(), opts)
+				if err != nil && !errors.Is(err, modelcheck.ErrBudget) && !errors.Is(err, modelcheck.ErrLimit) {
+					b.Fatal(err)
+				}
+				*out = rep.States
+				b.ReportMetric(float64(rep.States), "states")
+				b.ReportMetric(float64(rep.Mem.BytesPerState), "bytes/state")
+				if s := rep.Elapsed.Seconds(); s > 0 {
+					b.ReportMetric(float64(rep.States)/s, "states/s")
+				}
+			}
+		})
+	}
+
+	run("in-memory", modelcheck.Options{
+		MaxStates: 2000000, CheckCoherence: true, MemBudget: budget,
+	}, &inmemStates)
+	var segStates int
+	run("segmented", modelcheck.Options{
+		MaxStates: 2000000, CheckCoherence: true, MemBudget: budget,
+		Segmented: true, HashStates: true,
+	}, &segStates)
+	run("spilled", modelcheck.Options{
+		MaxStates: 150000, CheckCoherence: true, MemBudget: budget,
+		Segmented: true, HashStates: true, SpillDir: b.TempDir(),
+	}, &spilledStates)
+
+	if inmemStates > 0 && spilledStates > 0 {
+		ratio := float64(spilledStates) / float64(inmemStates)
+		b.Logf("states at %dB budget: in-memory=%d spilled-segmented=%d (%.0fx)",
+			budget, inmemStates, spilledStates, ratio)
+		if ratio < 100 {
+			b.Errorf("spilled/in-memory state ratio %.1fx below the 100x floor", ratio)
+		}
 	}
 }
 

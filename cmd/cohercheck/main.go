@@ -27,6 +27,7 @@ import (
 	"coherdb/internal/modelcheck"
 	"coherdb/internal/obs"
 	"coherdb/internal/protocol"
+	"coherdb/internal/segment"
 	"coherdb/internal/sim"
 )
 
@@ -45,6 +46,10 @@ func main() {
 	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
 	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
 	workers := flag.Int("workers", 0, "bound parallelism in generation, checking and deadlock analysis (0 = GOMAXPROCS)")
+	segmented := flag.Bool("segmented", false, "with -modelcheck: use the out-of-core engine (compressed segment store, sharded visited index, parallel frontier)")
+	maxMem := flag.String("max-mem", "", "with -modelcheck: memory budget, e.g. 256M; implies -segmented, spills to -spill-dir or stops at the budget")
+	spillDir := flag.String("spill-dir", "", "with -modelcheck: directory for spilled state segments")
+	baselineCache := flag.String("baseline-cache", "", "with -incremental: cache file for the passing baseline, keyed by a hash of the specs and table contents; a fresh process with a matching hash skips the baseline run")
 	flag.Parse()
 
 	if *messages {
@@ -69,13 +74,14 @@ func main() {
 		fail(err)
 	}
 	if *mc {
-		if err := runModelCheck(p, *assign); err != nil {
+		if err := runModelCheck(p, *assign, *segmented, *maxMem, *spillDir); err != nil {
 			fail(err)
 		}
+		flush()
 		return
 	}
 	if *incremental {
-		if err := runIncremental(p, *workers, tr, reg, *stats); err != nil {
+		if err := runIncremental(p, *workers, tr, reg, *stats, *baselineCache); err != nil {
 			fail(err)
 		}
 		flush()
@@ -162,13 +168,36 @@ func main() {
 // establishes the baseline, then every DML statement read from stdin
 // commits a revision and re-verifies only the invariants whose input
 // tables the revision touched — the rest carry over as skipped.
-func runIncremental(p *core.Pipeline, workers int, tr obs.Tracer, reg *obs.Registry, stats bool) error {
+func runIncremental(p *core.Pipeline, workers int, tr obs.Tracer, reg *obs.Registry, stats bool, cachePath string) error {
 	suite := check.ProtocolSuite()
 	opts := check.Options{Workers: workers, Tracer: tr, Metrics: reg}
 	rev := p.DB.BeginRevision()
 	t0 := time.Now()
-	prev := suite.Run(p.DB, opts)
-	fmt.Printf("baseline: %s (%v)\n", check.Summarize(prev), time.Since(t0).Round(time.Microsecond))
+	var prev []check.Result
+	if cachePath != "" {
+		if loaded, ok := check.LoadBaseline(cachePath, p.DB, suite); ok {
+			// Run the cached baseline through an empty delta: analyzable
+			// invariants carry over as skipped, the rest re-check.
+			prev = suite.RunDelta(p.DB, loaded, rev.Commit(), opts)
+			skipped := 0
+			for _, r := range prev {
+				if r.Skipped {
+					skipped++
+				}
+			}
+			fmt.Printf("baseline: cached, %d/%d skipped: %s (%v)\n",
+				skipped, len(prev), check.Summarize(prev), time.Since(t0).Round(time.Microsecond))
+		}
+	}
+	if prev == nil {
+		prev = suite.Run(p.DB, opts)
+		fmt.Printf("baseline: %s (%v)\n", check.Summarize(prev), time.Since(t0).Round(time.Microsecond))
+		if cachePath != "" {
+			if err := check.SaveBaseline(cachePath, p.DB, suite, prev); err != nil {
+				fmt.Fprintln(os.Stderr, "baseline cache not written:", err)
+			}
+		}
+	}
 	fmt.Println("incremental mode: one DML statement per line (INSERT/UPDATE/DELETE), Ctrl-D to finish")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -216,7 +245,21 @@ func runIncremental(p *core.Pipeline, workers int, tr obs.Tracer, reg *obs.Regis
 // runModelCheck explores the Fig. 4 configuration exhaustively under the
 // given assignment (default: both vc4 and fixed) — the baseline the paper
 // contrasts the SQL analysis with.
-func runModelCheck(p *core.Pipeline, assign string) error {
+func runModelCheck(p *core.Pipeline, assign string, segmented bool, maxMem, spillDir string) error {
+	mcOpts := modelcheck.Options{MaxStates: 2000000, CheckCoherence: true}
+	if maxMem != "" {
+		budget, err := segment.ParseBytes(maxMem)
+		if err != nil {
+			return err
+		}
+		mcOpts.MemBudget = budget
+		segmented = true
+	}
+	if segmented {
+		mcOpts.Segmented = true
+		mcOpts.SpillDir = spillDir
+		mcOpts.HashStates = true
+	}
 	tables := sim.Tables{
 		D: p.DB.MustTable(protocol.DirectoryTable),
 		M: p.DB.MustTable(protocol.MemoryTable),
@@ -251,12 +294,20 @@ func runModelCheck(p *core.Pipeline, assign string) error {
 			sim.Op{Kind: "prwrite", Addr: 0xA},
 		)
 		sys.Node(1).Script(sim.Op{Kind: "previct", Addr: 0xA})
-		rep, err := modelcheck.Explore(sys, modelcheck.Options{MaxStates: 2000000, CheckCoherence: true})
+		rep, err := modelcheck.Explore(sys, mcOpts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("== model checking %s: %d states, %d edges, depth %d (%v)\n",
 			name, rep.States, rep.Edges, rep.Depth, rep.Elapsed.Round(1000))
+		if mcOpts.Segmented {
+			m := rep.Mem
+			fmt.Printf("   memory: %dB/state (%dB resident, %dB spilled in %d/%d segments; index %dB, dict %dB, frontier %dB; %d spills, %d faults, %d replays)\n",
+				m.BytesPerState, m.ResidentBytes, m.SpilledBytes,
+				m.SpilledSegments, m.Segments, m.IndexBytes, m.DictBytes, m.FrontierBytes,
+				m.Spills, m.Faults, m.Replays)
+			fmt.Printf("   reachable-set hash: %016x\n", rep.StateHash)
+		}
 		if rep.Violation != nil {
 			fmt.Printf("   %s found; counter-example (%d actions):\n", rep.Violation.Kind, len(rep.Violation.Trace))
 			for _, a := range rep.Violation.Trace {

@@ -17,6 +17,7 @@ import (
 	"coherdb/internal/core"
 	"coherdb/internal/hwmap"
 	"coherdb/internal/protocol"
+	"coherdb/internal/segment"
 	"coherdb/internal/sim"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	ops := flag.Int("ops", 25, "random workload ops per node")
 	impl := flag.Bool("impl", false, "run the directory as the Figure 5 implementation (nine tables + queues + feedback)")
 	trace := flag.Bool("trace", false, "print the event trace")
+	maxMem := flag.String("max-mem", "", "cap resident bytes of the accumulated event trace, e.g. 64M; cold trace blocks seal into compressed segments and spill to -spill-dir")
+	spillDir := flag.String("spill-dir", "", "directory for spilled trace segments (with -max-mem; default: keep sealed segments resident)")
 	chart := flag.Bool("chart", false, "print the message sequence chart of the scenario's line (Fig. 2 style)")
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics to stdout at exit")
 	spansFlag := flag.Bool("spans", false, "collect generation/solver spans and dump them as JSON lines to stderr at exit")
@@ -96,7 +99,6 @@ func main() {
 				fail(err)
 			}
 		}
-		res, err = sys.Run()
 	case *scenario != "":
 		v, err2 := protocol.BuildAssignment(*assign)
 		if err2 != nil {
@@ -113,11 +115,20 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err = sys.Run()
 	default:
 		fmt.Fprintf(os.Stderr, "pick -scenario (%v) or -random\n", sim.ScenarioNames())
 		os.Exit(2)
 	}
+	var traceBudget int64
+	if *maxMem != "" {
+		traceBudget, err = segment.ParseBytes(*maxMem)
+		if err != nil {
+			fail(err)
+		}
+		sys.SetTraceBudget(traceBudget, *spillDir)
+	}
+	defer sys.Close()
+	res, err = sys.Run()
 	if err != nil {
 		fail(err)
 	}
@@ -139,9 +150,17 @@ func main() {
 		fmt.Println("final state coherent")
 	}
 	if *trace {
-		for _, line := range res.Trace {
+		// Under a trace budget the corpus is streamed from the segment
+		// store (possibly from disk) instead of materialized in Result.
+		sys.StreamTrace(func(line string) bool {
 			fmt.Println(line)
-		}
+			return true
+		})
+	}
+	if traceBudget > 0 {
+		ts := sys.TraceStats()
+		fmt.Printf("trace store: %d lines in %d segments, %dB resident, %dB spilled (%d spills, %d faults)\n",
+			ts.Rows, ts.Segments, ts.ResidentBytes, ts.SpilledBytes, ts.Spills, ts.Faults)
 	}
 	if *chart && sys != nil {
 		addr := sim.Addr(0x100) // readex scenario line

@@ -9,6 +9,7 @@ import (
 	"coherdb/internal/obs/obshttp"
 	"coherdb/internal/pool"
 	"coherdb/internal/rel"
+	"coherdb/internal/segment"
 )
 
 // DiagConfig selects the observability surfaces a command turns on; every
@@ -68,6 +69,7 @@ func StartDiag(cfg DiagConfig) (*Diag, error) {
 	if cfg.Metrics || cfg.Listen != "" {
 		d.Registry = obs.Default
 		d.refresh = append(d.refresh, rel.PublishDictMetrics(d.Registry))
+		d.refresh = append(d.refresh, segment.PublishMetrics(d.Registry))
 	}
 	// The shared worker pool reports into the same collector and registry:
 	// its per-worker lane spans are what give the exported trace one

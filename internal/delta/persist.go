@@ -1,0 +1,41 @@
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the serialized form of a Graph: nodes in registration
+// order, each with its input list. Input's fields are exported, so the
+// wire format is the natural JSON of the in-memory structure.
+type graphJSON struct {
+	Nodes []graphNodeJSON `json:"nodes"`
+}
+
+type graphNodeJSON struct {
+	Name   string  `json:"name"`
+	Inputs []Input `json:"inputs"`
+}
+
+// EncodeGraph serializes g (nodes in registration order) so a later
+// process can rebuild the dependency graph without re-analyzing SQL.
+func EncodeGraph(g *Graph) ([]byte, error) {
+	out := graphJSON{Nodes: make([]graphNodeJSON, 0, len(g.order))}
+	for _, node := range g.order {
+		out.Nodes = append(out.Nodes, graphNodeJSON{Name: node, Inputs: g.inputs[node]})
+	}
+	return json.Marshal(out)
+}
+
+// DecodeGraph inverts EncodeGraph, preserving node order.
+func DecodeGraph(data []byte) (*Graph, error) {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("delta: decoding graph: %w", err)
+	}
+	g := NewGraph()
+	for _, n := range in.Nodes {
+		g.Add(n.Name, n.Inputs...)
+	}
+	return g, nil
+}

@@ -22,12 +22,70 @@ import (
 // ErrLimit is returned when exploration exceeds the state budget.
 var ErrLimit = errors.New("modelcheck: state limit exceeded")
 
+// ErrBudget is returned when exploration exceeds the memory budget and
+// has no spill directory to grow into.
+var ErrBudget = errors.New("modelcheck: memory budget exceeded")
+
 // Options tunes the search.
 type Options struct {
 	// MaxStates caps exploration; 0 means 200000.
 	MaxStates int
 	// CheckCoherence verifies MESI safety in every state.
 	CheckCoherence bool
+
+	// Segmented switches to the out-of-core engine: the visited set
+	// lives in compressed code segments (internal/segment) probed
+	// through sharded fingerprint indexes, the frontier is expanded in
+	// parallel on internal/pool with a deterministic merge, and sealed
+	// segments optionally spill to SpillDir under MemBudget pressure.
+	// Results (states, violations, reachable-set hash) are identical
+	// to the in-memory engine.
+	Segmented bool
+	// MemBudget caps retained bytes. The in-memory engine returns
+	// ErrBudget when its retained clones + fingerprints exceed it; the
+	// segmented engine spills cold segments to SpillDir instead, or
+	// returns ErrBudget when no SpillDir is configured. 0 = unlimited.
+	MemBudget int64
+	// SpillDir enables spill-to-disk for the segmented engine.
+	SpillDir string
+	// Shards is the visited-index shard count (segmented engine;
+	// rounded up to a power of two; 0 means 16).
+	Shards int
+	// Workers bounds parallel frontier expansion (0 = all pool workers).
+	Workers int
+	// ExpandChunk is how many frontier states one parallel expansion
+	// round covers; it bounds transient per-round memory (0 = 1024).
+	ExpandChunk int
+	// BlockRows is the segment seal threshold (0 = 4096).
+	BlockRows int
+	// HashStates computes Report.StateHash, the order-insensitive
+	// fingerprint of the reachable set, on either engine.
+	HashStates bool
+}
+
+// MemStats is the memory accounting of one exploration.
+type MemStats struct {
+	// ResidentBytes is retained in-memory state: compressed segments
+	// plus unsealed tails for the segmented engine, retained clones +
+	// fingerprint strings for the in-memory one.
+	ResidentBytes int64
+	// SpilledBytes / Segments / SpilledSegments / Spills / Faults
+	// describe the segment stores (zero for the in-memory engine).
+	SpilledBytes    int64
+	Segments        int64
+	SpilledSegments int64
+	Spills          int64
+	Faults          int64
+	// IndexBytes is the sharded visited index; DictBytes the codec
+	// dictionary; FrontierBytes the cached frontier systems.
+	IndexBytes    int64
+	DictBytes     int64
+	FrontierBytes int64
+	// Replays counts states re-materialized by replaying their action
+	// path from the root (frontier cache misses under budget pressure).
+	Replays int64
+	// BytesPerState is total retained+spilled bytes over states.
+	BytesPerState int64
 }
 
 // CounterExample is a path from the initial state to a bad state.
@@ -47,6 +105,14 @@ type Report struct {
 	Depth     int
 	Elapsed   time.Duration
 	Violation *CounterExample
+	// StateHash is the order-insensitive XOR of the value-level hashes
+	// of every reached state (set when Options.HashStates): two
+	// explorations reached the same set iff the hashes match. It is
+	// independent of dictionary code assignment, so it compares across
+	// engines and processes.
+	StateHash uint64
+	// Mem is the engine's memory accounting.
+	Mem MemStats
 }
 
 // Deadlocked reports whether a deadlock counter-example was found.
@@ -64,22 +130,47 @@ type node struct {
 }
 
 // Explore runs a breadth-first search over all interleavings of the given
-// initial system. The system passed in is not modified.
+// initial system. The system passed in is not modified. With
+// Options.Segmented it dispatches to the out-of-core engine, which
+// reaches the same states and violations at a fraction of the bytes
+// per state.
 func Explore(initial *sim.System, opts Options) (*Report, error) {
+	if opts.Segmented {
+		return exploreSegmented(initial, opts)
+	}
 	limit := opts.MaxStates
 	if limit <= 0 {
 		limit = 200000
 	}
 	start := time.Now()
 	rep := &Report{}
+	var retained int64
 	finish := func() *Report {
 		rep.Elapsed = time.Since(start)
+		rep.Mem.ResidentBytes = retained
+		if rep.States > 0 {
+			rep.Mem.BytesPerState = retained / int64(rep.States)
+		}
 		return rep
 	}
-	seen := map[string]bool{initial.Fingerprint(): true}
+	var codec *sim.StateCodec
+	var scratch []uint32
+	if opts.HashStates {
+		codec = sim.NewStateCodec(initial)
+	}
+	hash := func(s *sim.System) {
+		if codec != nil {
+			scratch = codec.Encode(s, scratch)
+			rep.StateHash ^= codec.ValueHash(scratch)
+		}
+	}
+	rootFP := initial.Fingerprint()
+	seen := map[string]bool{rootFP: true}
 	all := []node{{sys: initial.Clone(), parent: -1}}
 	queue := []int{0}
 	rep.States = 1
+	retained += all[0].sys.ApproxBytes() + int64(len(rootFP)) + seenEntryBytes
+	hash(all[0].sys)
 
 	for len(queue) > 0 {
 		idx := queue[0]
@@ -119,6 +210,11 @@ func Explore(initial *sim.System, opts Options) (*Report, error) {
 			if rep.States > limit {
 				return finish(), ErrLimit
 			}
+			hash(succ)
+			retained += succ.ApproxBytes() + int64(len(fp)) + seenEntryBytes
+			if opts.MemBudget > 0 && retained > opts.MemBudget {
+				return finish(), ErrBudget
+			}
 			all = append(all, node{sys: succ, parent: idx, action: a, depth: cur.depth + 1})
 			queue = append(queue, len(all)-1)
 		}
@@ -133,6 +229,10 @@ func Explore(initial *sim.System, opts Options) (*Report, error) {
 	}
 	return finish(), nil
 }
+
+// seenEntryBytes approximates the map-entry overhead of one visited
+// fingerprint in the in-memory engine (bucket slot + string header).
+const seenEntryBytes = 64
 
 // traceOf rebuilds the action path from the root to all[idx].
 func traceOf(all []node, idx int) []sim.Action {

@@ -1,0 +1,475 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coherdb/internal/pool"
+	"coherdb/internal/segment"
+	"coherdb/internal/sim"
+)
+
+// The out-of-core engine: states are fixed-width uint32 code tuples
+// (sim.StateCodec) appended to a compressed segment store; membership
+// is an exact sharded hash index over that store; the frontier expands
+// level-synchronously in parallel rounds on internal/pool with a
+// deterministic batch-ordered merge, so states, edges, violations and
+// the reachable-set hash are identical to the in-memory engine's.
+//
+// Per state the engine retains ~a few dozen compressed bytes (tuple +
+// 8B search-tree entry + 16B index slot) instead of an in-memory
+// System clone plus fingerprint string (~2–4 KiB), and sealed segments
+// spill to disk under budget pressure — the 2–3 orders of magnitude
+// the ROADMAP asks for. Counter-example traces and violation details
+// come from replaying the recorded action path from the root.
+
+// rootParent marks state 0's parent slot in the search tree store.
+const rootParent = math.MaxUint32
+
+// cand is one changed successor produced during parallel expansion,
+// in deterministic (state id, action) order.
+type cand struct {
+	parent   int64
+	action   sim.Action
+	tuple    []uint32
+	hash     uint64
+	seenID   int64 // >= 0 when the parallel pre-filter found it visited
+	sys      *sim.System
+	sysBytes int64
+}
+
+type segEngine struct {
+	opts  Options
+	codec *sim.StateCodec
+	root  *sim.System
+
+	vstore *segment.Store // state tuples; row id == state id
+	tstore *segment.Store // [parent, action code] per state
+	idx    *segment.Visited
+
+	cache        map[int64]*sim.System // frontier systems kept under budget
+	frontierRoom atomic.Int64
+	replays      atomic.Int64
+
+	rep   *Report
+	limit int
+}
+
+func exploreSegmented(initial *sim.System, opts Options) (*Report, error) {
+	limit := opts.MaxStates
+	if limit <= 0 {
+		limit = 200000
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	blockRows := opts.BlockRows
+	if blockRows <= 0 {
+		blockRows = 4096
+	}
+	chunk := opts.ExpandChunk
+	if chunk <= 0 {
+		chunk = 1024
+	}
+
+	start := time.Now()
+	codec := sim.NewStateCodec(initial)
+	// Budget split: the visited tuples dominate, the search tree is a
+	// narrow width-2 store; both share the spill directory. The index,
+	// codec dictionary and frontier cache are accounted against what
+	// remains each level.
+	var vb, tb int64
+	if opts.MemBudget > 0 && opts.SpillDir != "" {
+		vb = opts.MemBudget / 2
+		tb = opts.MemBudget / 8
+	}
+	e := &segEngine{
+		opts:  opts,
+		codec: codec,
+		root:  initial.CloneDetached(),
+		vstore: segment.NewStore(segment.StoreConfig{
+			Width: codec.Width(), BlockRows: blockRows,
+			Budget: vb, SpillDir: opts.SpillDir,
+		}),
+		tstore: segment.NewStore(segment.StoreConfig{
+			Width: 2, BlockRows: blockRows,
+			Budget: tb, SpillDir: opts.SpillDir,
+		}),
+		cache: map[int64]*sim.System{},
+		rep:   &Report{},
+		limit: limit,
+	}
+	defer e.vstore.Close()
+	defer e.tstore.Close()
+	e.idx = segment.NewVisited(e.vstore, shards)
+	segment.Track("modelcheck_visited", e.vstore)
+	segment.Track("modelcheck_tree", e.tstore)
+	defer segment.Untrack("modelcheck_visited")
+	defer segment.Untrack("modelcheck_tree")
+
+	finish := func() *Report {
+		e.rep.Elapsed = time.Since(start)
+		e.fillMemStats()
+		return e.rep
+	}
+
+	// Root state.
+	rootTuple := codec.Encode(e.root, nil)
+	rootHash := segment.HashTuple(rootTuple)
+	id := e.vstore.Append(rootTuple)
+	e.idx.Insert(e.idx.ShardOf(rootHash), rootHash, id)
+	e.tstore.Append([]uint32{rootParent, 0})
+	e.rep.States = 1
+	if opts.HashStates {
+		e.rep.StateHash ^= codec.ValueHash(rootTuple)
+	}
+	e.rebalanceFrontier()
+	e.cacheSystem(0, e.root, e.root.ApproxBytes())
+
+	levelLo, levelHi := int64(0), int64(1)
+	for depth := 0; levelLo < levelHi; depth++ {
+		e.rep.Depth = depth
+
+		// Phase 1: streaming coherence scan over the level's sealed
+		// rows — no System, no row materialization, just code compares
+		// against the codec's pre-interned M/E/S codes.
+		coherMin := int64(-1)
+		if opts.CheckCoherence {
+			coherMin = e.coherenceScan(levelLo, levelHi)
+		}
+		expandHi := levelHi
+		if coherMin >= 0 {
+			// The in-memory engine would have dequeued (and expanded)
+			// only the states before the violating one.
+			expandHi = coherMin
+		}
+
+		// Phase 2: expand in rounds — parallel generation with a
+		// deterministic batch-ordered merge, then sequential
+		// dedupe/accept so state ids match the in-memory engine's
+		// discovery order exactly.
+		deadlockMin := int64(-1)
+		for rlo := levelLo; rlo < expandHi && deadlockMin < 0; rlo += int64(chunk) {
+			rhi := rlo + int64(chunk)
+			if rhi > expandHi {
+				rhi = expandHi
+			}
+			cands, roundDeadlock, err := e.expandRound(rlo, rhi)
+			if err != nil {
+				return nil, err
+			}
+			if roundDeadlock >= 0 {
+				deadlockMin = roundDeadlock
+			}
+			stop, err := e.acceptRound(cands, deadlockMin >= 0)
+			if err != nil {
+				return finish(), err
+			}
+			if stop {
+				return finish(), ErrLimit
+			}
+		}
+
+		if deadlockMin >= 0 || coherMin >= 0 {
+			vid, kind := coherMin, "coherence"
+			if deadlockMin >= 0 && (coherMin < 0 || deadlockMin < coherMin) {
+				vid, kind = deadlockMin, "deadlock"
+			}
+			detail := "no enabled action and work remains"
+			if kind == "coherence" {
+				sys := e.materialize(vid)
+				detail = fmt.Sprintf("%v", sys.SafetyViolations())
+			}
+			e.rep.Violation = &CounterExample{
+				Kind:   kind,
+				Trace:  e.actionPath(vid),
+				Detail: detail,
+			}
+			return finish(), nil
+		}
+
+		// Drop the consumed level from the frontier cache.
+		for sid := levelLo; sid < levelHi; sid++ {
+			if sys, ok := e.cache[sid]; ok {
+				e.frontierRoom.Add(sys.ApproxBytes())
+				delete(e.cache, sid)
+			}
+		}
+		levelLo, levelHi = levelHi, e.vstore.Rows()
+
+		// Budget enforcement without a spill directory: stop like the
+		// in-memory engine instead of silently exceeding the cap.
+		if opts.MemBudget > 0 && opts.SpillDir == "" && e.retainedBytes() > opts.MemBudget {
+			return finish(), ErrBudget
+		}
+		e.rebalanceFrontier()
+	}
+	return finish(), nil
+}
+
+// retainedBytes sums the engine's unavoidable residency: segment
+// stores, visited index and codec dictionary. The frontier cache is
+// excluded — it bounds itself to whatever room the budget leaves and
+// degrades to replay-from-root, so it is never a reason to fail.
+func (e *segEngine) retainedBytes() int64 {
+	vs, ts := e.vstore.Stats(), e.tstore.Stats()
+	return vs.ResidentBytes + ts.ResidentBytes + e.idx.Bytes() + e.codec.Dict().Bytes()
+}
+
+func (e *segEngine) frontierBytes() int64 {
+	n := int64(0)
+	for _, sys := range e.cache {
+		n += sys.ApproxBytes()
+	}
+	return n
+}
+
+// rebalanceFrontier recomputes how many bytes the frontier cache may
+// still claim: whatever the budget leaves after stores, index and
+// dictionary. Unbudgeted runs cache everything.
+func (e *segEngine) rebalanceFrontier() {
+	if e.opts.MemBudget <= 0 {
+		e.frontierRoom.Store(math.MaxInt64 / 2)
+		return
+	}
+	vs, ts := e.vstore.Stats(), e.tstore.Stats()
+	fixed := vs.ResidentBytes + ts.ResidentBytes + e.idx.Bytes() + e.codec.Dict().Bytes()
+	room := e.opts.MemBudget - fixed - e.frontierBytes()
+	if room < 0 {
+		room = 0
+	}
+	e.frontierRoom.Store(room)
+}
+
+func (e *segEngine) cacheSystem(id int64, sys *sim.System, bytes int64) {
+	if e.opts.MemBudget > 0 && e.frontierRoom.Load() <= 0 {
+		return
+	}
+	e.cache[id] = sys
+	e.frontierRoom.Add(-bytes)
+}
+
+// coherenceScan streams the level's tuples and returns the lowest
+// state id violating the MESI single-writer property (-1 if none):
+// per address, more than one owner (M/E) or an owner alongside a
+// sharer (S) across nodes — exactly sim.SafetyViolations, evaluated on
+// raw codes without materializing a System.
+func (e *segEngine) coherenceScan(lo, hi int64) int64 {
+	nodes, addrs := e.codec.NumNodes(), e.codec.NumAddrs()
+	found := int64(-1)
+	e.vstore.Stream(lo, hi, func(id int64, tuple []uint32) bool {
+		for a := 0; a < addrs; a++ {
+			owners, sharers := 0, 0
+			for n := 0; n < nodes; n++ {
+				code := tuple[e.codec.CacheCol(n, a)]
+				if e.codec.IsOwnerCode(code) {
+					owners++
+				} else if e.codec.IsSharerCode(code) {
+					sharers++
+				}
+			}
+			if owners > 1 || (owners == 1 && sharers > 0) {
+				found = id
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// expandRound expands states [rlo, rhi) in parallel and returns their
+// changed successors in deterministic order (by state id, then
+// candidate-action order — the in-memory engine's discovery order),
+// plus the lowest deadlocked state id (-1 if none).
+func (e *segEngine) expandRound(rlo, rhi int64) ([]cand, int64, error) {
+	n := int(rhi - rlo)
+	const morsel = 8
+	batches := pool.Batches(n, morsel)
+	perBatch := make([][]cand, batches)
+	deadlocks := make([]int64, batches)
+	for i := range deadlocks {
+		deadlocks[i] = -1
+	}
+	var mu sync.Mutex // guards replay-path materialization (store faults are internally locked; this serializes cache misses only)
+
+	_, err := pool.Shared().Each(e.opts.Workers, n, morsel, func(batch, blo, bhi int) error {
+		var scratch, probe []uint32
+		var out []cand
+		for i := blo; i < bhi; i++ {
+			id := rlo + int64(i)
+			base := e.cache[id]
+			if base == nil {
+				mu.Lock()
+				base = e.materializeLocked(id)
+				mu.Unlock()
+			}
+			progressed := false
+			for _, a := range base.CandidateActions() {
+				succ := base.Clone()
+				changed, err := succ.Apply(a)
+				if err != nil {
+					return err
+				}
+				if !changed {
+					continue
+				}
+				progressed = true
+				scratch = e.codec.Encode(succ, scratch)
+				c := cand{
+					parent: id,
+					action: a,
+					tuple:  append([]uint32(nil), scratch...),
+					hash:   segment.HashTuple(scratch),
+					seenID: -1,
+				}
+				// Pre-filter against the frozen index: inserts happen
+				// only between rounds, so a hit here is definitive.
+				var found bool
+				var fid int64
+				fid, found, probe = e.idx.Lookup(e.idx.ShardOf(c.hash), c.hash, scratch, probe)
+				if found {
+					c.seenID = fid
+				} else if e.frontierRoom.Load() > 0 {
+					c.sys = succ
+					c.sysBytes = succ.ApproxBytes()
+				}
+				out = append(out, c)
+			}
+			if !progressed && !base.Idle() {
+				if deadlocks[batch] < 0 || id < deadlocks[batch] {
+					deadlocks[batch] = id
+				}
+			}
+		}
+		perBatch[batch] = out
+		return nil
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	var cands []cand
+	for _, b := range perBatch {
+		cands = append(cands, b...)
+	}
+	deadlockMin := int64(-1)
+	for _, d := range deadlocks {
+		if d >= 0 && (deadlockMin < 0 || d < deadlockMin) {
+			deadlockMin = d
+		}
+	}
+	return cands, deadlockMin, nil
+}
+
+// acceptRound merges one round's candidates sequentially: count edges,
+// dedupe (pre-filter verdicts are definitive; fresh candidates probe
+// again to catch same-round acceptances), append accepted tuples to
+// the stores and index, and admit systems to the frontier cache.
+// Returns stop=true when MaxStates is exceeded. When discard is set
+// (a deadlock ends the level) successors are counted but not kept,
+// matching the in-memory engine's early return.
+func (e *segEngine) acceptRound(cands []cand, discard bool) (bool, error) {
+	var probe []uint32
+	tree := make([]uint32, 2)
+	for i := range cands {
+		c := &cands[i]
+		e.rep.Edges++
+		if discard {
+			continue
+		}
+		if c.seenID >= 0 {
+			continue
+		}
+		_, found, p := e.idx.Lookup(e.idx.ShardOf(c.hash), c.hash, c.tuple, probe)
+		probe = p
+		if found {
+			if c.sys != nil {
+				e.frontierRoom.Add(c.sysBytes)
+			}
+			continue
+		}
+		id := e.vstore.Append(c.tuple)
+		e.idx.Insert(e.idx.ShardOf(c.hash), c.hash, id)
+		tree[0] = uint32(c.parent)
+		tree[1] = e.codec.EncodeAction(c.action)
+		e.tstore.Append(tree)
+		e.rep.States++
+		if e.opts.HashStates {
+			e.rep.StateHash ^= e.codec.ValueHash(c.tuple)
+		}
+		if e.rep.States > e.limit {
+			return true, nil
+		}
+		if c.sys != nil {
+			e.cacheSystem(id, c.sys, c.sysBytes)
+		}
+	}
+	return false, nil
+}
+
+// materializeLocked rebuilds the System for a state by replaying its
+// recorded action path from the root (frontier-cache miss under budget
+// pressure). Callers hold the engine's replay mutex; the underlying
+// store reads are themselves safe for concurrency.
+func (e *segEngine) materializeLocked(id int64) *sim.System {
+	if sys, ok := e.cache[id]; ok {
+		return sys
+	}
+	path := e.actionPath(id)
+	sys := e.root.Clone()
+	for _, a := range path {
+		if _, err := sys.Apply(a); err != nil {
+			panic(fmt.Sprintf("modelcheck: replay diverged at %v: %v", a, err))
+		}
+	}
+	e.replays.Add(1)
+	return sys
+}
+
+// materialize is the sequential-context variant.
+func (e *segEngine) materialize(id int64) *sim.System {
+	return e.materializeLocked(id)
+}
+
+// actionPath rebuilds the action sequence from the root to state id
+// from the width-2 search-tree store.
+func (e *segEngine) actionPath(id int64) []sim.Action {
+	var codes []uint32
+	var buf []uint32
+	for id > 0 {
+		buf = e.tstore.Tuple(id, buf)
+		codes = append(codes, buf[1])
+		if buf[0] == rootParent {
+			break
+		}
+		id = int64(buf[0])
+	}
+	out := make([]sim.Action, len(codes))
+	for i := range codes {
+		out[i] = e.codec.DecodeAction(codes[len(codes)-1-i])
+	}
+	return out
+}
+
+func (e *segEngine) fillMemStats() {
+	vs, ts := e.vstore.Stats(), e.tstore.Stats()
+	m := &e.rep.Mem
+	m.ResidentBytes = vs.ResidentBytes + ts.ResidentBytes
+	m.SpilledBytes = vs.SpilledBytes + ts.SpilledBytes
+	m.Segments = vs.Segments + ts.Segments
+	m.SpilledSegments = vs.SpilledSegs + ts.SpilledSegs
+	m.Spills = vs.Spills + ts.Spills
+	m.Faults = vs.Faults + ts.Faults
+	m.IndexBytes = e.idx.Bytes()
+	m.DictBytes = e.codec.Dict().Bytes()
+	m.FrontierBytes = e.frontierBytes()
+	m.Replays = e.replays.Load()
+	if e.rep.States > 0 {
+		total := m.ResidentBytes + m.SpilledBytes + m.IndexBytes + m.DictBytes
+		m.BytesPerState = total / int64(e.rep.States)
+	}
+}

@@ -1,0 +1,249 @@
+package modelcheck
+
+import (
+	"errors"
+	"testing"
+
+	"coherdb/internal/protocol"
+	"coherdb/internal/sim"
+)
+
+// exploreBoth runs the in-memory and segmented engines over fresh
+// clones of the same initial system and returns both reports.
+func exploreBoth(t *testing.T, sys *sim.System, base Options, seg Options) (*Report, *Report) {
+	t.Helper()
+	base.Segmented = false
+	base.HashStates = true
+	seg.Segmented = true
+	seg.HashStates = true
+	serial, err := Explore(sys, base)
+	if err != nil {
+		t.Fatalf("serial explore: %v", err)
+	}
+	segRep, err := Explore(sys, seg)
+	if err != nil {
+		t.Fatalf("segmented explore: %v", err)
+	}
+	return serial, segRep
+}
+
+// requireCleanEquivalent asserts the strong contract for violation-free
+// runs: identical state count, edge count, depth and reachable-set hash.
+func requireCleanEquivalent(t *testing.T, serial, seg *Report) {
+	t.Helper()
+	if serial.Violation != nil || seg.Violation != nil {
+		t.Fatalf("unexpected violation: serial=%+v segmented=%+v", serial.Violation, seg.Violation)
+	}
+	if serial.States != seg.States || serial.Edges != seg.Edges || serial.Depth != seg.Depth {
+		t.Fatalf("serial (states=%d edges=%d depth=%d) != segmented (states=%d edges=%d depth=%d)",
+			serial.States, serial.Edges, serial.Depth, seg.States, seg.Edges, seg.Depth)
+	}
+	if serial.StateHash != seg.StateHash {
+		t.Fatalf("reachable-set hash mismatch: serial=%016x segmented=%016x",
+			serial.StateHash, seg.StateHash)
+	}
+	if serial.StateHash == 0 {
+		t.Fatal("StateHash not computed")
+	}
+}
+
+func TestSegmentedCleanEquivalence(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, figure4Setup)
+	serial, seg := exploreBoth(t, sys,
+		Options{MaxStates: 500000, CheckCoherence: true},
+		Options{MaxStates: 500000, CheckCoherence: true})
+	requireCleanEquivalent(t, serial, seg)
+	if seg.Mem.BytesPerState <= 0 {
+		t.Fatalf("segmented BytesPerState = %d", seg.Mem.BytesPerState)
+	}
+	if seg.Mem.BytesPerState >= serial.Mem.BytesPerState {
+		t.Fatalf("segmented bytes/state %d not below in-memory %d",
+			seg.Mem.BytesPerState, serial.Mem.BytesPerState)
+	}
+	t.Logf("states=%d edges=%d depth=%d hash=%016x; bytes/state in-memory=%d segmented=%d",
+		seg.States, seg.Edges, seg.Depth, seg.StateHash,
+		serial.Mem.BytesPerState, seg.Mem.BytesPerState)
+}
+
+func TestSegmentedCleanEquivalenceParallelAndSharded(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, figure4Setup)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"workers1", Options{Workers: 1}},
+		{"shards1_chunk7", Options{Shards: 1, ExpandChunk: 7}},
+		{"shards64_block32", Options{Shards: 64, BlockRows: 32}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			o.MaxStates = 500000
+			o.CheckCoherence = true
+			serial, seg := exploreBoth(t, sys,
+				Options{MaxStates: 500000, CheckCoherence: true}, o)
+			requireCleanEquivalent(t, serial, seg)
+		})
+	}
+}
+
+func TestSegmentedSpilledEquivalence(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, figure4Setup)
+	serial, seg := exploreBoth(t, sys,
+		Options{MaxStates: 500000, CheckCoherence: true},
+		Options{
+			MaxStates:      500000,
+			CheckCoherence: true,
+			MemBudget:      8 << 10, // tiny: forces spilling and replays
+			SpillDir:       t.TempDir(),
+			BlockRows:      32,
+		})
+	requireCleanEquivalent(t, serial, seg)
+	if seg.Mem.Spills == 0 || seg.Mem.SpilledBytes == 0 {
+		t.Fatalf("expected spills under an 8KiB budget, got %+v", seg.Mem)
+	}
+	t.Logf("spilled run: %d spills, %d faults, %d replays, resident=%dB spilled=%dB",
+		seg.Mem.Spills, seg.Mem.Faults, seg.Mem.Replays,
+		seg.Mem.ResidentBytes, seg.Mem.SpilledBytes)
+}
+
+func TestSegmentedDeadlockEquivalence(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignVC4, map[string]int{"VC0": 2}, figure4Setup)
+	serial, err := Explore(sys, Options{MaxStates: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"spilled", Options{MemBudget: 64 << 10, BlockRows: 64}},
+		{"chunked", Options{ExpandChunk: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			o.Segmented = true
+			o.MaxStates = 500000
+			if o.MemBudget > 0 {
+				o.SpillDir = t.TempDir()
+			}
+			seg, err := Explore(sys, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameViolation(t, serial, seg)
+		})
+	}
+}
+
+func requireSameViolation(t *testing.T, serial, seg *Report) {
+	t.Helper()
+	if serial.Violation == nil || seg.Violation == nil {
+		t.Fatalf("violation missing: serial=%+v segmented=%+v", serial.Violation, seg.Violation)
+	}
+	if serial.Violation.Kind != seg.Violation.Kind {
+		t.Fatalf("kind: serial=%s segmented=%s", serial.Violation.Kind, seg.Violation.Kind)
+	}
+	if len(serial.Violation.Trace) != len(seg.Violation.Trace) {
+		t.Fatalf("trace length: serial=%d segmented=%d",
+			len(serial.Violation.Trace), len(seg.Violation.Trace))
+	}
+	for i := range serial.Violation.Trace {
+		if serial.Violation.Trace[i] != seg.Violation.Trace[i] {
+			t.Fatalf("trace[%d]: serial=%v segmented=%v",
+				i, serial.Violation.Trace[i], seg.Violation.Trace[i])
+		}
+	}
+}
+
+func TestSegmentedCoherenceViolationEquivalence(t *testing.T) {
+	// Two modified copies of the same line: coherence is violated in the
+	// initial state, so both engines must report it with an empty trace.
+	seed := func(s *sim.System) {
+		s.Node(0).SetCache(1, protocol.CacheM)
+		s.Node(1).SetCache(1, protocol.CacheM)
+		s.Dir().SetOwner(1, sim.NodeID(0))
+	}
+	sys := buildSystem(t, protocol.AssignFixed, nil, seed)
+	serial, err := Explore(sys, Options{CheckCoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Explore(sys, Options{CheckCoherence: true, Segmented: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameViolation(t, serial, seg)
+	if serial.Violation.Kind != "coherence" || len(seg.Violation.Trace) != 0 {
+		t.Fatalf("want coherence at the root with empty trace, got %+v", seg.Violation)
+	}
+}
+
+func TestSegmentedStateLimit(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, figure4Setup)
+	rep, err := Explore(sys, Options{MaxStates: 10, Segmented: true})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+	if rep.States != 11 {
+		t.Fatalf("states at limit = %d, want limit+1", rep.States)
+	}
+}
+
+func TestSegmentedBudgetWithoutSpillDir(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, figure4Setup)
+	_, err := Explore(sys, Options{Segmented: true, MemBudget: 4 << 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// The in-memory engine hits the same wall far earlier (its states
+	// cost ~100x more), which is the whole point of the segment store.
+	_, err = Explore(sys, Options{MemBudget: 4 << 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("in-memory err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSegmentedLeavesInitialUntouched(t *testing.T) {
+	sys := buildSystem(t, protocol.AssignFixed, nil, figure4Setup)
+	before := sys.Fingerprint()
+	if _, err := Explore(sys, Options{Segmented: true, CheckCoherence: true}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Fingerprint() != before {
+		t.Fatal("segmented Explore mutated the initial system")
+	}
+}
+
+// TestSegmentedWorkloadMatrix sweeps the generated-controller workloads
+// the ISSUE's acceptance criteria reference: every (assignment,
+// workload) pair must produce the identical reachable-set fingerprint
+// and the identical violations on both engines.
+func TestSegmentedWorkloadMatrix(t *testing.T) {
+	workloads := []struct {
+		name  string
+		setup func(*sim.System)
+	}{
+		{"read", func(s *sim.System) {
+			s.Node(0).Script(sim.Op{Kind: "prread", Addr: 1})
+		}},
+		{"read_read", func(s *sim.System) {
+			s.Node(0).Script(sim.Op{Kind: "prread", Addr: 1})
+			s.Node(1).Script(sim.Op{Kind: "prread", Addr: 1})
+		}},
+		{"write_read", func(s *sim.System) {
+			s.Node(0).Script(sim.Op{Kind: "prwrite", Addr: 1})
+			s.Node(1).Script(sim.Op{Kind: "prread", Addr: 1})
+		}},
+		{"evict_cross", figure4Setup},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			sys := buildSystem(t, protocol.AssignFixed, map[string]int{"VC0": 2}, w.setup)
+			serial, seg := exploreBoth(t, sys,
+				Options{MaxStates: 500000, CheckCoherence: true},
+				Options{MaxStates: 500000, CheckCoherence: true, ExpandChunk: 16})
+			requireCleanEquivalent(t, serial, seg)
+		})
+	}
+}

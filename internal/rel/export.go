@@ -1,0 +1,14 @@
+package rel
+
+// ExportCodeColumns exposes the table's column-major code vectors for
+// bulk export — the hook `internal/segment` packs from. The returned
+// slices are zero-copy views capped to the live row count: valid until
+// the next table mutation, and must not be modified. The second result
+// is the row count.
+func (t *Table) ExportCodeColumns() ([][]uint32, int) {
+	cols := make([][]uint32, len(t.data))
+	for j := range t.data {
+		cols[j] = t.data[j][:t.nrows]
+	}
+	return cols, t.nrows
+}

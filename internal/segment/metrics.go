@@ -1,0 +1,152 @@
+package segment
+
+import (
+	"sort"
+	"sync"
+
+	"coherdb/internal/obs"
+)
+
+// The package tracks named stores so long-running processes can expose
+// their segment memory accounting on /metrics without plumbing every
+// store to the diagnostics server. Track registers (or replaces) a
+// store under a label; Untrack removes it.
+var (
+	trackMu sync.Mutex
+	tracked = map[string]*Store{}
+	// final keeps the last-sampled stats of untracked stores so a
+	// -metrics dump at process exit still shows the run's accounting
+	// after the engine released its stores.
+	final = map[string]Stats{}
+)
+
+// Track registers st under label for metrics publication. Passing a
+// nil store removes the label, retaining a final stats snapshot.
+func Track(label string, st *Store) {
+	trackMu.Lock()
+	if st == nil {
+		if prev, ok := tracked[label]; ok {
+			final[label] = prev.Stats()
+			delete(tracked, label)
+		}
+	} else {
+		tracked[label] = st
+		delete(final, label)
+	}
+	trackMu.Unlock()
+}
+
+// Untrack removes a tracked store.
+func Untrack(label string) { Track(label, nil) }
+
+// PublishMetrics registers the coherdb_segment_* gauges on reg and
+// returns a refresh function that re-samples every tracked store; call
+// it from a scrape hook (core.Diag wires it into /metrics). Gauges are
+// labeled by store:
+//
+//	coherdb_segment_segments        — sealed segments
+//	coherdb_segment_spilled_segments— sealed segments only on disk
+//	coherdb_segment_resident_bytes  — resident (in-memory) bytes
+//	coherdb_segment_spilled_bytes   — bytes in spill files
+//	coherdb_segment_spills_total    — cumulative spill events
+//	coherdb_segment_faults_total    — cumulative disk reads
+//	coherdb_segment_bytes_per_state — resident+spilled bytes / rows
+func PublishMetrics(reg *obs.Registry) func() {
+	if reg == nil {
+		return func() {}
+	}
+	reg.Help("coherdb_segment_segments", "Sealed segments per tracked store.")
+	reg.Help("coherdb_segment_spilled_segments", "Sealed segments currently only on disk.")
+	reg.Help("coherdb_segment_resident_bytes", "Resident bytes of sealed segments plus the unsealed tail.")
+	reg.Help("coherdb_segment_spilled_bytes", "Bytes in spill files.")
+	reg.Help("coherdb_segment_spills_total", "Cumulative segment spill events.")
+	reg.Help("coherdb_segment_faults_total", "Cumulative disk reads (faults and streaming loads).")
+	reg.Help("coherdb_segment_bytes_per_state", "Total (resident+spilled) bytes divided by stored rows.")
+	refresh := func() {
+		trackMu.Lock()
+		labels := make([]string, 0, len(tracked)+len(final))
+		for l := range tracked {
+			labels = append(labels, l)
+		}
+		for l := range final {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			s := final[l]
+			if st, ok := tracked[l]; ok {
+				s = st.Stats()
+			}
+			lb := obs.L("store", l)
+			reg.Gauge("coherdb_segment_segments", lb).Set(s.Segments)
+			reg.Gauge("coherdb_segment_spilled_segments", lb).Set(s.SpilledSegs)
+			reg.Gauge("coherdb_segment_resident_bytes", lb).Set(s.ResidentBytes)
+			reg.Gauge("coherdb_segment_spilled_bytes", lb).Set(s.SpilledBytes)
+			reg.Gauge("coherdb_segment_spills_total", lb).Set(s.Spills)
+			reg.Gauge("coherdb_segment_faults_total", lb).Set(s.Faults)
+			perState := int64(0)
+			if s.Rows > 0 {
+				perState = (s.ResidentBytes + s.SpilledBytes) / s.Rows
+			}
+			reg.Gauge("coherdb_segment_bytes_per_state", lb).Set(perState)
+		}
+		trackMu.Unlock()
+	}
+	refresh()
+	return refresh
+}
+
+// ParseBytes parses a human byte-size string: a plain integer is
+// bytes; suffixes K/M/G (and KB/MB/GB, KiB/MiB/GiB, case-insensitive)
+// scale by 1024.
+func ParseBytes(s string) (int64, error) {
+	mult := int64(1)
+	trim := s
+	lower := func(b byte) byte {
+		if b >= 'A' && b <= 'Z' {
+			return b + 32
+		}
+		return b
+	}
+	for _, suf := range []struct {
+		text string
+		mul  int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		n := len(trim) - len(suf.text)
+		if n <= 0 {
+			continue
+		}
+		match := true
+		for i := 0; i < len(suf.text); i++ {
+			if lower(trim[n+i]) != suf.text[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			mult = suf.mul
+			trim = trim[:n]
+			break
+		}
+	}
+	var v int64
+	if trim == "" {
+		return 0, errBadSize(s)
+	}
+	for i := 0; i < len(trim); i++ {
+		c := trim[i]
+		if c < '0' || c > '9' {
+			return 0, errBadSize(s)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v * mult, nil
+}
+
+type errBadSize string
+
+func (e errBadSize) Error() string { return "invalid byte size " + string(e) }

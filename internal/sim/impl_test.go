@@ -60,7 +60,7 @@ func TestImplSimpleReadMiss(t *testing.T) {
 	}
 }
 
-func res2trace(s *System) []string { return s.trace }
+func res2trace(s *System) []string { return s.TraceLines() }
 
 func TestImplReadExFlow(t *testing.T) {
 	sys, err := NewSystem(Config{

@@ -111,6 +111,15 @@ func (s *System) Clone() *System {
 		step:     s.step,
 	}
 	c.stats.MaxOccupancy = map[string]int{}
+	if s.stats.DeliveredPerChannel != nil {
+		// Deep-copy: the struct assignment above aliased the map, so a
+		// delivery on the clone would otherwise mutate the original
+		// (and race with sibling clones under parallel exploration).
+		c.stats.DeliveredPerChannel = make(map[string]int, len(s.stats.DeliveredPerChannel))
+		for k, v := range s.stats.DeliveredPerChannel {
+			c.stats.DeliveredPerChannel[k] = v
+		}
+	}
 	for name, ch := range s.channels {
 		nc := NewChannel(ch.Name, ch.Cap)
 		nc.Latency = ch.Latency

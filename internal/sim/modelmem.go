@@ -1,0 +1,71 @@
+package sim
+
+// CloneDetached clones the system like Clone and additionally detaches
+// the shared table cores' transition counters (tableCore.hits points at
+// the ORIGINAL system's stats and is shared by every clone — a data
+// race under concurrent Apply). The detached cores are inherited by all
+// further Clones of the result, so a whole parallel exploration derived
+// from one CloneDetached root is race-free.
+func (s *System) CloneDetached() *System {
+	c := s.Clone()
+	detach := func(tc *tableCore) *tableCore {
+		if tc == nil || tc.hits == nil {
+			return tc
+		}
+		cp := *tc
+		cp.hits = nil
+		return &cp
+	}
+	cd := c.dir.base()
+	cd.core = detach(cd.core)
+	c.mem.core = detach(c.mem.core)
+	for _, n := range c.nodes {
+		n.cacheCore = detach(n.cacheCore)
+		n.mshrCore = detach(n.mshrCore)
+	}
+	return c
+}
+
+// Per-container cost estimates for ApproxBytes: Go map/slice headers,
+// buckets, and the strings typical protocol states hold.
+const (
+	systemFixedBytes  = 640 // System + dirCtl + memCtl + per-clone map headers
+	channelFixedBytes = 160
+	messageBytes      = 112 // Message struct: 3 string headers + contents
+	dirEntryBytes     = 144
+	sharerBytes       = 48
+	busyEntryBytes    = 112
+	nodeFixedBytes    = 400
+	cacheEntryBytes   = 64
+	mshrEntryBytes    = 48
+	opBytes           = 40
+	outstandingBytes  = 72
+	intMapEntryBytes  = 48
+)
+
+// ApproxBytes estimates the heap bytes one retained Clone of this
+// system costs — what the in-memory model checker pays per stored
+// state. It is an estimate (Go map overhead varies with load factor),
+// tuned to be slightly conservative; the budget-aware engines use it
+// for admission accounting, never for correctness.
+func (s *System) ApproxBytes() int64 {
+	n := int64(systemFixedBytes)
+	for _, ch := range s.channels {
+		n += channelFixedBytes + int64(len(ch.q))*messageBytes + int64(len(ch.stamps))*8
+	}
+	sd := s.dir.base()
+	for _, e := range sd.dir {
+		n += dirEntryBytes + int64(len(e.sharers))*sharerBytes
+	}
+	n += int64(len(sd.busy)) * busyEntryBytes
+	n += int64(len(s.mem.firstSeen)) * messageBytes
+	for _, nd := range s.nodes {
+		n += nodeFixedBytes
+		n += int64(len(nd.cache)) * cacheEntryBytes
+		n += int64(len(nd.mshr)) * mshrEntryBytes
+		n += int64(len(nd.pendingOp)) * opBytes
+		n += int64(len(nd.outstanding)) * outstandingBytes
+		n += int64(len(nd.attempts)+len(nd.issuedAt)) * intMapEntryBytes
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coherdb/internal/protocol"
+)
+
+// fig4CodecSystem builds the Figure 4 configuration used by the model
+// checker, under the given assignment.
+func fig4CodecSystem(t testing.TB, assign string) *System {
+	t.Helper()
+	v, err := protocol.BuildAssignment(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Nodes: 2, ChannelCap: 1,
+		ChannelCaps: map[string]int{"VC0": 2},
+		Tables:      genTables(t).Map(),
+		Assignment:  v,
+		MaxSteps:    100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Node(0).SetCache(0xB, protocol.CacheM)
+	sys.Dir().SetOwner(0xB, NodeID(0))
+	sys.Node(1).SetCache(0xA, protocol.CacheM)
+	sys.Dir().SetOwner(0xA, NodeID(1))
+	sys.Node(0).Script(
+		Op{Kind: "previct", Addr: 0xB},
+		Op{Kind: "prwrite", Addr: 0xA},
+	)
+	sys.Node(1).Script(Op{Kind: "previct", Addr: 0xA})
+	return sys
+}
+
+// TestStateCodecMatchesFingerprint randomly walks the action graph and
+// asserts tuple equality is exactly Fingerprint equality — the codec is
+// the out-of-core replacement for the fingerprint string, so any
+// divergence would corrupt the visited set.
+func TestStateCodecMatchesFingerprint(t *testing.T) {
+	for _, assign := range []string{protocol.AssignFixed, protocol.AssignVC4} {
+		t.Run(assign, func(t *testing.T) {
+			root := fig4CodecSystem(t, assign)
+			codec := NewStateCodec(root)
+			rng := rand.New(rand.NewSource(7))
+
+			type rec struct {
+				fp    string
+				tuple []uint32
+			}
+			var seen []rec
+			record := func(s *System) {
+				tup := codec.Encode(s, nil)
+				seen = append(seen, rec{fp: s.Fingerprint(), tuple: tup})
+			}
+			record(root)
+			for walk := 0; walk < 30; walk++ {
+				cur := root.Clone()
+				for step := 0; step < 40; step++ {
+					cands := cur.CandidateActions()
+					if len(cands) == 0 {
+						break
+					}
+					a := cands[rng.Intn(len(cands))]
+					if _, err := cur.Apply(a); err != nil {
+						t.Fatal(err)
+					}
+					record(cur)
+				}
+			}
+			for i := range seen {
+				for j := i + 1; j < len(seen); j++ {
+					fpEq := seen[i].fp == seen[j].fp
+					tupEq := equalU32(seen[i].tuple, seen[j].tuple)
+					if fpEq != tupEq {
+						t.Fatalf("state %d vs %d: fingerprint equal=%v but tuple equal=%v\nfp_i=%s\nfp_j=%s",
+							i, j, fpEq, tupEq, seen[i].fp, seen[j].fp)
+					}
+				}
+			}
+			if len(seen) < 100 {
+				t.Fatalf("walks visited only %d states", len(seen))
+			}
+		})
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStateCodecActionRoundTrip(t *testing.T) {
+	sys := fig4CodecSystem(t, protocol.AssignFixed)
+	codec := NewStateCodec(sys)
+	actions := []Action{
+		{Kind: "issue", Node: 0},
+		{Kind: "issue", Node: 13},
+		{Kind: "deliver", Chan: "VC0"},
+		{Kind: "deliver", Chan: ""},
+	}
+	for _, a := range actions {
+		back := codec.DecodeAction(codec.EncodeAction(a))
+		if back != a {
+			t.Fatalf("action %+v round-tripped to %+v", a, back)
+		}
+	}
+}
+
+// TestTraceLogOutOfCore runs a traced scenario with a tiny budget and a
+// spill directory: the trace must spill, stream back identical to the
+// materialized baseline, and leave Result.Trace nil (streaming
+// contract).
+func TestTraceLogOutOfCore(t *testing.T) {
+	run := func(budget int64, spill string) (*System, *Result) {
+		t.Helper()
+		sys2, err := NewSystem(Config{
+			Nodes: 2, ChannelCap: 1,
+			ChannelCaps:   map[string]int{"VC0": 2},
+			Tables:        genTables(t).Map(),
+			Assignment:    fixedAssignment(t),
+			MaxSteps:      100000,
+			Trace:         true,
+			TraceBudget:   budget,
+			TraceSpillDir: spill,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys2.Node(0).SetCache(0xB, protocol.CacheM)
+		sys2.Dir().SetOwner(0xB, NodeID(0))
+		sys2.Node(1).SetCache(0xA, protocol.CacheM)
+		sys2.Dir().SetOwner(0xA, NodeID(1))
+		sys2.Node(0).Script(
+			Op{Kind: "previct", Addr: 0xB},
+			Op{Kind: "prwrite", Addr: 0xA},
+		)
+		sys2.Node(1).Script(Op{Kind: "previct", Addr: 0xA})
+		res, err := sys2.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys2, res
+	}
+
+	base, baseRes := run(0, "")
+	defer base.Close()
+	if len(baseRes.Trace) == 0 {
+		t.Fatal("baseline produced no trace")
+	}
+
+	spilled, spilledRes := run(512, t.TempDir())
+	defer spilled.Close()
+	if spilledRes.Trace != nil {
+		t.Fatalf("budgeted run materialized %d trace lines; want streaming-only", len(spilledRes.Trace))
+	}
+	st := spilled.TraceStats()
+	if st.Spills == 0 || st.SpilledBytes == 0 {
+		t.Fatalf("expected trace spills under a 512B budget, got %+v", st)
+	}
+	var got []string
+	spilled.StreamTrace(func(line string) bool {
+		got = append(got, line)
+		return true
+	})
+	if strings.Join(got, "\n") != strings.Join(baseRes.Trace, "\n") {
+		t.Fatalf("streamed trace differs from materialized baseline:\nstreamed %d lines, baseline %d", len(got), len(baseRes.Trace))
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"coherdb/internal/hwmap"
 	"coherdb/internal/rel"
+	"coherdb/internal/segment"
 )
 
 // Errors returned by the simulator.
@@ -65,6 +66,16 @@ type Config struct {
 	MaxSteps int
 	// Trace enables the event trace.
 	Trace bool
+	// TraceBudget caps the resident bytes of the accumulated trace
+	// (which is stored as compressed code segments, see TraceLog);
+	// 0 means unlimited. When a budget is set, Result.Trace stays nil
+	// and callers stream lines with System.StreamTrace instead of
+	// materializing the whole corpus.
+	TraceBudget int64
+	// TraceSpillDir, when set with TraceBudget, lets cold trace blocks
+	// spill to disk so the corpus can exceed RAM. System.Close removes
+	// the spill files.
+	TraceSpillDir string
 }
 
 // Outcome classifies how a run ended.
@@ -147,7 +158,7 @@ type System struct {
 	mem      *memCtl
 	nodes    []*nodeCtl
 	stats    Stats
-	trace    []string
+	tlog     *TraceLog
 	events   []Message
 	step     int
 }
@@ -286,8 +297,61 @@ func (s *System) sendAll(msgs []Message) {
 
 func (s *System) tracef(format string, args ...any) {
 	if s.cfg.Trace {
-		s.trace = append(s.trace, fmt.Sprintf("[%5d] %s", s.step, fmt.Sprintf(format, args...)))
+		if s.tlog == nil {
+			// Lazy so clones (which drop the parent's log) only pay
+			// for a log once they actually trace.
+			s.tlog = NewTraceLog(s.cfg.TraceBudget, s.cfg.TraceSpillDir)
+		}
+		s.tlog.Add(s.step, fmt.Sprintf(format, args...))
 	}
+}
+
+// SetTraceBudget caps the resident bytes of the event trace after
+// construction (the scenario builders don't expose Config directly).
+// With a budget, Result.Trace stays nil — stream with StreamTrace.
+// Must be called before the first traced step; once a log exists the
+// call is ignored.
+func (s *System) SetTraceBudget(budget int64, spillDir string) {
+	if s.tlog != nil {
+		return
+	}
+	s.cfg.TraceBudget = budget
+	s.cfg.TraceSpillDir = spillDir
+}
+
+// StreamTrace invokes fn for each accumulated trace line in order
+// without materializing the corpus; returning false stops early. It is
+// the out-of-core alternative to Result.Trace.
+func (s *System) StreamTrace(fn func(line string) bool) {
+	if s.tlog != nil {
+		s.tlog.Each(fn)
+	}
+}
+
+// TraceStats exposes the trace log's segment-store accounting
+// (resident/spilled bytes, spills, faults); zero when not tracing.
+func (s *System) TraceStats() segment.Stats {
+	if s.tlog == nil {
+		return segment.Stats{}
+	}
+	return s.tlog.Stats()
+}
+
+// TraceLines materializes the accumulated trace (empty when not
+// tracing); prefer StreamTrace for out-of-core corpora.
+func (s *System) TraceLines() []string {
+	if s.tlog == nil {
+		return nil
+	}
+	return s.tlog.Lines()
+}
+
+// Close releases trace spill files, if any. Safe on every system.
+func (s *System) Close() error {
+	if s.tlog != nil {
+		return s.tlog.Close()
+	}
+	return nil
 }
 
 // entityFor returns the consumer of a message.
@@ -452,7 +516,12 @@ func (s *System) idle() bool {
 }
 
 func (s *System) result(o Outcome) *Result {
-	res := &Result{Outcome: o, Stats: s.stats, Trace: s.trace}
+	res := &Result{Outcome: o, Stats: s.stats}
+	if s.tlog != nil && s.cfg.TraceBudget == 0 {
+		// Unbudgeted traces keep the materialized []string contract;
+		// budgeted (out-of-core) runs stream via StreamTrace instead.
+		res.Trace = s.tlog.Lines()
+	}
 	if o == Deadlocked {
 		var sb strings.Builder
 		names := make([]string, 0, len(s.channels))

@@ -20,14 +20,18 @@
 # plus the planner-sensitive ones: the invariant suite (the paper's
 # every-revision workload), the substrate SELECT/JOIN microbenchmarks,
 # the prepared-statement floor, the EXPLAIN ANALYZE pair (plain vs
-# instrumented execution of the same join), and the scalar-vs-vectorized
-# filter pair. The race gates also cover the lock-free metrics plane and
-# the vectorized-vs-scalar equivalence suites, and
+# instrumented execution of the same join), the scalar-vs-vectorized
+# filter pair, the segment pack/unpack throughput, and the out-of-core
+# state-exploration trio (in-memory vs segmented vs spilled at a fixed
+# memory budget, with states and bytes/state as extra metrics). The race
+# gates also cover the lock-free metrics plane, the segment store and
+# the segmented-vs-serial model-checker equivalence, the
+# vectorized-vs-scalar equivalence suites, and
 # TestNilTracerOverheadBound enforces the <5% off-path instrumentation
 # budget before any number is recorded.
 #
 # After writing the summary, the script diffs it against the previous
-# revision's baseline (BENCH_BASELINE, default BENCH_7.json) and prints a
+# revision's baseline (BENCH_BASELINE, default BENCH_8.json) and prints a
 # WARNING line for every benchmark whose ns/op or B/op regressed by more
 # than 10%. The warnings are advisory (the script still exits 0): some
 # hosts are noisy, and the acceptance gate reads the warnings, not the
@@ -36,9 +40,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkDeltaRecheck$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter}"
-OUT="${BENCH_OUT:-BENCH_8.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_7.json}"
+PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkDeltaRecheck$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter|BenchmarkStateExplore|BenchmarkSegmentPack}"
+OUT="${BENCH_OUT:-BENCH_9.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_8.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -68,6 +72,13 @@ go test -race ./internal/delta/...
 
 echo "== race-detector incremental-recheck equivalence =="
 go test -race -run 'TestEditScriptEquivalence' ./internal/check/
+
+echo "== race-detector segment-store tests =="
+go test -race ./internal/segment/
+
+echo "== race-detector segmented model-checker equivalence =="
+go test -race -run 'TestSegmented|TestStateCodecMatchesFingerprint|TestTraceLogOutOfCore' \
+    ./internal/modelcheck/ ./internal/sim/
 
 echo "== nil-tracer overhead bound (<5%) =="
 go test -run 'TestNilTracerOverheadBound' -count=1 .
