@@ -14,17 +14,25 @@
 //	cohersql -trace -q "..."                       # per-statement spans as JSON lines to stderr
 //	cohersql -listen :8080                         # live diagnostics: /metrics /healthz /debug/pprof /traces /queries
 //	cohersql -trace-out trace.json -q "..."        # Perfetto-loadable Chrome trace of the session
+//	cohersql -serve :7433                          # multi-session line-protocol server (MVCC sessions, \recheck)
+//	cohersql -serve-http :7434                     # HTTP/JSON API: /v1/query /v1/session /v1/recheck
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"coherdb/internal/check"
 	"coherdb/internal/core"
 	"coherdb/internal/obs"
+	"coherdb/internal/server"
 )
 
 func main() {
@@ -36,6 +44,9 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "write Prometheus-style metrics and session query stats to stdout at exit")
 	listen := flag.String("listen", "", "serve live diagnostics (metrics, healthz, pprof, traces, queries) on this address, e.g. :8080")
 	traceOut := flag.String("trace-out", "", "write the span tree as Chrome trace_event JSON (Perfetto-loadable) to this file at exit")
+	serveAddr := flag.String("serve", "", "serve the multi-session line protocol on this address, e.g. :7433 (SIGINT/SIGTERM drains)")
+	serveHTTP := flag.String("serve-http", "", "serve the HTTP/JSON query API (/v1/query, /v1/session, /v1/recheck) on this address")
+	maxSessions := flag.Int("max-sessions", 0, "server mode: bound on concurrent sessions (0 = default 64)")
 	flag.Parse()
 
 	diag, err := core.StartDiag(core.DiagConfig{
@@ -64,6 +75,11 @@ func main() {
 		}
 		diag.Close()
 	}()
+
+	if *serveAddr != "" || *serveHTTP != "" {
+		serve(p, diag, *serveAddr, *serveHTTP, *maxSessions, *workers)
+		return
+	}
 
 	exec := func(stmt string) {
 		res, err := p.DB.Exec(stmt)
@@ -117,6 +133,43 @@ func main() {
 	if strings.TrimSpace(buf.String()) != "" {
 		exec(buf.String())
 	}
+}
+
+// serve runs the multi-session query server until SIGINT/SIGTERM, then
+// drains: in-flight statements finish, clients hear a goodbye, and the
+// diagnostics server completes its last scrape before the process exits.
+func serve(p *core.Pipeline, diag *core.Diag, lineAddr, httpAddr string, maxSessions, workers int) {
+	srv := server.New(server.Config{
+		DB:          p.DB,
+		Suite:       check.ProtocolSuite(),
+		MaxSessions: maxSessions,
+		Workers:     workers,
+		Tracer:      diag.Tracer,
+		Metrics:     diag.Registry,
+	})
+	if lineAddr != "" {
+		if err := srv.Serve(lineAddr); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "line protocol on %s (one statement per line; \\begin \\recheck \\epoch \\quit)\n", srv.Addr())
+	}
+	if httpAddr != "" {
+		if err := srv.ServeHTTP(httpAddr); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "http/json api on http://%s/v1/ (query, session, recheck)\n", srv.HTTPAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "%v: draining sessions...\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	_ = diag.Shutdown(ctx)
 }
 
 // publishDBStats turns the session's aggregate query statistics into

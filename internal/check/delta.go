@@ -45,7 +45,7 @@ func (s *Suite) Inputs() [][]delta.Input {
 // and rechecked attributes; opts.Metrics accumulates the
 // coherdb_delta_nodes_skipped_total / coherdb_delta_rows_reused_total
 // counters.
-func (s *Suite) RunDelta(db *sqlmini.DB, prev []Result, d *delta.Set, opts Options) []Result {
+func (s *Suite) RunDelta(db DBLike, prev []Result, d *delta.Set, opts Options) []Result {
 	if prev == nil || len(prev) != len(s.invs) || d == nil {
 		return s.Run(db, opts)
 	}

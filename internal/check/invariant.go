@@ -123,13 +123,24 @@ func (o Options) observe(r Result) {
 	o.Metrics.Counter("coherdb_invariant_violations_total", obs.L("invariant", r.Invariant.Name)).Add(int64(violations))
 }
 
+// DBLike is the catalog view a suite runs against: the shared
+// *sqlmini.DB, or one *sqlmini.Session (the server's per-session
+// incremental re-check path). Both prepare through the shared plan cache
+// and resolve tables through their own snapshot/overlay view.
+type DBLike interface {
+	Prepare(src string) (*sqlmini.Prepared, error)
+	Query(src string) (*rel.Table, error)
+	Table(name string) (*rel.Table, bool)
+}
+
 // Run checks every invariant against db and returns results in suite
 // order. Invariants are independent queries, so they are dealt one at a
 // time to the shared worker pool (work stealing keeps an expensive
 // invariant from serializing the rest); Workers: 1 runs the suite inline.
-// The db is switched to strict ANSI NULL semantics for the duration of
-// the run and restored afterwards.
-func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
+// Every invariant query executes with its NULL dialect pinned to strict
+// ANSI for just that statement, so concurrent sessions running their own
+// suites (or the constraint dialect) never perturb each other.
+func (s *Suite) Run(db DBLike, opts Options) []Result {
 	results := make([]Result, len(s.invs))
 	idx := make([]int, len(s.invs))
 	for i := range idx {
@@ -142,7 +153,7 @@ func (s *Suite) Run(db *sqlmini.DB, opts Options) []Result {
 // runSubset checks the invariants named by idx, writing their results into
 // the matching slots of results; other slots are left as the caller set
 // them. extra attributes land on the "check.suite" span.
-func (s *Suite) runSubset(db *sqlmini.DB, idx []int, results []Result, opts Options, extra []obs.Attr) {
+func (s *Suite) runSubset(db DBLike, idx []int, results []Result, opts Options, extra []obs.Attr) {
 	exec := pool.Shared()
 	workers := opts.Workers
 	if workers <= 0 || workers > exec.Size() {
@@ -151,8 +162,6 @@ func (s *Suite) runSubset(db *sqlmini.DB, idx []int, results []Result, opts Opti
 	if workers > len(idx) {
 		workers = len(idx)
 	}
-	db.SetStrictNulls(true)
-	defer db.SetStrictNulls(false)
 
 	// Prepare every invariant up front: re-running the suite (the paper's
 	// every-revision workflow) then never re-parses or re-plans a query.
@@ -177,7 +186,7 @@ func (s *Suite) runSubset(db *sqlmini.DB, idx []int, results []Result, opts Opti
 		var err error
 		if p := prepared[i]; p != nil {
 			var res *sqlmini.Result
-			res, qs, err = p.ExecStats()
+			res, qs, err = p.ExecStatsDialect(true)
 			if err == nil {
 				tab = res.Table
 				if tab == nil {

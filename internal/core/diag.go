@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -97,6 +98,17 @@ func StartDiag(cfg DiagConfig) (*Diag, error) {
 func (d *Diag) Attach(p *Pipeline) {
 	p.Observe(d.Tracer, d.Registry)
 	p.DB.SetQueryLog(d.QueryLog)
+}
+
+// Shutdown gracefully drains the diagnostics server, if one is running:
+// new connections are refused, in-flight scrapes finish, bounded by ctx.
+// The SIGINT/SIGTERM paths call this before Close so a final /metrics
+// pull is never cut mid-body; Close's server.Close afterwards is a no-op.
+func (d *Diag) Shutdown(ctx context.Context) error {
+	if d.server == nil {
+		return nil
+	}
+	return d.server.Shutdown(ctx)
 }
 
 // Close flushes every enabled surface: the JSONL span dump to stderr

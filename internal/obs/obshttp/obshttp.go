@@ -6,6 +6,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -128,5 +129,12 @@ func Serve(addr string, o Options) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
+// Close stops the listener immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to complete, up to the context's deadline — the graceful half
+// of the SIGINT/SIGTERM path the cmds (and the coherdb query server)
+// drain through. It returns ctx.Err() if the deadline passed with
+// requests still running.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

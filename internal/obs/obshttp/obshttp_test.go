@@ -1,11 +1,13 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -163,5 +165,68 @@ func TestServeAndClose(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestShutdownDrainsInFlight pins the graceful-shutdown contract: a
+// request already executing when Shutdown is called runs to completion
+// and gets its full response, while new connections are refused.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	opts := Options{
+		Registry: obs.NewRegistry(),
+		// The scrape hook doubles as a block point: the in-flight
+		// /metrics request parks here until the test releases it.
+		OnScrape: []func(){func() {
+			once.Do(func() { close(entered) })
+			<-release
+		}},
+	}
+	srv, err := Serve("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		res, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		_, _ = io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		done <- result{res.StatusCode, nil}
+	}()
+	<-entered
+
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shut <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shut:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("new connection accepted during drain")
+	}
+
+	close(release)
+	r := <-done
+	if r.err != nil || r.code != 200 {
+		t.Fatalf("in-flight request after Shutdown: code=%d err=%v", r.code, r.err)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown: %v", err)
 	}
 }

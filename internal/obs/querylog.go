@@ -54,19 +54,23 @@ type QueryRecord struct {
 	Rows      int64  `json:"rows"`
 	Done      bool   `json:"done"`
 	Err       string `json:"error,omitempty"`
+	// Session attributes the statement to a server session; 0 means it
+	// ran outside any session (CLI, embedder).
+	Session uint64 `json:"session,omitempty"`
 }
 
 // QueryToken is the handle an executor holds for one in-flight statement.
 // A nil token is valid and all its methods no-op, mirroring the nil *Span
 // contract, so the instrumented path needs no log-enabled checks.
 type QueryToken struct {
-	id    uint64
-	log   *QueryLog
-	kind  string
-	stmt  string
-	start time.Time
-	rows  atomic.Int64
-	phase atomic.Int32
+	id      uint64
+	log     *QueryLog
+	kind    string
+	stmt    string
+	session uint64
+	start   time.Time
+	rows    atomic.Int64
+	phase   atomic.Int32
 }
 
 // AddRows bumps the rows-so-far counter (scanned or produced).
@@ -104,6 +108,7 @@ func (t *QueryToken) record(now time.Time) QueryRecord {
 		StartUS:   t.start.UnixMicro(),
 		ElapsedUS: now.Sub(t.start).Microseconds(),
 		Rows:      t.rows.Load(),
+		Session:   t.session,
 	}
 }
 
@@ -144,13 +149,19 @@ func NewQueryLog(capacity int, slowAfter time.Duration) *QueryLog {
 // Start registers a statement as in flight and returns its token. A nil
 // log returns a nil token.
 func (q *QueryLog) Start(kind, statement string) *QueryToken {
+	return q.StartSession(kind, statement, 0)
+}
+
+// StartSession is Start with a session attribution for multi-session
+// servers; session 0 means unattributed.
+func (q *QueryLog) StartSession(kind, statement string, session uint64) *QueryToken {
 	if q == nil {
 		return nil
 	}
 	if len(statement) > maxStatementLen {
 		statement = statement[:maxStatementLen] + "..."
 	}
-	t := &QueryToken{log: q, kind: kind, stmt: statement, start: time.Now()}
+	t := &QueryToken{log: q, kind: kind, stmt: statement, session: session, start: time.Now()}
 	q.mu.Lock()
 	q.nextID++
 	t.id = q.nextID

@@ -105,3 +105,24 @@ func (ix *Index) add(i int) {
 	k := ix.t.RowKey(i, ix.colIdx)
 	ix.buckets[k] = append(ix.buckets[k], i)
 }
+
+// extendTo clones the index for a derived table t whose first n rows are
+// identical to the source's, then appends rows n..t.NumRows — the
+// append-only fast path of Table.CarryIndexes. The column metadata is
+// shared (immutable); the buckets are deep-copied so the source epoch's
+// index stays frozen.
+func (ix *Index) extendTo(t *Table, n int) *Index {
+	nix := &Index{
+		t:       t,
+		cols:    ix.cols,
+		colIdx:  ix.colIdx,
+		buckets: make(map[string][]int, len(ix.buckets)),
+	}
+	for k, rows := range ix.buckets {
+		nix.buckets[k] = append([]int(nil), rows...)
+	}
+	for i := n; i < t.nrows; i++ {
+		nix.add(i)
+	}
+	return nix
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Common errors returned by table operations.
@@ -50,8 +51,19 @@ type Table struct {
 
 	// shared marks the column vectors as aliased by a Snapshot (in either
 	// direction); the next mutation copies them first (copy-on-write), so
-	// snapshots stay immutable at O(cols) capture cost.
-	shared bool
+	// snapshots stay immutable at O(cols) capture cost. It is atomic so
+	// concurrent readers may Snapshot the same published (immutable)
+	// table — every session's revision tracker does — without racing;
+	// mutators still require external exclusion.
+	shared atomic.Bool
+
+	// rewriteGen counts mutations that rewrite, remove, or reorder
+	// existing rows (appends leave it alone). A snapshot carries its
+	// source's value, so "same rewriteGen, no fewer rows" proves a
+	// derived table is an append-only extension — the precondition for
+	// extending persistent indexes incrementally at epoch-publish time
+	// instead of rebuilding them.
+	rewriteGen uint64
 
 	// idxMu serializes lazy index construction by concurrent readers.
 	// Mutators do not take it: a table must not be mutated concurrently
@@ -160,16 +172,17 @@ func (t *Table) Revision() uint64 { return t.rev }
 // row caches.
 func (t *Table) Snapshot() *Table {
 	s := &Table{
-		name:   t.name,
-		cols:   t.cols,
-		pos:    t.pos,
-		dict:   t.dict,
-		data:   append([][]uint32(nil), t.data...),
-		nrows:  t.nrows,
-		rev:    t.rev,
-		shared: true,
+		name:       t.name,
+		cols:       t.cols,
+		pos:        t.pos,
+		dict:       t.dict,
+		data:       append([][]uint32(nil), t.data...),
+		nrows:      t.nrows,
+		rev:        t.rev,
+		rewriteGen: t.rewriteGen,
 	}
-	t.shared = true
+	s.shared.Store(true)
+	t.shared.Store(true)
 	return s
 }
 
@@ -177,13 +190,13 @@ func (t *Table) Snapshot() *Table {
 // in-place writes and appends cannot leak into the snapshot's view. Every
 // mutator calls it before touching data.
 func (t *Table) ensureOwned() {
-	if !t.shared {
+	if !t.shared.Load() {
 		return
 	}
 	for j, col := range t.data {
 		t.data[j] = append(make([]uint32, 0, t.nrows), col[:t.nrows]...)
 	}
-	t.shared = false
+	t.shared.Store(false)
 }
 
 // appended is the single bookkeeping point for mutations that only add
@@ -206,6 +219,7 @@ func (t *Table) appended(base int) {
 // caches, and invalidate cached indexes wholesale.
 func (t *Table) rewritten() {
 	t.rev++
+	t.rewriteGen++
 	t.dropRowCaches()
 	t.invalidateIndexes()
 }
@@ -574,7 +588,7 @@ func (t *Table) sortByIdx(idx []int) {
 	}
 	// The gather above replaced every vector with a fresh allocation, so
 	// any snapshot aliasing is gone regardless of how we entered.
-	t.shared = false
+	t.shared.Store(false)
 }
 
 // IndexOn returns a persistent hash index over the given columns, building
@@ -608,6 +622,48 @@ func (t *Table) IndexOn(cols ...string) (*Index, error) {
 func (t *Table) invalidateIndexes() {
 	if t.indexes != nil {
 		t.indexes = nil
+	}
+}
+
+// CarryIndexes seeds t's persistent-index cache from old's at
+// epoch-publish time. t must be a copy-on-write derivation of old (the
+// writer's working copy about to replace old in the next catalog epoch);
+// append-only derivations extend each index incrementally over just the
+// new rows, anything else rebuilds over the same column sets. Either way
+// the published table starts its epoch with warm indexes, so readers of
+// the new epoch never pay a lazy rebuild and index maintenance lives at
+// the single writer's publish point rather than inside every mutation.
+func (t *Table) CarryIndexes(old *Table) {
+	if old == nil || old == t || !SameSchema(old, t) {
+		return
+	}
+	old.idxMu.Lock()
+	src := make([]*Index, 0, len(old.indexes))
+	for _, ix := range old.indexes {
+		src = append(src, ix)
+	}
+	old.idxMu.Unlock()
+	if len(src) == 0 {
+		return
+	}
+	appendOnly := t.rewriteGen == old.rewriteGen && t.nrows >= old.nrows
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.indexes == nil {
+		t.indexes = make(map[string]*Index, len(src))
+	}
+	for _, ix := range src {
+		key := strings.Join(ix.cols, "\x1f")
+		if _, have := t.indexes[key]; have {
+			continue
+		}
+		if appendOnly {
+			t.indexes[key] = ix.extendTo(t, old.nrows)
+			continue
+		}
+		if nix, err := BuildIndex(t, ix.cols...); err == nil {
+			t.indexes[key] = nix
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerQPS measures server throughput under the workload the
+// MVCC refactor targets: many concurrent reader sessions running
+// invariant-style point queries over the line protocol while one
+// writer session continuously publishes epochs with shared-table DML.
+// ns/op is per-statement latency across all clients (1e9/ns-op = QPS);
+// the p99-ns metric is the 99th-percentile statement latency, the
+// number that regresses first if readers start waiting on the writer.
+func BenchmarkServerQPS(b *testing.B) {
+	db := newTestDB(b, 2)
+	srv := New(Config{DB: db, Suite: testSuite()})
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		b.Fatalf("serve: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// Background writer: publish epochs as fast as the write path allows,
+	// trimming periodically so COW copies stay bounded.
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		wc := dialClient(b, srv.Addr())
+		defer wc.close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wc.cmd(b, fmt.Sprintf(`INSERT INTO w1 VALUES ('b%d', '1')`, i))
+			if i%64 == 63 {
+				wc.cmd(b, `DELETE FROM w1 WHERE v = '1'`)
+			}
+		}
+	}()
+
+	queries := []string{
+		`SELECT k FROM D WHERE v = 'BAD'`,
+		`SELECT k FROM D WHERE v = 'OVER'`,
+		`SELECT v FROM D WHERE k = 'a'`,
+	}
+	var mu sync.Mutex
+	var lat []time.Duration
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := dialClient(b, srv.Addr())
+		defer c.close()
+		local := make([]time.Duration, 0, 1024)
+		i := 0
+		for pb.Next() {
+			start := time.Now()
+			c.cmd(b, queries[i%len(queries)])
+			local = append(local, time.Since(start))
+			i++
+		}
+		mu.Lock()
+		lat = append(lat, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	close(stop)
+	wwg.Wait()
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[len(lat)*99/100]
+		b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+	}
+}

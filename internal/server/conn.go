@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// The line protocol: one command per line, one response per command,
+// every response terminated by a lone "." sentinel line. Commands are
+// SQL statements (SELECT/INSERT/DELETE/UPDATE/CREATE/DROP) or
+// backslash meta-commands:
+//
+//	\begin    open (or re-open) the session's delta revision bracket
+//	\recheck  commit the bracket and incrementally re-check invariants
+//	\epoch    print the currently published catalog epoch
+//	\quit     close the session
+//
+// The first response on a connection is the greeting ("ok coherdb"), or
+// "error: ..." if admission control turned the connection away.
+
+// maxLineLen bounds one protocol line (1 MiB), matching bufio defaults
+// scaled up for wide INSERTs.
+const maxLineLen = 1 << 20
+
+// handleConn owns one line-protocol connection end to end.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.track(conn)
+	defer s.untrack(conn)
+
+	w := bufio.NewWriter(conn)
+	if err := s.admit(); err != nil {
+		fmt.Fprintf(w, "error: %v\n.\n", err)
+		_ = w.Flush()
+		return
+	}
+	defer s.release()
+
+	sess := s.cfg.DB.NewSession()
+	defer sess.Close()
+	st := &sessionState{sess: sess}
+
+	fmt.Fprintf(w, "ok coherdb session %d\n.\n", sess.ID())
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), maxLineLen)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if line == `\quit` {
+			fmt.Fprint(w, "bye\n.\n")
+			_ = w.Flush()
+			return
+		}
+		s.runCommand(w, st, line)
+		fmt.Fprint(w, ".\n")
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if s.drainingNow() {
+			fmt.Fprint(w, "bye draining\n.\n")
+			_ = w.Flush()
+			return
+		}
+	}
+	// Read failed: client went away, or Shutdown woke us via a read
+	// deadline. Say goodbye on the drain path; otherwise just close.
+	if s.drainingNow() {
+		fmt.Fprint(w, "bye draining\n.\n")
+		_ = w.Flush()
+	}
+}
+
+// runCommand executes one protocol line and writes its response body
+// (the caller appends the "." sentinel).
+func (s *Server) runCommand(w *bufio.Writer, st *sessionState, line string) {
+	switch {
+	case line == `\begin`:
+		st.rev = st.sess.BeginRevision()
+		st.prev = nil
+		fmt.Fprint(w, "ok begin\n")
+	case line == `\recheck`:
+		out, err := s.runRecheck(st)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return
+		}
+		fmt.Fprint(w, out)
+	case line == `\epoch`:
+		fmt.Fprintf(w, "epoch %d\n", s.cfg.DB.Epoch())
+	case strings.HasPrefix(line, `\`):
+		fmt.Fprintf(w, "error: unknown command %s\n", line)
+	default:
+		res, err := st.sess.Exec(line)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return
+		}
+		s.count("coherdb_server_statements_total", 1)
+		if res.Table != nil {
+			_ = res.Table.Write(w)
+			return
+		}
+		fmt.Fprintf(w, "ok (%d rows affected)\n", res.Affected)
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"coherdb/internal/sqlmini"
+)
+
+// errMethod rejects non-POST/DELETE verbs on the /v1 endpoints.
+var errMethod = errors.New("server: method not allowed")
+
+// errNoSession reports an unknown HTTP session id.
+func errNoSession(id uint64) error { return fmt.Errorf("server: no such session %d", id) }
+
+// The HTTP/JSON plane mirrors the line protocol:
+//
+//	POST   /v1/session          admit a named session → {"session": id}
+//	DELETE /v1/session?id=N     close it, freeing the slot
+//	POST   /v1/query            {"sql": "...", "session": N?} → result
+//	POST   /v1/recheck          {"session": N} → incremental re-check
+//
+// A query without a session runs one-shot against the shared DB (its
+// own pinned epoch, no overlay); with one, it runs inside that
+// session's overlay view, serialized per session.
+
+// httpSession is one named HTTP session; mu serializes its commands
+// (HTTP clients may pipeline requests on many connections).
+type httpSession struct {
+	id uint64
+	mu sync.Mutex
+	st *sessionState
+}
+
+// queryRequest is the /v1/query and /v1/recheck body.
+type queryRequest struct {
+	SQL     string `json:"sql"`
+	Session uint64 `json:"session,omitempty"`
+}
+
+// queryResponse is the /v1/query result wire form.
+type queryResponse struct {
+	Columns  []string   `json:"columns,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	Affected int        `json:"affected"`
+	Epoch    uint64     `json:"epoch"`
+}
+
+// ServeHTTP binds addr for the JSON API and serves in a background
+// goroutine until Shutdown.
+func (s *Server) ServeHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// HTTPAddr returns the JSON API listener's bound address.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Handler builds the /v1 mux (exported so embedders can mount it on an
+// existing diagnostics server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/session", s.handleSession)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/recheck", s.handleRecheck)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		if err := s.admit(); err != nil {
+			code := http.StatusServiceUnavailable
+			httpError(w, code, err)
+			return
+		}
+		hs := &httpSession{st: &sessionState{sess: s.cfg.DB.NewSession()}}
+		hs.id = hs.st.sess.ID()
+		s.hsMu.Lock()
+		s.hsessions[hs.id] = hs
+		s.hsMu.Unlock()
+		writeJSON(w, struct {
+			Session uint64 `json:"session"`
+		}{hs.id})
+	case http.MethodDelete:
+		id, _ := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		s.hsMu.Lock()
+		hs, ok := s.hsessions[id]
+		delete(s.hsessions, id)
+		s.hsMu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, errNoSession(id))
+			return
+		}
+		hs.mu.Lock()
+		hs.st.sess.Close()
+		hs.mu.Unlock()
+		s.release()
+		writeJSON(w, struct {
+			Closed uint64 `json:"closed"`
+		}{id})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errMethod)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	var (
+		out *sqlmini.Result
+		err error
+	)
+	if req.Session == 0 {
+		out, err = s.cfg.DB.Exec(req.SQL)
+	} else {
+		var hs *httpSession
+		hs, err = s.httpSessionByID(req.Session)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		hs.mu.Lock()
+		out, err = hs.st.sess.Exec(req.SQL)
+		hs.mu.Unlock()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, aff := out.Table, out.Affected
+	s.count("coherdb_server_statements_total", 1)
+	resp := queryResponse{Affected: aff, Epoch: s.cfg.DB.Epoch()}
+	if res != nil {
+		resp.Columns = res.Columns()
+		resp.Rows = make([][]string, res.NumRows())
+		for i := 0; i < res.NumRows(); i++ {
+			row := make([]string, len(resp.Columns))
+			for j, c := range resp.Columns {
+				row[j] = res.Get(i, c).String()
+			}
+			resp.Rows[i] = row
+		}
+		resp.Affected = res.NumRows()
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRecheck(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	hs, err := s.httpSessionByID(req.Session)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	hs.mu.Lock()
+	out, rerr := s.runRecheck(hs.st)
+	hs.mu.Unlock()
+	if rerr != nil {
+		httpError(w, http.StatusBadRequest, rerr)
+		return
+	}
+	writeJSON(w, struct {
+		Report string `json:"report"`
+	}{out})
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (queryRequest, bool) {
+	var req queryRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errMethod)
+		return req, false
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) httpSessionByID(id uint64) (*httpSession, error) {
+	s.hsMu.Lock()
+	hs, ok := s.hsessions[id]
+	s.hsMu.Unlock()
+	if !ok {
+		return nil, errNoSession(id)
+	}
+	return hs, nil
+}
+
+// closeHTTPSessions closes named HTTP sessions during Shutdown,
+// waiting for each session's in-flight command.
+func (s *Server) closeHTTPSessions() {
+	s.hsMu.Lock()
+	all := make([]*httpSession, 0, len(s.hsessions))
+	for id, hs := range s.hsessions {
+		all = append(all, hs)
+		delete(s.hsessions, id)
+	}
+	s.hsMu.Unlock()
+	for _, hs := range all {
+		hs.mu.Lock()
+		hs.st.sess.Close()
+		hs.mu.Unlock()
+		s.release()
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startHTTP runs the JSON API over db on a loopback port.
+func startHTTP(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.DB == nil {
+		cfg.DB = newTestDB(t, 2)
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = testSuite()
+	}
+	srv := New(cfg)
+	if err := srv.ServeHTTP("127.0.0.1:0"); err != nil {
+		t.Fatalf("serve http: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+func post(t testing.TB, url string, body any, out any) int {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPQueryAndSession(t *testing.T) {
+	srv := startHTTP(t, Config{})
+	base := "http://" + srv.HTTPAddr()
+
+	// One-shot query against the shared catalog.
+	var q queryResponse
+	if code := post(t, base+"/v1/query", queryRequest{SQL: `SELECT v FROM D WHERE k = 'a'`}, &q); code != 200 {
+		t.Fatalf("one-shot query: status %d", code)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0] != "OK" {
+		t.Fatalf("one-shot rows = %v", q.Rows)
+	}
+
+	// Named session: shadow D, dirty it, recheck sees the violation;
+	// the shared catalog stays clean.
+	var sess struct {
+		Session uint64 `json:"session"`
+	}
+	if code := post(t, base+"/v1/session", struct{}{}, &sess); code != 200 || sess.Session == 0 {
+		t.Fatalf("session create: status %d, id %d", code, sess.Session)
+	}
+	for _, sql := range []string{
+		`CREATE TABLE D AS SELECT * FROM D`,
+		`INSERT INTO D VALUES ('x', 'BAD')`,
+	} {
+		if code := post(t, base+"/v1/query", queryRequest{SQL: sql, Session: sess.Session}, nil); code != 200 {
+			t.Fatalf("%s: status %d", sql, code)
+		}
+	}
+	var rc struct {
+		Report string `json:"report"`
+	}
+	if code := post(t, base+"/v1/recheck", queryRequest{Session: sess.Session}, &rc); code != 200 {
+		t.Fatalf("recheck: status %d", code)
+	}
+	if !strings.Contains(rc.Report, "VIOLATED no-bad: 1 rows") {
+		t.Fatalf("recheck report = %q", rc.Report)
+	}
+	var shared queryResponse
+	post(t, base+"/v1/query", queryRequest{SQL: `SELECT k FROM D WHERE v = 'BAD'`}, &shared)
+	if len(shared.Rows) != 0 {
+		t.Fatalf("session overlay leaked into shared catalog: %v", shared.Rows)
+	}
+
+	// Closing the session frees it; further use is a 404.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/session?id=%d", base, sess.Session), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE session: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE session: status %d", resp.StatusCode)
+	}
+	if code := post(t, base+"/v1/recheck", queryRequest{Session: sess.Session}, nil); code != http.StatusNotFound {
+		t.Fatalf("recheck on closed session: status %d, want 404", code)
+	}
+
+	// Bad SQL surfaces as a 400 with a JSON error.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := post(t, base+"/v1/query", queryRequest{SQL: `SELEKT`}, &e); code != http.StatusBadRequest || e.Error == "" {
+		t.Fatalf("bad SQL: status %d, error %q", code, e.Error)
+	}
+}
+
+func TestHTTPSessionAdmission(t *testing.T) {
+	srv := startHTTP(t, Config{DB: newTestDB(t, 1), MaxSessions: 1, MaxWaiters: 1})
+	base := "http://" + srv.HTTPAddr()
+
+	var first struct {
+		Session uint64 `json:"session"`
+	}
+	if code := post(t, base+"/v1/session", struct{}{}, &first); code != 200 {
+		t.Fatalf("first session: status %d", code)
+	}
+
+	// The slot is taken and one waiter is allowed; saturate it from a
+	// goroutine, then the next request must be rejected with 503.
+	waiterDone := make(chan int, 1)
+	go func() {
+		var w struct {
+			Session uint64 `json:"session"`
+		}
+		raw, _ := json.Marshal(struct{}{})
+		resp, err := http.Post(base+"/v1/session", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			waiterDone <- 0
+			return
+		}
+		defer resp.Body.Close()
+		_ = json.NewDecoder(resp.Body).Decode(&w)
+		waiterDone <- resp.StatusCode
+	}()
+	// Wait for the waiter to be queued before overflowing.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.waiters.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := post(t, base+"/v1/session", struct{}{}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow session: status %d, want 503", code)
+	}
+
+	// Freeing the slot admits the waiter.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/session?id=%d", base, first.Session), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE session: %v", err)
+	}
+	resp.Body.Close()
+	if code := <-waiterDone; code != 200 {
+		t.Fatalf("queued session: status %d, want 200", code)
+	}
+}

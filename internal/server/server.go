@@ -1,0 +1,319 @@
+// Package server is coherdb's multi-session query server: a line
+// protocol and an HTTP/JSON endpoint over one shared *sqlmini.DB. Each
+// client gets its own sqlmini.Session, so concurrent clients read
+// consistent MVCC epoch snapshots without blocking the single writer,
+// shadow shared tables with session-local copies, and run per-session
+// incremental invariant re-checks (\recheck) over delta Revision
+// brackets — the paper's every-revision workflow, served.
+//
+// Admission is bounded twice: at most MaxSessions sessions run
+// concurrently, and at most MaxWaiters connections queue for a slot;
+// beyond that clients are turned away with a busy error (backpressure
+// instead of unbounded queueing). Shutdown drains: the listeners stop,
+// in-flight commands finish, idle connections are told "bye draining",
+// and only after the context deadline are stragglers cut.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coherdb/internal/check"
+	"coherdb/internal/obs"
+	"coherdb/internal/sqlmini"
+)
+
+// Config wires a Server to a database and its observability plane.
+type Config struct {
+	// DB is the shared database every session runs over. Required.
+	DB *sqlmini.DB
+	// Suite, when set, backs the \recheck meta-command (and the HTTP
+	// recheck op) with per-session incremental invariant checking.
+	Suite *check.Suite
+	// MaxSessions bounds concurrently admitted sessions (line-protocol
+	// connections plus named HTTP sessions). Default 64.
+	MaxSessions int
+	// MaxWaiters bounds connections queued for a session slot before
+	// the server answers "busy" instead. Default 16.
+	MaxWaiters int
+	// Workers bounds suite parallelism per \recheck; 0 uses the shared
+	// pool's full size.
+	Workers int
+	// Tracer receives check.suite spans from rechecks; sql.stmt spans
+	// flow through the DB's own tracer.
+	Tracer obs.Tracer
+	// Metrics, when set, accumulates coherdb_server_* gauges/counters.
+	Metrics *obs.Registry
+}
+
+// Server runs the line protocol and HTTP listeners.
+type Server struct {
+	cfg Config
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	sem     chan struct{}
+	waiters atomic.Int64
+
+	draining  chan struct{}
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	hsMu      sync.Mutex
+	hsessions map[uint64]*httpSession
+}
+
+// ErrBusy is returned to clients rejected by admission control.
+var ErrBusy = errors.New("server: too many sessions, try again later")
+
+// ErrDraining is returned to clients arriving during shutdown.
+var ErrDraining = errors.New("server: draining")
+
+// New builds a server over cfg. Call Serve and/or ServeHTTP to listen.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxWaiters <= 0 {
+		cfg.MaxWaiters = 16
+	}
+	s := &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxSessions),
+		draining:  make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		hsessions: make(map[uint64]*httpSession),
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Help("coherdb_server_sessions_active", "Sessions currently admitted.")
+		m.Gauge("coherdb_server_sessions_active").Set(0)
+		m.Help("coherdb_server_queue_depth", "Connections waiting for a session slot.")
+		m.Gauge("coherdb_server_queue_depth").Set(0)
+		m.Help("coherdb_server_sessions_total", "Sessions admitted since start.")
+		m.Help("coherdb_server_rejected_total", "Connections rejected by admission control (busy or draining).")
+		m.Help("coherdb_server_statements_total", "Statements executed across all server sessions.")
+		m.Help("coherdb_server_rechecks_total", "Incremental invariant re-checks served.")
+	}
+	return s
+}
+
+// Serve binds addr (e.g. ":7433" or "127.0.0.1:0") for the line
+// protocol and accepts in a background goroutine until Shutdown.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed (Shutdown) or fatal
+			}
+			s.wg.Add(1)
+			go s.handleConn(conn)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the line-protocol listener's bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// drainingNow reports whether Shutdown has begun.
+func (s *Server) drainingNow() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit claims a session slot, queueing up to MaxWaiters deep. It
+// returns ErrBusy past the queue bound and ErrDraining during
+// shutdown; on nil the caller must release().
+func (s *Server) admit() error {
+	if s.drainingNow() {
+		s.reject()
+		return ErrDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.admitted()
+		return nil
+	default:
+	}
+	if d := s.waiters.Add(1); d > int64(s.cfg.MaxWaiters) {
+		s.waiters.Add(-1)
+		s.reject()
+		return ErrBusy
+	}
+	s.gauge("coherdb_server_queue_depth", s.waiters.Load())
+	defer func() {
+		s.gauge("coherdb_server_queue_depth", s.waiters.Add(-1))
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		s.admitted()
+		return nil
+	case <-s.draining:
+		s.reject()
+		return ErrDraining
+	}
+}
+
+// release returns a session slot claimed by admit.
+func (s *Server) release() {
+	<-s.sem
+	s.gauge("coherdb_server_sessions_active", int64(len(s.sem)))
+}
+
+func (s *Server) admitted() {
+	s.gauge("coherdb_server_sessions_active", int64(len(s.sem)))
+	s.count("coherdb_server_sessions_total", 1)
+}
+
+func (s *Server) reject() { s.count("coherdb_server_rejected_total", 1) }
+
+func (s *Server) gauge(name string, v int64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge(name).Set(v)
+	}
+}
+
+func (s *Server) count(name string, n int64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Add(n)
+	}
+}
+
+// track registers a live connection so Shutdown can wake and, past the
+// deadline, cut it.
+func (s *Server) track(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// Shutdown drains the server: listeners close, queued connections are
+// refused, idle line-protocol connections are woken to say goodbye, and
+// in-flight commands run to completion. Past ctx's deadline remaining
+// connections are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	// Wake connections blocked in Read so their loops observe the drain.
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	var httpErr error
+	if s.httpSrv != nil {
+		httpErr = s.httpSrv.Shutdown(ctx)
+	}
+	s.closeHTTPSessions()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return httpErr
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// sessionState is one client's protocol state: its sqlmini session plus
+// the open revision bracket and previous results the incremental
+// re-check loop carries between \recheck commands.
+type sessionState struct {
+	sess *sqlmini.Session
+	rev  *sqlmini.Revision
+	prev []check.Result
+}
+
+// recheckOpts builds the suite options for one \recheck.
+func (s *Server) recheckOpts() check.Options {
+	return check.Options{Workers: s.cfg.Workers, Tracer: s.cfg.Tracer, Metrics: s.cfg.Metrics}
+}
+
+// runRecheck commits the session's revision bracket and re-checks only
+// the invariants the delta touched. Output is deliberately free of
+// timings and delta contents: concurrent sessions see other sessions'
+// epochs in their deltas, and printing only (rechecked, skipped,
+// verdict) counts keeps a session's transcript byte-identical to the
+// same script run serially.
+func (s *Server) runRecheck(st *sessionState) (string, error) {
+	if s.cfg.Suite == nil {
+		return "", errors.New("server: no invariant suite configured")
+	}
+	if st.rev == nil {
+		st.rev = st.sess.BeginRevision()
+		st.prev = nil
+	}
+	d := st.rev.Commit()
+	results := s.cfg.Suite.RunDelta(st.sess, st.prev, d, s.recheckOpts())
+	st.prev = results
+	s.count("coherdb_server_rechecks_total", 1)
+
+	rechecked, skipped := 0, 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+		} else {
+			rechecked++
+		}
+	}
+	sum := check.Summarize(results)
+	out := fmt.Sprintf("recheck: %d rechecked, %d skipped; %d passed, %d failed, %d errors\n",
+		rechecked, skipped, sum.Passed, sum.Failed, sum.Errors)
+	for _, r := range results {
+		if r.Err != nil {
+			out += fmt.Sprintf("ERROR %s: %v\n", r.Invariant.Name, r.Err)
+			continue
+		}
+		if !r.Passed() {
+			out += fmt.Sprintf("VIOLATED %s: %d rows\n", r.Invariant.Name, r.Violations.NumRows())
+		}
+	}
+	return out, nil
+}

@@ -3,7 +3,6 @@ package sqlmini
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -23,48 +22,43 @@ const DefaultMorselSize = 1024
 var (
 	ErrNoTable    = errors.New("sqlmini: no such table")
 	ErrTableExist = errors.New("sqlmini: table already exists")
+	ErrSharedDrop = errors.New("sqlmini: cannot DROP a shared table from a session")
 )
 
 // DB is a catalog of named tables plus a function registry — the "central
-// database" of the paper in which all controller tables live. It is safe for
-// concurrent use: SELECT and EXPLAIN run under a shared reader lock, so the
-// invariant suite's workers query in parallel, while DML/DDL statements are
-// exclusive.
+// database" of the paper in which all controller tables live. The catalog
+// is MVCC: every statement pins one immutable epoch (rel.Catalog) for its
+// whole execution, writers derive copy-on-write working tables off the
+// current epoch and publish the successor atomically when the statement
+// commits. SELECTs therefore never block on DML and never see torn state;
+// DML/DDL statements serialize on a single writer lock and are atomic per
+// statement (an errored statement publishes nothing).
+//
+// Tables obtained from Table() are published snapshots. Mutating one
+// directly (the pipeline and solver do, for bulk loads) still works — the
+// catalog holds the pointer, not the storage — but requires the caller's
+// own exclusion against concurrent readers, exactly as before. SQL DML is
+// the concurrency-safe path.
 //
 // By default the DB evaluates expressions in the paper's constraint dialect
 // (NULL is an ordinary dontcare/noop domain value, so col = NULL holds when
 // col is NULL). Use SetStrictNulls for ANSI three-valued semantics.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*rel.Table
-	eval   Evaluator
-	// schemaEpoch counts catalog shape changes — a table created, dropped,
-	// or replaced with a different column list. Cached plans carry the
-	// epoch they were built under and rebuild when it moves; data-only
-	// changes never bump it, because plan validity depends only on schemas
-	// (row freshness is handled by the tables' persistent indexes).
-	schemaEpoch uint64
+	// cat is the atomically published current catalog. Readers Load (pin)
+	// it wait-free; only writers holding writeMu replace it.
+	cat rel.CatalogRef
+	// writeMu serializes everything that publishes a new epoch: DML/DDL
+	// statements, PutTable/DropTable, Register. Readers never take it.
+	writeMu sync.Mutex
 
-	// tracer, when set, receives one span per executed statement with the
-	// per-statement QueryStats as attributes; metrics, when set, receives
-	// the coherdb_sql_* counters.
-	tracer  obs.Tracer
-	metrics *obs.Registry
-	// queryLog, when set, tracks every statement as in-flight (with live
-	// phase and rows-so-far) and retains slow ones — the /queries feed of
-	// the diagnostics server.
+	// cfgMu guards the execution configuration below. Statements snapshot
+	// the configuration once at start and never touch it again, so Set*
+	// calls cannot tear a running statement.
+	cfgMu    sync.RWMutex
+	eval     Evaluator
+	tracer   obs.Tracer
+	metrics  *obs.Registry
 	queryLog *obs.QueryLog
-
-	// statsMu guards the aggregate stats separately from mu, so folding a
-	// read-only statement's stats does not serialize concurrent readers.
-	statsMu sync.Mutex
-	stats   DBStats
-
-	// planMu guards the plan cache: parse trees and physical plans keyed
-	// by trimmed statement text (see plan.go).
-	planMu sync.Mutex
-	plans  map[string]*planEntry
-
 	// exec is the worker pool behind morsel-parallel scans and join
 	// probes (the process-wide shared pool by default); workers caps the
 	// participants one statement phase may recruit (0 means the pool
@@ -72,25 +66,65 @@ type DB struct {
 	exec    *pool.Pool
 	workers int
 	morsel  int
-
 	// vectorized enables the column-at-a-time scan path (on by default).
-	// Plans carry both forms of every compiled conjunct, so toggling
-	// selects the execution path per statement without invalidating
-	// anything — the scalar path exists as the compile-time fallback and
-	// as the reference for the vectorized-vs-scalar golden tests.
 	vectorized bool
+
+	// statsMu guards the aggregate stats separately, so folding a
+	// read-only statement's stats does not serialize concurrent readers.
+	statsMu sync.Mutex
+	stats   DBStats
+
+	// planMu guards the plan cache: parse trees and physical plans keyed
+	// by trimmed statement text plus the catalog schema fingerprint the
+	// statement was looked up under (see plan.go).
+	planMu sync.Mutex
+	plans  map[planKey]*planEntry
+
+	// nextSession numbers sessions for obs attribution; see NewSession.
+	sessMu      sync.Mutex
+	nextSession uint64
 }
 
-// run is the context of one executing statement: the DB, a snapshot of its
-// evaluator, the statement's stats sink, the plan-cache entry when the
-// statement came in as text, the schema epoch plans are tagged with, and
-// the parallel-execution knobs snapshotted under the statement lock.
+// execCfg is the per-statement snapshot of the DB's execution
+// configuration, taken once under cfgMu at statement start.
+type execCfg struct {
+	ev       Evaluator
+	tracer   obs.Tracer
+	metrics  *obs.Registry
+	queryLog *obs.QueryLog
+	exec     *pool.Pool
+	workers  int
+	morsel   int
+	vec      bool
+}
+
+func (db *DB) snapshotCfg() execCfg {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return execCfg{
+		ev: db.eval, tracer: db.tracer, metrics: db.metrics, queryLog: db.queryLog,
+		exec: db.exec, workers: db.workers, morsel: db.morsel, vec: db.vectorized,
+	}
+}
+
+// run is the context of one executing statement: the DB, the pinned
+// catalog epoch, the session overlay (nil outside sessions), the writer
+// working set (nil for read-only statements), a snapshot of the evaluator,
+// the statement's stats sink, the plan-cache entry when the statement came
+// in as text, and the parallel-execution knobs.
 type run struct {
-	db    *DB
-	ev    Evaluator
-	qs    *QueryStats
-	entry *planEntry
-	epoch uint64
+	db      *DB
+	cat     *rel.Catalog
+	sess    *Session
+	overlay map[string]*rel.Table
+	write   *catWrite
+	ev      Evaluator
+	qs      *QueryStats
+	entry   *planEntry
+	// fp tags plans with the schema fingerprint of the pinned epoch
+	// (mixed with the session overlay generation inside sessions); cached
+	// branch plans rebuild when it moves.
+	fp uint64
 
 	// az collects per-operator measurements during EXPLAIN ANALYZE; nil
 	// for every other statement, so the executor's azBegin/azEnd hooks
@@ -101,6 +135,37 @@ type run struct {
 	workers int
 	morsel  int
 	vec     bool
+}
+
+// table resolves a name as this statement sees it: the session overlay
+// shadows the shared catalog, and a writer statement sees its own working
+// copies (so an INSERT's later rows see its earlier ones).
+func (r *run) table(name string) (*rel.Table, bool) {
+	if r.overlay != nil {
+		if t, ok := r.overlay[name]; ok {
+			return t, true
+		}
+	}
+	if r.write != nil {
+		return r.write.lookup(name)
+	}
+	return r.cat.Table(name)
+}
+
+// writeTable resolves the mutable target of a DML statement: the
+// session-local table when the name is shadowed (mutated in place — it is
+// private to the session), otherwise a copy-on-write working copy from
+// the writer working set.
+func (r *run) writeTable(name string) (*rel.Table, bool) {
+	if r.overlay != nil {
+		if t, ok := r.overlay[name]; ok {
+			return t, true
+		}
+	}
+	if r.write != nil {
+		return r.write.mutable(name)
+	}
+	return nil, false
 }
 
 // parallel decides whether a phase over n rows runs on the pool: it
@@ -126,13 +191,133 @@ func (r *run) parallel(n int) (*pool.Pool, int, int) {
 	return r.pool, workers, morsel
 }
 
+// catWrite is one writer statement's working set over its base epoch:
+// the first touch of a table derives a copy-on-write snapshot, and a
+// successful statement publishes every touched table as the next epoch.
+// An errored statement simply discards the working set, which is what
+// makes DML/DDL atomic per statement.
+type catWrite struct {
+	base  *rel.Catalog
+	work  map[string]*rel.Table // name -> working copy (or created table)
+	orig  map[string]*rel.Table // name -> base version; nil for created
+	drops map[string]bool
+}
+
+func newCatWrite(base *rel.Catalog) *catWrite { return &catWrite{base: base} }
+
+// lookup resolves a name through the working set: dropped names are gone,
+// touched names resolve to their working copies, everything else to the
+// base epoch.
+func (w *catWrite) lookup(name string) (*rel.Table, bool) {
+	if w.drops[name] {
+		return nil, false
+	}
+	if t, ok := w.work[name]; ok {
+		return t, true
+	}
+	return w.base.Table(name)
+}
+
+// mutable returns the writable working copy of name, deriving it off the
+// base epoch on first touch.
+func (w *catWrite) mutable(name string) (*rel.Table, bool) {
+	if w.drops[name] {
+		return nil, false
+	}
+	if t, ok := w.work[name]; ok {
+		return t, true
+	}
+	t, ok := w.base.Table(name)
+	if !ok {
+		return nil, false
+	}
+	cp := t.Snapshot()
+	w.record(name, cp, t)
+	return cp, true
+}
+
+// create installs a freshly created table into the working set.
+func (w *catWrite) create(t *rel.Table) {
+	w.record(t.Name(), t, nil)
+	delete(w.drops, t.Name())
+}
+
+func (w *catWrite) record(name string, work, orig *rel.Table) {
+	if w.work == nil {
+		w.work = make(map[string]*rel.Table, 2)
+		w.orig = make(map[string]*rel.Table, 2)
+	}
+	w.work[name] = work
+	w.orig[name] = orig
+}
+
+// drop removes name from the working view, reporting whether it existed.
+func (w *catWrite) drop(name string) bool {
+	if _, ok := w.lookup(name); !ok {
+		return false
+	}
+	delete(w.work, name)
+	delete(w.orig, name)
+	if w.drops == nil {
+		w.drops = make(map[string]bool, 1)
+	}
+	w.drops[name] = true
+	return true
+}
+
+// publish builds the successor epoch off the base and swaps it in. A
+// statement that touched nothing — a DELETE matching zero rows — burns no
+// epoch. The caller holds the DB's writer lock, so the swap from base
+// cannot lose a race with another statement; an out-of-band Store is
+// tolerated by re-deriving once off the then-current epoch.
+func (w *catWrite) publish(db *DB) {
+	changed := len(w.drops) > 0
+	if !changed {
+		for name, t := range w.work {
+			if old := w.orig[name]; old == nil || t.Revision() != old.Revision() {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return
+	}
+	next := w.build(w.base)
+	if !db.cat.CompareAndSwap(w.base, next) {
+		cur := db.cat.Load()
+		db.cat.CompareAndSwap(cur, w.build(cur))
+	}
+	if m := db.snapshotCfg().metrics; m != nil {
+		m.Gauge("coherdb_catalog_epoch").Set(int64(db.cat.Load().Epoch()))
+	}
+}
+
+func (w *catWrite) build(base *rel.Catalog) *rel.Catalog {
+	b := base.Derive()
+	for name := range w.drops {
+		b.Drop(name)
+	}
+	for name, t := range w.work {
+		if old := w.orig[name]; old != nil {
+			// Epoch-publish-time index maintenance: append-only working
+			// copies extend the base epoch's indexes incrementally,
+			// rewrites rebuild them, and either way the published table
+			// starts warm.
+			t.CarryIndexes(old)
+		}
+		b.Put(t)
+		_ = name
+	}
+	return b.Build()
+}
+
 // NewDB creates an empty database with the standard function registry
 // (typename, coalesce2) pre-installed.
 func NewDB() *DB {
 	db := &DB{
-		tables:     make(map[string]*rel.Table),
 		eval:       Evaluator{Funcs: make(map[string]Func), NullEq: true},
-		plans:      make(map[string]*planEntry),
+		plans:      make(map[planKey]*planEntry),
 		exec:       pool.Shared(),
 		morsel:     DefaultMorselSize,
 		vectorized: true,
@@ -155,14 +340,24 @@ func NewDB() *DB {
 	return db
 }
 
+// Epoch returns the version number of the currently published catalog.
+// It advances on every committed DML/DDL statement and on PutTable /
+// DropTable; two equal Epoch() observations bracket a quiescent catalog.
+func (db *DB) Epoch() uint64 { return db.cat.Load().Epoch() }
+
+// Catalog returns the currently published catalog snapshot. The catalog
+// and every table in it are immutable; pinning it gives the caller a
+// torn-free view for as long as it keeps the pointer.
+func (db *DB) Catalog() *rel.Catalog { return db.cat.Load() }
+
 // SetStrictNulls switches between ANSI SQL NULL semantics (true) and the
 // paper's constraint dialect (false, the default). Cached plans survive the
 // toggle: compiled predicates specialize on the dialect, so each plan-cache
 // entry keeps one compiled plan per dialect (see planEntry) and toggling
 // just selects the other slot.
 func (db *DB) SetStrictNulls(strict bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.eval.NullEq = !strict
 }
 
@@ -171,8 +366,8 @@ func (db *DB) SetStrictNulls(strict bool) {
 // and 1 forces serial execution. Parallel and serial execution produce
 // byte-identical results; the knob trades latency for pool pressure.
 func (db *DB) SetWorkers(n int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	if n < 0 {
 		n = 0
 	}
@@ -184,8 +379,8 @@ func (db *DB) SetWorkers(n int) {
 // an embedder — or a test forcing the parallel path on a small machine —
 // run statement phases on more workers than there are CPUs.
 func (db *DB) SetPool(p *pool.Pool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	if p == nil {
 		p = pool.Shared()
 	}
@@ -197,8 +392,8 @@ func (db *DB) SetPool(p *pool.Pool) {
 // (a phase needs at least two morsels of rows) at more scheduling
 // overhead per row.
 func (db *DB) SetMorselSize(n int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	if n < 1 {
 		n = DefaultMorselSize
 	}
@@ -210,8 +405,8 @@ func (db *DB) SetMorselSize(n int) {
 // byte-identical results; the knob exists for the golden equivalence
 // tests and the scalar-vs-vectorized benchmark pair.
 func (db *DB) SetVectorized(on bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.vectorized = on
 }
 
@@ -219,8 +414,8 @@ func (db *DB) SetVectorized(on bool) {
 // then emits one "sql.stmt" span carrying its QueryStats — rows scanned
 // and produced, join strategies, index and plan-cache use, eval time.
 func (db *DB) SetTracer(t obs.Tracer) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.tracer = t
 }
 
@@ -228,8 +423,8 @@ func (db *DB) SetTracer(t obs.Tracer) {
 // statement then bumps the coherdb_sql_* counters — statements by verb,
 // plan-cache hits and misses, index scans and index joins.
 func (db *DB) SetMetrics(m *obs.Registry) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.metrics = m
 	if m != nil {
 		m.Help("coherdb_sql_statements_total", "Executed SQL statements by verb.")
@@ -241,6 +436,8 @@ func (db *DB) SetMetrics(m *obs.Registry) {
 		m.Help("coherdb_sql_parallel_steals_total", "Morsels claimed by a worker beyond its fair share (work-stealing rebalances).")
 		m.Help("coherdb_sql_vectorized_batches_total", "Selection-vector batches evaluated by the column-at-a-time scan path.")
 		m.Help("coherdb_sql_vectorized_rows_total", "Rows entering vectorized filter kernels (selection-vector inputs).")
+		m.Help("coherdb_catalog_epoch", "Version number of the published catalog epoch.")
+		m.Gauge("coherdb_catalog_epoch").Set(int64(db.cat.Load().Epoch()))
 	}
 }
 
@@ -249,8 +446,8 @@ func (db *DB) SetMetrics(m *obs.Registry) {
 // its phase and rows-so-far while executing, and lands in the slow-query
 // ring when it exceeds the log's threshold or fails.
 func (db *DB) SetQueryLog(q *obs.QueryLog) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.queryLog = q
 }
 
@@ -262,50 +459,50 @@ func (db *DB) Stats() DBStats {
 }
 
 // Register installs fn as a SQL-callable scalar function. The paper
-// registers protocol predicates such as isrequest(msg). Registering bumps
-// the schema epoch: compiled plans resolve functions at compile time, so
-// a (re)bound name invalidates them exactly like a schema change.
+// registers protocol predicates such as isrequest(msg). The function map
+// is copied on write (running statements snapshot it), and registering
+// publishes an epoch with a bumped schema generation: compiled plans
+// resolve functions at compile time, so a (re)bound name invalidates them
+// exactly like a schema change.
 func (db *DB) Register(name string, fn Func) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.eval.Funcs[name] = fn
-	db.schemaEpoch++
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.cfgMu.Lock()
+	funcs := make(map[string]Func, len(db.eval.Funcs)+1)
+	for n, f := range db.eval.Funcs {
+		funcs[n] = f
+	}
+	funcs[name] = fn
+	db.eval.Funcs = funcs
+	db.cfgMu.Unlock()
+	cur := db.cat.Load()
+	b := cur.Derive()
+	b.BumpSchema()
+	db.cat.CompareAndSwap(cur, b.Build())
 }
 
-// PutTable installs (or replaces) a table under its own name. Cached plans
-// are invalidated only when the name is new or the column list changed;
-// replacing a table with an identically-shaped revision (the pipeline does
-// this on every protocol revision) keeps every plan.
+// PutTable installs (or replaces) a table under its own name, publishing
+// a new epoch. The caller's pointer is installed directly (not snapshot),
+// preserving the bulk-load workflow where the pipeline keeps mutating the
+// table it registered; such direct mutation needs the caller's own
+// exclusion against readers. Cached plans are invalidated only when the
+// name is new or the column list changed; replacing a table with an
+// identically-shaped revision (the pipeline does this on every protocol
+// revision) keeps every plan.
 func (db *DB) PutTable(t *rel.Table) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	old, ok := db.tables[t.Name()]
-	if !ok || !sameSchema(old, t) {
-		db.schemaEpoch++
-	}
-	db.tables[t.Name()] = t
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.cat.Load()
+	b := cur.Derive()
+	b.Put(t)
+	db.cat.CompareAndSwap(cur, b.Build())
 }
 
-// sameSchema reports whether two tables have the same column list in the
-// same order.
-func sameSchema(a, b *rel.Table) bool {
-	if a.NumCols() != b.NumCols() {
-		return false
-	}
-	for i, c := range a.Columns() {
-		if b.ColIndex(c) != i {
-			return false
-		}
-	}
-	return true
-}
-
-// Table returns the named table.
+// Table returns the named table of the current epoch. The pointer stays
+// valid (and immutable, if all writes go through SQL) forever; it simply
+// stops being current once a later epoch replaces it.
 func (db *DB) Table(name string) (*rel.Table, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[name]
-	return t, ok
+	return db.cat.Load().Table(name)
 }
 
 // MustTable returns the named table or panics; for names known statically.
@@ -319,26 +516,20 @@ func (db *DB) MustTable(name string) *rel.Table {
 
 // DropTable removes the named table; it reports whether it existed.
 func (db *DB) DropTable(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	_, ok := db.tables[name]
-	if ok {
-		delete(db.tables, name)
-		db.schemaEpoch++
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.cat.Load()
+	b := cur.Derive()
+	if !b.Drop(name) {
+		return false
 	}
-	return ok
+	db.cat.CompareAndSwap(cur, b.Build())
+	return true
 }
 
-// Names returns the sorted table names.
+// Names returns the sorted table names of the current epoch.
 func (db *DB) Names() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), db.cat.Load().Names()...)
 }
 
 // Result is the outcome of executing one statement.
@@ -351,9 +542,10 @@ type Result struct {
 }
 
 // Exec executes a single statement, parsing it through the plan cache: a
-// statement text seen before reuses its parse tree and physical plan.
+// statement text seen before under the same catalog schema reuses its
+// parse tree and physical plan.
 func (db *DB) Exec(src string) (*Result, error) {
-	entry, hit, err := db.lookupPlan(src)
+	entry, hit, err := db.lookupPlan(src, db.planFP(nil))
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +553,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 	if hit {
 		pc = "hit"
 	}
-	return db.execute(entry.stmt, entry, strings.TrimSpace(src), pc, nil)
+	return db.execute(entry.stmt, execOpts{entry: entry, src: strings.TrimSpace(src), planCache: pc})
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at
@@ -408,31 +600,99 @@ func errNotQuery(src string) error {
 // ExecStmt executes an already-parsed statement. It bypasses the plan
 // cache (there is no text key); plans are built per execution.
 func (db *DB) ExecStmt(stmt Stmt) (*Result, error) {
-	return db.execute(stmt, nil, "", "", nil)
+	return db.execute(stmt, execOpts{})
+}
+
+// execOpts carries the optional context of one execute call.
+type execOpts struct {
+	entry     *planEntry
+	src       string
+	planCache string
+	into      *QueryStats
+	sess      *Session
+	// strict, when non-nil, pins this statement's NULL dialect (true =
+	// ANSI) regardless of the DB or session default — the invariant
+	// suite's per-statement alternative to toggling SetStrictNulls, which
+	// would perturb concurrent sessions.
+	strict *bool
+}
+
+// writeTarget classifies a statement: the table it writes and whether it
+// writes at all.
+func writeTarget(stmt Stmt) (string, bool) {
+	switch s := stmt.(type) {
+	case *CreateStmt:
+		return s.Name, true
+	case *DropStmt:
+		return s.Name, true
+	case *InsertStmt:
+		return s.Table, true
+	case *DeleteStmt:
+		return s.Table, true
+	case *UpdateStmt:
+		return s.Table, true
+	}
+	return "", false
 }
 
 // execute runs one statement, recording QueryStats (and a span and
-// counters, when a tracer or registry is installed). SELECT and EXPLAIN
-// take the shared lock so queries run in parallel; everything else is
-// exclusive. A non-nil into receives the statement's final QueryStats
-// (the per-invariant stats feed of cohercheck -stats).
-func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string, into *QueryStats) (res *Result, err error) {
-	qs := &QueryStats{Kind: stmtKind(stmt), Statement: src, PlanCache: planCache}
-	if qs.Kind == "SELECT" || qs.Kind == "EXPLAIN" {
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-	} else {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+// counters, when a tracer or registry is installed). Read-only statements
+// pin the current epoch and run without any DB lock; writers serialize on
+// writeMu, mutate copy-on-write working tables, and publish the successor
+// epoch on success. Session-local writes (CREATE/DROP, and DML against a
+// shadowed name) touch only the session overlay and take no lock at all.
+// A non-nil into receives the statement's final QueryStats (the
+// per-invariant stats feed of cohercheck -stats).
+func (db *DB) execute(stmt Stmt, o execOpts) (res *Result, err error) {
+	qs := &QueryStats{Kind: stmtKind(stmt), Statement: o.src, PlanCache: o.planCache}
+	target, isWrite := writeTarget(stmt)
+	local := false
+	if isWrite && o.sess != nil {
+		switch stmt.(type) {
+		case *CreateStmt, *DropStmt:
+			local = true // session DDL is always overlay-local
+		default:
+			local = o.sess.shadows(target)
+		}
 	}
-	qs.tok = db.queryLog.Start(qs.Kind, src)
+	shared := isWrite && !local
+	if shared {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
+	cat := db.cat.Load()
+	cfg := db.snapshotCfg()
+	ev := cfg.ev
+	if o.sess != nil && o.sess.strict != nil {
+		ev.NullEq = !*o.sess.strict
+	}
+	if o.strict != nil {
+		ev.NullEq = !*o.strict
+	}
+	var sid uint64
+	var overlay map[string]*rel.Table
+	if o.sess != nil {
+		sid = o.sess.id
+		overlay = o.sess.overlay
+	}
+	qs.tok = cfg.queryLog.StartSession(qs.Kind, o.src, sid)
 	r := &run{
-		db: db, ev: db.eval, qs: qs, entry: entry, epoch: db.schemaEpoch,
-		pool: db.exec, workers: db.workers, morsel: db.morsel, vec: db.vectorized,
+		db: db, cat: cat, sess: o.sess, overlay: overlay, ev: ev, qs: qs,
+		entry: o.entry, fp: sessionFP(cat, o.sess),
+		pool: cfg.exec, workers: cfg.workers, morsel: cfg.morsel, vec: cfg.vec,
 	}
-	span := obs.StartSpan(db.tracer, "sql.stmt", obs.String("kind", qs.Kind))
-	if src != "" {
-		span.SetAttr(obs.String("statement", src))
+	if shared {
+		r.write = newCatWrite(cat)
+	}
+	span := obs.StartSpan(cfg.tracer, "sql.stmt", obs.String("kind", qs.Kind))
+	if span != nil {
+		if o.src != "" {
+			span.SetAttr(obs.String("statement", o.src))
+		}
+		span.SetAttr(obs.Int("epoch", int(cat.Epoch())))
+		if sid != 0 {
+			span.SetAttr(obs.Int("session", int(sid)))
+		}
 	}
 	start := time.Now()
 	defer func() {
@@ -443,13 +703,13 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string, into *
 			qs.addProduced(res.Affected)
 		}
 		qs.tok.Finish(err)
-		if into != nil {
-			*into = *qs
+		if o.into != nil {
+			*o.into = *qs
 		}
 		db.statsMu.Lock()
 		db.stats.fold(qs)
 		db.statsMu.Unlock()
-		db.observe(qs)
+		observe(cfg.metrics, qs)
 		if span != nil {
 			span.SetAttr(
 				obs.String("storage", "columnar"),
@@ -478,12 +738,15 @@ func (db *DB) execute(stmt Stmt, entry *planEntry, src, planCache string, into *
 			span.Finish()
 		}
 	}()
-	return r.dispatch(stmt)
+	res, err = r.dispatch(stmt)
+	if err == nil && r.write != nil {
+		r.write.publish(db)
+	}
+	return res, err
 }
 
 // observe bumps the statement counters on the installed registry.
-func (db *DB) observe(qs *QueryStats) {
-	m := db.metrics
+func observe(m *obs.Registry, qs *QueryStats) {
 	if m == nil {
 		return
 	}
@@ -502,8 +765,7 @@ func (db *DB) observe(qs *QueryStats) {
 	m.Counter("coherdb_sql_vectorized_rows_total").Add(int64(qs.VecRowsIn))
 }
 
-// dispatch routes a statement to its executor. The caller holds db.mu in
-// the mode execute chose.
+// dispatch routes a statement to its executor.
 func (r *run) dispatch(stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
@@ -527,15 +789,7 @@ func (r *run) dispatch(stmt Stmt) (*Result, error) {
 	case *CreateStmt:
 		return r.execCreate(s)
 	case *DropStmt:
-		if _, ok := r.db.tables[s.Name]; !ok {
-			if s.IfExists {
-				return &Result{}, nil
-			}
-			return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Name)
-		}
-		delete(r.db.tables, s.Name)
-		r.db.schemaEpoch++
-		return &Result{}, nil
+		return r.execDrop(s)
 	case *InsertStmt:
 		return r.execInsert(s)
 	case *DeleteStmt:
@@ -548,30 +802,72 @@ func (r *run) dispatch(stmt Stmt) (*Result, error) {
 }
 
 func (r *run) execCreate(s *CreateStmt) (*Result, error) {
-	if _, dup := r.db.tables[s.Name]; dup {
+	if r.sess != nil {
+		// Session CREATE lands in the overlay and may shadow a shared
+		// name — CREATE TABLE D AS SELECT * FROM D captures a private
+		// copy, since the source resolves before the shadow exists.
+		if _, dup := r.overlay[s.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrTableExist, s.Name)
+		}
+	} else if _, dup := r.table(s.Name); dup {
 		return nil, fmt.Errorf("%w: %q", ErrTableExist, s.Name)
 	}
+	var t *rel.Table
 	if s.As != nil {
-		t, err := r.execSelect(s.As)
+		sel, err := r.execSelect(s.As)
 		if err != nil {
 			return nil, err
 		}
-		t.SetName(s.Name)
-		r.db.tables[s.Name] = t
-		r.db.schemaEpoch++
+		t = sel.SetName(s.Name)
+	} else {
+		nt, err := rel.NewTable(s.Name, s.Cols...)
+		if err != nil {
+			return nil, err
+		}
+		t = nt
+	}
+	if r.sess != nil {
+		r.overlay[s.Name] = t
+		r.sess.gen++
+	} else {
+		r.write.create(t)
+	}
+	if s.As != nil {
 		return &Result{Table: t, Affected: t.NumRows()}, nil
 	}
-	t, err := rel.NewTable(s.Name, s.Cols...)
-	if err != nil {
-		return nil, err
+	return &Result{}, nil
+}
+
+func (r *run) execDrop(s *DropStmt) (*Result, error) {
+	if r.sess != nil {
+		// Session DDL touches only the overlay: dropping a shadow
+		// uncovers the shared table again; dropping a shared name a
+		// session never shadowed would mutate state other sessions see,
+		// which sessions are not allowed to do through DDL.
+		if _, ok := r.overlay[s.Name]; ok {
+			delete(r.overlay, s.Name)
+			r.sess.gen++
+			return &Result{}, nil
+		}
+		if _, isShared := r.cat.Table(s.Name); isShared {
+			return nil, fmt.Errorf("%w: %q", ErrSharedDrop, s.Name)
+		}
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Name)
 	}
-	r.db.tables[s.Name] = t
-	r.db.schemaEpoch++
+	if !r.write.drop(s.Name) {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Name)
+	}
 	return &Result{}, nil
 }
 
 func (r *run) execInsert(s *InsertStmt) (*Result, error) {
-	t, ok := r.db.tables[s.Table]
+	t, ok := r.writeTable(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
@@ -608,7 +904,7 @@ func (r *run) execInsert(s *InsertStmt) (*Result, error) {
 }
 
 func (r *run) execDelete(s *DeleteStmt) (*Result, error) {
-	t, ok := r.db.tables[s.Table]
+	t, ok := r.writeTable(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}
@@ -635,7 +931,7 @@ func (r *run) execDelete(s *DeleteStmt) (*Result, error) {
 }
 
 func (r *run) execUpdate(s *UpdateStmt) (*Result, error) {
-	t, ok := r.db.tables[s.Table]
+	t, ok := r.writeTable(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, s.Table)
 	}

@@ -449,7 +449,7 @@ func refAlias(ref TableRef) string {
 // lookup on the planned equality conjuncts when present, a whole-table
 // scan otherwise, followed by the remaining pushed filters.
 func (r *run) scanSource(ref TableRef, sp srcPlan) (*frame, error) {
-	t, ok := r.db.tables[ref.Name]
+	t, ok := r.table(ref.Name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 	}
@@ -1115,14 +1115,14 @@ func colRefs(e Expr, out *[]Col) {
 func (r *run) selectSources(s *SelectStmt) ([]*frame, error) {
 	var out []*frame
 	for _, ref := range s.From {
-		t, ok := r.db.tables[ref.Name]
+		t, ok := r.table(ref.Name)
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 		}
 		out = append(out, schemaFrame(t, ref.Alias))
 	}
 	for _, j := range s.Joins {
-		t, ok := r.db.tables[j.Ref.Name]
+		t, ok := r.table(j.Ref.Name)
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
 		}

@@ -168,7 +168,7 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 	}
 	var srcs []source
 	for _, ref := range s.From {
-		t, ok := r.db.tables[ref.Name]
+		t, ok := r.table(ref.Name)
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNoTable, ref.Name)
 		}
@@ -179,7 +179,7 @@ func (r *run) explainBranch(out *rel.Table, s *SelectStmt, plan *branchPlan) (in
 		srcs = append(srcs, source{alias: alias, fr: schemaFrame(t, ref.Alias), t: t, rows: t.NumRows()})
 	}
 	for _, j := range s.Joins {
-		t, ok := r.db.tables[j.Ref.Name]
+		t, ok := r.table(j.Ref.Name)
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNoTable, j.Ref.Name)
 		}

@@ -1,0 +1,154 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"coherdb/internal/rel"
+)
+
+// TestPlanCacheDDLEquivalentReplacementMisses pins the plan-cache key
+// refactor: the cache is keyed by (statement text, catalog schema
+// fingerprint), not text alone, so dropping a table and recreating it
+// with the identical column list — a DDL-equivalent replacement the
+// old text-keyed cache would have served a stale plan for — must MISS
+// and recompile.
+func TestPlanCacheDDLEquivalentReplacementMisses(t *testing.T) {
+	db := newTestDB(t)
+	const q = `SELECT m FROM V WHERE s = 'local'`
+	if _, err := db.Query(q); err != nil { // compile: miss
+		t.Fatal(err)
+	}
+	if _, err := db.Query(q); err != nil { // reuse: hit
+		t.Fatal(err)
+	}
+	base := db.Stats()
+
+	if err := db.ExecScript(`
+		DROP TABLE V;
+		CREATE TABLE V (m, s, d, v);
+		INSERT INTO V VALUES ('fresh', 'local', 'home', 'VC0');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 1 || !tab.Get(0, "m").Equal(rel.S("fresh")) {
+		t.Fatalf("after DDL-equivalent replacement, rows = %v", tab)
+	}
+	st := db.Stats()
+	if got := st.PlanCacheMisses - base.PlanCacheMisses; got < 1 {
+		t.Errorf("DDL-equivalent replacement produced %d plan-cache misses for the reused query, want >= 1", got)
+	}
+	// The recompiled plan is cached again under the new fingerprint.
+	mid := db.Stats()
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().PlanCacheHits - mid.PlanCacheHits; got != 1 {
+		t.Errorf("re-run after recompile: hits = %d, want 1", got)
+	}
+}
+
+// TestSessionOverlayShadowing pins the session isolation rules: CREATE
+// shadows a shared name with a private copy, session DML on the shadow
+// never leaks into the shared catalog or other sessions, and dropping
+// a shared table from inside a session is refused.
+func TestSessionOverlayShadowing(t *testing.T) {
+	db := newTestDB(t)
+	a := db.NewSession()
+	bsess := db.NewSession()
+
+	if _, err := a.Exec(`CREATE TABLE V AS SELECT * FROM V`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec(`DELETE FROM V`); err != nil {
+		t.Fatal(err)
+	}
+	if tab, err := a.Query(`SELECT m FROM V`); err != nil || tab.NumRows() != 0 {
+		t.Fatalf("session a shadow: rows %v, err %v", tab, err)
+	}
+	if tab, err := bsess.Query(`SELECT m FROM V`); err != nil || tab.NumRows() == 0 {
+		t.Fatalf("session b lost shared rows to a's shadow: rows %v, err %v", tab, err)
+	}
+	if tab, err := db.Query(`SELECT m FROM V`); err != nil || tab.NumRows() == 0 {
+		t.Fatalf("shared catalog lost rows to a's shadow: rows %v, err %v", tab, err)
+	}
+
+	// Dropping the shadow un-shadows; dropping a shared name is refused.
+	if _, err := a.Exec(`DROP TABLE V`); err != nil {
+		t.Fatal(err)
+	}
+	if tab, err := a.Query(`SELECT m FROM V`); err != nil || tab.NumRows() == 0 {
+		t.Fatalf("after shadow drop, session a should see shared rows: %v, err %v", tab, err)
+	}
+	if _, err := a.Exec(`DROP TABLE V`); !errors.Is(err, ErrSharedDrop) {
+		t.Fatalf("dropping a shared table in a session: err = %v, want ErrSharedDrop", err)
+	}
+}
+
+// TestConcurrentSessionsSeeAtomicStatements is the SQL-level half of
+// the MVCC race test (the rel-level half lives in rel/catalog_test.go):
+// a writer publishes epochs with two-row INSERTs and whole-batch
+// DELETEs while reader sessions scan the same shared table under -race.
+// Statement atomicity means every scan sees an even row count — a torn
+// epoch or a read through the writer's working set shows up as an odd
+// count (or as a race report).
+func TestConcurrentSessionsSeeAtomicStatements(t *testing.T) {
+	db := NewDB()
+	if err := db.ExecScript(`CREATE TABLE T (k, v); INSERT INTO T VALUES ('s1', '0'), ('s2', '0')`); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab, err := sess.Query(`SELECT k FROM T`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tab.NumRows()%2 != 0 {
+					errs <- fmt.Errorf("reader saw %d rows (odd): torn statement", tab.NumRows())
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < rounds; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO T VALUES ('a%d', '1'), ('b%d', '1')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			if _, err := db.Exec(`DELETE FROM T WHERE v = '1'`); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

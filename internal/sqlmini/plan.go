@@ -10,12 +10,14 @@ import (
 // The query planner: every SELECT branch is compiled into a branchPlan —
 // per-source index-equality keys, pushed-down filters and the residual
 // post-join predicate — once, and the plan is cached on the DB keyed by
-// the statement text. Plans depend only on the catalog's schemas (which
-// tables exist and their column lists), never on row contents, so DML
-// leaves them valid: data freshness is the job of the persistent table
-// indexes (rel.Table.IndexOn), which are maintained under mutation. Any
-// schema change (CREATE, DROP, PutTable/DropTable with a new shape) bumps
-// the DB's schema epoch and cached plans rebuild lazily.
+// the statement text plus the catalog's schema fingerprint. Plans depend
+// only on the catalog's schemas (which tables exist and their column
+// lists), never on row contents, so DML leaves them valid: data freshness
+// is the job of the persistent table indexes (rel.Table.IndexOn), which
+// are carried forward at epoch-publish time. Any schema change (CREATE,
+// DROP, PutTable/DropTable with a new shape — even a DROP + CREATE that
+// reproduces the identical shape) lands on a new fingerprint, so a cached
+// plan can never be served across a DDL boundary.
 
 // planCacheCap bounds the number of cached statements; past it, new
 // statements are parsed per execution but not retained.
@@ -84,17 +86,17 @@ func (p *branchPlan) src(i int) srcPlan {
 }
 
 // planEntry is one plan-cache slot: the parsed statement plus the lazily
-// built branch plans, tagged with the schema epoch they were planned
-// under. Plans are cached per NULL dialect (index 0 strict ANSI, 1 the
-// constraint dialect) because compiled predicates specialize comparisons
-// on the dialect at compile time; the invariant suite toggles
-// SetStrictNulls around every run, and two slots keep both variants warm
-// instead of rebuilding ~50 plans per toggle.
+// built branch plans, tagged with the schema fingerprint they were
+// planned under. Plans are cached per NULL dialect (index 0 strict ANSI,
+// 1 the constraint dialect) because compiled predicates specialize
+// comparisons on the dialect at compile time; the invariant suite runs
+// every query under a strict-dialect pin, and two slots keep both
+// variants warm instead of rebuilding ~50 plans per dialect switch.
 type planEntry struct {
 	stmt Stmt
 
 	mu       sync.Mutex
-	epoch    [2]uint64
+	fp       [2]uint64
 	branches [2][]*branchPlan
 }
 
@@ -108,28 +110,62 @@ func dialect(nullEq bool) int {
 
 // branchPlans returns the entry's cached branch plans for s (the entry's
 // SELECT, or the SELECT embedded in its EXPLAIN/CREATE ... AS), rebuilding
-// them when the schema epoch moved. The caller must hold the DB lock in
-// either mode; entry.mu serializes concurrent readers planning the same
-// statement.
+// them when the schema fingerprint of the pinned epoch moved. entry.mu
+// serializes concurrent readers planning the same statement.
 func (e *planEntry) branchPlans(r *run, s *SelectStmt) ([]*branchPlan, error) {
 	d := dialect(r.ev.NullEq)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.branches[d] != nil && e.epoch[d] == r.epoch {
+	if e.branches[d] != nil && e.fp[d] == r.fp {
 		return e.branches[d], nil
 	}
 	plans, err := r.buildBranchPlans(s)
 	if err != nil {
 		return nil, err
 	}
-	e.branches[d], e.epoch[d] = plans, r.epoch
+	e.branches[d], e.fp[d] = plans, r.fp
 	return plans, nil
 }
 
-// lookupPlan resolves src through the plan cache, parsing on miss. The
-// second result reports whether the entry was served from the cache.
-func (db *DB) lookupPlan(src string) (*planEntry, bool, error) {
-	key := strings.TrimSpace(src)
+// planKey identifies one plan-cache slot: the trimmed statement text plus
+// the schema fingerprint it was looked up under. Folding the fingerprint
+// into the key means a DDL boundary — even DROP + CREATE reproducing the
+// identical shape — must miss the cache rather than serve a stale plan.
+type planKey struct {
+	src string
+	fp  uint64
+}
+
+// planFP returns the fingerprint statements are cached under right now:
+// the current catalog's schema fingerprint, mixed with the session's
+// overlay shape when the statement runs inside a session that shadows
+// shared names.
+func (db *DB) planFP(sess *Session) uint64 {
+	return sessionFP(db.cat.Load(), sess)
+}
+
+// sessionFP mixes a catalog's schema fingerprint with the session overlay
+// generation. A session with an empty overlay resolves names exactly like
+// the shared catalog and shares its plan entries; once the overlay
+// shadows anything, the session id and its DDL generation split the key.
+func sessionFP(cat *rel.Catalog, sess *Session) uint64 {
+	fp := cat.Fingerprint()
+	if sess == nil || len(sess.overlay) == 0 {
+		return fp
+	}
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(sess.id >> (8 * i))
+		buf[8+i] = byte(sess.gen >> (8 * i))
+	}
+	return fp ^ rel.HashBytes(buf[:])
+}
+
+// lookupPlan resolves src through the plan cache under the given schema
+// fingerprint, parsing on miss. The second result reports whether the
+// entry was served from the cache.
+func (db *DB) lookupPlan(src string, fp uint64) (*planEntry, bool, error) {
+	key := planKey{src: strings.TrimSpace(src), fp: fp}
 	db.planMu.Lock()
 	e, ok := db.plans[key]
 	db.planMu.Unlock()
@@ -390,11 +426,12 @@ func hasCol(cols []string, c string) bool {
 	return false
 }
 
-// Prepared is a parsed-and-planned statement bound to a DB — the
-// prepared-statement layer the invariant suite uses so re-checking a
-// revision never re-parses its ~50 queries.
+// Prepared is a parsed-and-planned statement bound to a DB (or to one of
+// its sessions) — the prepared-statement layer the invariant suite uses
+// so re-checking a revision never re-parses its ~50 queries.
 type Prepared struct {
 	db    *DB
+	sess  *Session
 	src   string
 	entry *planEntry
 }
@@ -402,7 +439,7 @@ type Prepared struct {
 // Prepare parses src (through the plan cache) and returns a handle whose
 // executions skip parsing and reuse the cached plan.
 func (db *DB) Prepare(src string) (*Prepared, error) {
-	entry, _, err := db.lookupPlan(src)
+	entry, _, err := db.lookupPlan(src, db.planFP(nil))
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +449,7 @@ func (db *DB) Prepare(src string) (*Prepared, error) {
 // Exec executes the prepared statement. Prepared executions count as
 // plan-cache hits: the whole point of the handle is never re-parsing.
 func (p *Prepared) Exec() (*Result, error) {
-	return p.db.execute(p.entry.stmt, p.entry, p.src, "hit", nil)
+	return p.db.execute(p.entry.stmt, execOpts{entry: p.entry, src: p.src, planCache: "hit", sess: p.sess})
 }
 
 // ExecStats executes the prepared statement and additionally returns the
@@ -421,7 +458,18 @@ func (p *Prepared) Exec() (*Result, error) {
 // runtime per query without scraping the DB-wide aggregates.
 func (p *Prepared) ExecStats() (*Result, QueryStats, error) {
 	var qs QueryStats
-	res, err := p.db.execute(p.entry.stmt, p.entry, p.src, "hit", &qs)
+	res, err := p.db.execute(p.entry.stmt, execOpts{entry: p.entry, src: p.src, planCache: "hit", into: &qs, sess: p.sess})
+	return res, qs, err
+}
+
+// ExecStatsDialect is ExecStats with the statement's NULL dialect pinned
+// (true = strict ANSI) for just this execution, regardless of the DB or
+// session default. The invariant suite runs its ~50 queries this way so
+// concurrent sessions never observe each other's dialect — the global
+// SetStrictNulls toggle it replaces would.
+func (p *Prepared) ExecStatsDialect(strict bool) (*Result, QueryStats, error) {
+	var qs QueryStats
+	res, err := p.db.execute(p.entry.stmt, execOpts{entry: p.entry, src: p.src, planCache: "hit", into: &qs, sess: p.sess, strict: &strict})
 	return res, qs, err
 }
 

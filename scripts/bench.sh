@@ -21,17 +21,21 @@
 # every-revision workload), the substrate SELECT/JOIN microbenchmarks,
 # the prepared-statement floor, the EXPLAIN ANALYZE pair (plain vs
 # instrumented execution of the same join), the scalar-vs-vectorized
-# filter pair, the segment pack/unpack throughput, and the out-of-core
+# filter pair, the segment pack/unpack throughput, the out-of-core
 # state-exploration trio (in-memory vs segmented vs spilled at a fixed
-# memory budget, with states and bytes/state as extra metrics). The race
-# gates also cover the lock-free metrics plane, the segment store and
-# the segmented-vs-serial model-checker equivalence, the
-# vectorized-vs-scalar equivalence suites, and
+# memory budget, with states and bytes/state as extra metrics), and the
+# multi-session server under reader/writer interference
+# (BenchmarkServerQPS: ns/op is per-statement latency across concurrent
+# line-protocol clients, p99-ns its tail). The race gates also cover
+# the lock-free metrics plane, the segment store and the
+# segmented-vs-serial model-checker equivalence, the
+# vectorized-vs-scalar equivalence suites, the MVCC epoch/catalog layer
+# and the query server (concurrent sessions, admission, drain), and
 # TestNilTracerOverheadBound enforces the <5% off-path instrumentation
 # budget before any number is recorded.
 #
 # After writing the summary, the script diffs it against the previous
-# revision's baseline (BENCH_BASELINE, default BENCH_8.json) and prints a
+# revision's baseline (BENCH_BASELINE, default BENCH_9.json) and prints a
 # WARNING line for every benchmark whose ns/op or B/op regressed by more
 # than 10%. The warnings are advisory (the script still exits 0): some
 # hosts are noisy, and the acceptance gate reads the warnings, not the
@@ -41,8 +45,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-BenchmarkGenerateDirectoryD$|BenchmarkGenerateIncremental$|BenchmarkInvariantSuite$|BenchmarkInvariantSuiteSerial$|BenchmarkDeltaRecheck$|BenchmarkSQLSelectWhere$|BenchmarkSQLJoin$|BenchmarkSQLPreparedSelect$|BenchmarkExplainAnalyzeOverhead$|BenchmarkVectorizedFilter|BenchmarkStateExplore|BenchmarkSegmentPack}"
-OUT="${BENCH_OUT:-BENCH_9.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_8.json}"
+SERVER_PATTERN="${BENCH_SERVER_PATTERN:-BenchmarkServerQPS$}"
+OUT="${BENCH_OUT:-BENCH_10.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_9.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -80,28 +85,42 @@ echo "== race-detector segmented model-checker equivalence =="
 go test -race -run 'TestSegmented|TestStateCodecMatchesFingerprint|TestTraceLogOutOfCore' \
     ./internal/modelcheck/ ./internal/sim/
 
+echo "== race-detector MVCC catalog + session tests =="
+go test -race -run 'TestCatalog|TestConcurrentSnapshotReaders|TestCarryIndexes|TestConcurrentSessions|TestSessionOverlay' \
+    ./internal/rel/ ./internal/sqlmini/
+
+echo "== race-detector query-server tests =="
+go test -race ./internal/server/...
+
 echo "== nil-tracer overhead bound (<5%) =="
 go test -run 'TestNilTracerOverheadBound' -count=1 .
 
 echo "== benchmarks =="
 go test -run '^$' -bench "$PATTERN" -benchmem . | tee "$RAW"
 
+echo "== server benchmarks =="
+go test -run '^$' -bench "$SERVER_PATTERN" -benchmem ./internal/server/ | tee -a "$RAW"
+
 # Benchmark lines look like:
 #   BenchmarkSQLJoin   2422   495743 ns/op   171253 B/op   2531 allocs/op
+# BenchmarkServerQPS also reports a p99-ns tail-latency metric.
 awk '
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; p99 = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)
         if ($i == "B/op")      bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "p99-ns")    p99 = $(i - 1)
     }
     if (ns == "") next
     if (out != "") out = out ",\n"
-    out = out sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+    out = out sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
         name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    if (p99 != "") out = out sprintf(", \"p99_ns\": %s", p99)
+    out = out "}"
 }
 END { printf "[\n%s\n]\n", out }
 ' "$RAW" > "$OUT"
